@@ -1,0 +1,162 @@
+package llama4d_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: schedule
+// nc, ZeRO mode, CP sharding policy, recomputation mode, and the §5.2
+// parallelism ordering. Each reports its headline trade-off metric.
+
+import (
+	"math/rand"
+	"testing"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/comm"
+	"llama4d/internal/core"
+	"llama4d/internal/cp"
+	"llama4d/internal/data"
+	"llama4d/internal/fsdp"
+	"llama4d/internal/model"
+	"llama4d/internal/pp"
+	"llama4d/internal/tensor"
+)
+
+// BenchmarkAblationNCSweep sweeps the flexible schedule's nc knob (§3.1.1):
+// the makespan/memory trade-off around nc = pp.
+func BenchmarkAblationNCSweep(b *testing.B) {
+	ppSize, v, nmb := 4, 2, 12
+	costs := pp.UniformCosts(1, 0.5)
+	type point struct {
+		makespan float64
+		peak     int
+	}
+	pts := map[int]point{}
+	for i := 0; i < b.N; i++ {
+		for _, nc := range []int{4, 6, 8, 12} {
+			s := pp.NewFlexible(ppSize, v, nmb, nc)
+			tl, err := s.Simulate(costs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pts[nc] = point{tl.Makespan, s.MaxPeakInFlight()}
+		}
+	}
+	b.ReportMetric(pts[4].makespan, "makespan-nc4")
+	b.ReportMetric(pts[6].makespan, "makespan-nc6")
+	b.ReportMetric(float64(pts[6].peak-pts[4].peak), "extra-inflight-nc6")
+}
+
+// BenchmarkAblationZeROModes times one functional DP training step per ZeRO
+// mode (communication count vs memory trade-off of Fig 4).
+func BenchmarkAblationZeROModes(b *testing.B) {
+	cfg := model.Config{Vocab: 32, Dim: 16, Hidden: 32, NHeads: 4, NKVHeads: 2,
+		NLayers: 2, MaxSeq: 16, RopeBase: 10000}
+	gen := &data.Generator{Vocab: cfg.Vocab, Seq: 16, AvgDocLen: 6, Seed: 21}
+	for _, mode := range []fsdp.Mode{fsdp.ZeRO1, fsdp.ZeRO2, fsdp.ZeRO3} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cl, err := core.NewCluster(core.Config{
+				Model: cfg, Topo: core.Topology{TP: 1, CP: 1, PP: 1, DP: 2},
+				V: 1, NMB: 2, NC: 2, ZeRO: mode,
+				Seq: 16, GBS: 4, LR: 1e-3, UseDocMask: true, Seed: 5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl.Step(gen, int64(i))
+			}
+			b.ReportMetric(float64(cl.World.Stats().ReduceScatterOps.Load())/float64(b.N), "reduce-scatters/step")
+		})
+	}
+}
+
+// BenchmarkAblationCPSharding contrasts the paper's 2×cp load-balanced
+// sharding with naive contiguous sharding: max/min causal work per rank.
+func BenchmarkAblationCPSharding(b *testing.B) {
+	seq, cpSize := 8192, 4
+	var balancedRatio, contiguousRatio float64
+	for i := 0; i < b.N; i++ {
+		sh := cp.NewSharding(seq, cpSize)
+		counts := sh.CausalWorkBalanced()
+		maxC, minC := counts[0], counts[0]
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+			if c < minC {
+				minC = c
+			}
+		}
+		balancedRatio = float64(maxC) / float64(minC)
+
+		chunk := seq / cpSize
+		var maxN, minN int64 = 0, 1 << 62
+		for r := 0; r < cpSize; r++ {
+			pos := make([]int, chunk)
+			for j := range pos {
+				pos[j] = r*chunk + j
+			}
+			n := attention.FastCausalPairs(pos)
+			if n > maxN {
+				maxN = n
+			}
+			if n < minN {
+				minN = n
+			}
+		}
+		contiguousRatio = float64(maxN) / float64(minN)
+	}
+	b.ReportMetric(balancedRatio, "maxmin-2xcp")
+	b.ReportMetric(contiguousRatio, "maxmin-contiguous")
+}
+
+// BenchmarkAblationRecompute times block forward+backward per recompute
+// mode — the compute cost of the memory the paper's co-design saves.
+func BenchmarkAblationRecompute(b *testing.B) {
+	cfg := model.Config{Vocab: 32, Dim: 64, Hidden: 128, NHeads: 8, NKVHeads: 4,
+		NLayers: 1, MaxSeq: 64, RopeBase: 10000}
+	env := model.SeqEnv(64, attention.Causal{})
+	for _, tc := range []struct {
+		name string
+		mode model.RecomputeMode
+	}{
+		{"none", model.RecomputeNone},
+		{"selective", model.RecomputeSelective},
+		{"full", model.RecomputeFull},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			blk := model.NewBlock("b", cfg, rng)
+			blk.Recompute = tc.mode
+			x := tensor.RandN(rng, 0.5, 64, 64)
+			dy := tensor.RandN(rng, 0.5, 64, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, ctx := blk.Forward(x, env)
+				_ = out
+				blk.Backward(ctx, dy)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCollectiveCost compares in-process collective cost across
+// group sizes — the synchronisation overhead behind the §5.2 ordering.
+func BenchmarkAblationCollectiveCost(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(string(rune('0'+n)), func(b *testing.B) {
+			w := comm.NewWorld(n)
+			ranks := make([]int, n)
+			for i := range ranks {
+				ranks[i] = i
+			}
+			g := w.NewGroup(ranks)
+			x := tensor.New(1 << 12)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				comm.RunSPMD(n, func(rank int) {
+					g.AllReduce(rank, x)
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,299 @@
+package llama4d_test
+
+// One benchmark per table/figure of the paper's evaluation section. Each
+// bench regenerates its experiment and reports the headline metric via
+// b.ReportMetric, so `go test -bench=. -benchmem` doubles as the
+// reproduction harness (EXPERIMENTS.md records the expected values).
+
+import (
+	"math/rand"
+	"testing"
+
+	"llama4d/internal/core"
+	"llama4d/internal/data"
+	"llama4d/internal/debug"
+	"llama4d/internal/fsdp"
+	"llama4d/internal/model"
+	"llama4d/internal/planner"
+	"llama4d/internal/pp"
+	"llama4d/internal/sim/cost"
+	"llama4d/internal/sim/engine"
+	"llama4d/internal/sim/memsim"
+	"llama4d/internal/vision"
+)
+
+// BenchmarkTable2Planner regenerates Table 2 via the §5.1 decision chain.
+func BenchmarkTable2Planner(b *testing.B) {
+	var tflops8k, tflops128k float64
+	for i := 0; i < b.N; i++ {
+		p8, err := planner.PaperPlan(planner.Production405B(8192))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p128, err := planner.PaperPlan(planner.Production405B(131072))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p8.TP != 8 || p8.CP != 1 || p8.PP != 16 || p8.DP != 128 {
+			b.Fatalf("8K plan deviates from Table 2: %v", p8)
+		}
+		if p128.TP != 8 || p128.CP != 16 || p128.PP != 16 || p128.DP != 8 {
+			b.Fatalf("131K plan deviates from Table 2: %v", p128)
+		}
+		tflops8k, tflops128k = p8.TFLOPsPerGPU, p128.TFLOPsPerGPU
+	}
+	b.ReportMetric(tflops8k, "TFLOPs/GPU@8K")
+	b.ReportMetric(tflops128k, "TFLOPs/GPU@128K")
+}
+
+// BenchmarkFig3P2POverlap measures the makespan gain of nc > pp warm-up.
+func BenchmarkFig3P2POverlap(b *testing.B) {
+	costs := pp.UniformCosts(1, 0.6)
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		base, err := pp.NewFlexible(4, 2, 12, 4).Simulate(costs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		extra, err := pp.NewFlexible(4, 2, 12, 6).Simulate(costs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = base.Makespan/extra.Makespan - 1
+	}
+	b.ReportMetric(100*gain, "%faster-with-extra-warmup")
+}
+
+// BenchmarkFig4GradMemory measures gradient-memory peaks per schedule/ZeRO.
+func BenchmarkFig4GradMemory(b *testing.B) {
+	unit := []float64{1, 1, 1, 1}
+	var z1, z2 float64
+	for i := 0; i < b.N; i++ {
+		s := pp.NewFlexible(4, 4, 8, 4)
+		tl, err := s.Simulate(pp.UniformCosts(1, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, z1 = memsim.GradMemoryTimeline(tl, 0, fsdp.ZeRO1, unit)
+		_, z2 = memsim.GradMemoryTimeline(tl, 0, fsdp.ZeRO2, unit)
+	}
+	b.ReportMetric(z1, "zero1-peak-buffers")
+	b.ReportMetric(z2, "zero2-peak-buffers")
+}
+
+// BenchmarkFig6EncoderSharding measures encoder share per option.
+func BenchmarkFig6EncoderSharding(b *testing.B) {
+	s := vision.Production672()
+	var opt2, opt3 float64
+	for i := 0; i < b.N; i++ {
+		opt2 = s.Evaluate(vision.Opt2EncoderFirst).EncoderShare
+		opt3 = s.Evaluate(vision.Opt3Replicated).EncoderShare
+	}
+	b.ReportMetric(100*opt2, "%encoder-share-opt2")
+	b.ReportMetric(100*opt3, "%encoder-share-opt3")
+}
+
+// BenchmarkFig8SlowRank measures slow-rank localisation.
+func BenchmarkFig8SlowRank(b *testing.B) {
+	topo := core.Topology{TP: 4, CP: 2, PP: 1, DP: 1}
+	tr := debug.SyntheticTrace(topo, 6, 1.0, 1.5, 3)
+	loc := &debug.Localizer{Topo: topo, T: tr}
+	for i := 0; i < b.N; i++ {
+		if got, _ := loc.FindSlowRank(); got != 6 {
+			b.Fatalf("localised %d", got)
+		}
+	}
+}
+
+// BenchmarkFig9Schedules regenerates the schedule comparison.
+func BenchmarkFig9Schedules(b *testing.B) {
+	cfg := model.Llama3_405B()
+	cfg.NLayers = 26
+	run := func(sched *pp.Schedule, nc int) (*engine.StepReport, float64) {
+		ts := engine.TrainSim{
+			Cost: cost.Default(), Model: cfg,
+			TP: 8, CP: 1, PP: 4, DP: 4, V: 2, NC: nc, NMB: 12, Seq: 8192,
+			Schedule: sched,
+		}
+		rep, err := ts.Simulate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mem := memsim.Config{
+			Model: cfg, TP: 8, CP: 1, DP: 4, Seq: 8192, MBS: 1,
+			ZeRO: fsdp.ZeRO1, Sched: sched,
+			LayerCounts: pp.StageLayerCounts(cfg.NLayers, sched.Stages(), false),
+		}
+		return rep, memsim.MaxTotalGiB(mem.PerRank())
+	}
+	var mem1f1b, memAll float64
+	for i := 0; i < b.N; i++ {
+		_, mem1f1b = run(pp.NewFlexible(4, 2, 12, 4), 4)
+		_, memAll = run(pp.NewAllFwdAllBwd(4, 2, 12), 12)
+		if mem1f1b >= memAll {
+			b.Fatal("memory ordering violated")
+		}
+	}
+	b.ReportMetric(mem1f1b, "GiB-1f1b")
+	b.ReportMetric(memAll, "GiB-allFallB")
+}
+
+// BenchmarkFig10Balance measures the balanced-PP speed-up and memory saving.
+func BenchmarkFig10Balance(b *testing.B) {
+	cfg := model.Llama3_405B()
+	sched := pp.NewFlexible(4, 1, 12, 4)
+	var save, speedup float64
+	for i := 0; i < b.N; i++ {
+		mem := func(layers int, balanced bool) float64 {
+			c := cfg
+			c.NLayers = layers
+			return memsim.MaxTotalGiB(memsim.Config{
+				Model: c, TP: 8, CP: 1, DP: 4, Seq: 8192, MBS: 1,
+				ZeRO: fsdp.ZeRO1, Sched: sched,
+				LayerCounts: pp.StageLayerCounts(layers, sched.Stages(), balanced),
+			}.PerRank())
+		}
+		save = mem(28, false) - mem(26, true)
+		step := func(layers int, balanced bool) float64 {
+			c := cfg
+			c.NLayers = layers
+			ts := engine.TrainSim{Cost: cost.Default(), Model: c,
+				TP: 8, CP: 1, PP: 4, DP: 4, V: 1, NC: 4, NMB: 12, Seq: 8192, Balanced: balanced}
+			rep, err := ts.Simulate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return rep.StepTime
+		}
+		speedup = step(28, false)/step(26, true) - 1
+	}
+	b.ReportMetric(save, "GiB-saved")
+	b.ReportMetric(100*speedup, "%speedup")
+}
+
+// BenchmarkFig11CPHFU sweeps relative HFU of CP attention.
+func BenchmarkFig11CPHFU(b *testing.B) {
+	m := cost.Default()
+	var at128k float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range engine.Fig11(m) {
+			if r.Seq == 131072 && r.CP == 2 && !r.DocMask {
+				at128k = r.RelativeHFU
+			}
+		}
+	}
+	b.ReportMetric(100*at128k, "%relHFU-cp2-128K")
+}
+
+// BenchmarkFig12AGBandwidth sweeps achieved all-gather bandwidth.
+func BenchmarkFig12AGBandwidth(b *testing.B) {
+	m := cost.Default()
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range engine.Fig12(m) {
+			if r.Seq == 131072 && r.CP == 2 && !r.DocMask {
+				bw = r.AGBandwidth
+			}
+		}
+	}
+	b.ReportMetric(bw, "GB/s-128K")
+}
+
+// BenchmarkFig13CPvsRing measures the all-gather advantage over ring.
+func BenchmarkFig13CPvsRing(b *testing.B) {
+	m := cost.Default()
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		var ag, ring float64
+		for _, r := range engine.Fig13(m) {
+			if r.Seq == 8192 && r.CP == 4 {
+				if r.Method == "ring" {
+					ring = r.RelativeHFU
+				} else {
+					ag = r.RelativeHFU
+				}
+			}
+		}
+		adv = ag - ring
+	}
+	b.ReportMetric(100*adv, "pts-advantage-cp4-8K")
+}
+
+// BenchmarkFig14Imbalance measures document-mask workload imbalance.
+func BenchmarkFig14Imbalance(b *testing.B) {
+	m := cost.Default()
+	var rep engine.ImbalanceReport
+	for i := 0; i < b.N; i++ {
+		rep = engine.DocMaskImbalance(m, model.Llama3_405B(), 8, 131072, 16, 4096, 16, 4, 3)
+	}
+	b.ReportMetric(rep.SlowFastRatio, "slow/fast")
+	b.ReportMetric(100*rep.CPExposedFrac, "%cp-exposed")
+	b.ReportMetric(100*rep.WaitFracOfExposed, "%exposed-is-waiting")
+}
+
+// BenchmarkE2E3D simulates the 8K-sequence production step (§7.3.1).
+func BenchmarkE2E3D(b *testing.B) {
+	ts := engine.Production8K()
+	var tflops float64
+	for i := 0; i < b.N; i++ {
+		rep, err := ts.Simulate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tflops = rep.TFLOPsPerGPU
+	}
+	b.ReportMetric(tflops, "TFLOPs/GPU")
+}
+
+// BenchmarkE2E4D simulates the 131K-sequence production step (§7.3.2).
+func BenchmarkE2E4D(b *testing.B) {
+	ts := engine.Production128K()
+	var tflops float64
+	for i := 0; i < b.N; i++ {
+		rep, err := ts.Simulate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tflops = rep.TFLOPsPerGPU
+	}
+	b.ReportMetric(tflops, "TFLOPs/GPU")
+}
+
+// BenchmarkNumerics runs the §6.2 accumulation study.
+func BenchmarkNumerics(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float32, 1<<15)
+	for i := range values {
+		v := rng.NormFloat64() * 1e-2
+		if v < 0 {
+			v = -v
+		}
+		values[i] = float32(v)
+	}
+	var study debug.AccumulationStudy
+	for i := 0; i < b.N; i++ {
+		study = debug.RunAccumulationStudy(values, []int{2, 8, 64})
+	}
+	b.ReportMetric(study.BF16Err/study.FP32Err, "bf16/fp32-error-ratio")
+}
+
+// BenchmarkFunctional4DStep runs a real 16-goroutine-rank 4D training step —
+// the functional layer's flagship path.
+func BenchmarkFunctional4DStep(b *testing.B) {
+	cfg := core.Config{
+		Model: model.Config{Vocab: 32, Dim: 16, Hidden: 32, NHeads: 4, NKVHeads: 2,
+			NLayers: 2, MaxSeq: 16, RopeBase: 10000},
+		Topo: core.Topology{TP: 2, CP: 2, PP: 2, DP: 2},
+		V:    1, NMB: 2, NC: 2,
+		ZeRO: fsdp.ZeRO1, Seq: 16, GBS: 4, LR: 1e-3, UseDocMask: true, Seed: 99,
+	}
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := &data.Generator{Vocab: cfg.Model.Vocab, Seq: cfg.Seq, AvgDocLen: 6, Seed: 31}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Step(gen, int64(i))
+	}
+}

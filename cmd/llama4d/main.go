@@ -1,0 +1,529 @@
+// Command llama4d regenerates every table and figure of the paper's
+// evaluation from this repository's functional and performance layers.
+//
+// Usage:
+//
+//	llama4d <experiment>
+//
+// where <experiment> is one of: table2, fig2, fig3, fig4, fig6, fig8, fig9,
+// fig10, fig11, fig12, fig13, fig14, e2e, numerics, train, losscurve, hw,
+// or all.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"llama4d/internal/core"
+	"llama4d/internal/data"
+	"llama4d/internal/debug"
+	"llama4d/internal/fsdp"
+	"llama4d/internal/model"
+	"llama4d/internal/optim"
+	"llama4d/internal/planner"
+	"llama4d/internal/pp"
+	"llama4d/internal/sim/cluster"
+	"llama4d/internal/sim/cost"
+	"llama4d/internal/sim/engine"
+	"llama4d/internal/sim/memsim"
+	"llama4d/internal/vision"
+)
+
+var experiments = map[string]func(){
+	"table2":    table2,
+	"fig3":      fig3,
+	"fig4":      fig4,
+	"fig6":      fig6,
+	"fig8":      fig8,
+	"fig9":      fig9,
+	"fig10":     fig10,
+	"fig11":     fig11,
+	"fig12":     fig12,
+	"fig13":     fig13,
+	"fig14":     fig14,
+	"e2e":       e2e,
+	"numerics":  numerics,
+	"train":     train,
+	"hw":        hw,
+	"fig2":      fig2,
+	"losscurve": losscurve,
+}
+
+var order = []string{"table2", "fig2", "fig3", "fig4", "fig6", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "e2e", "numerics", "train", "losscurve", "hw"}
+
+func main() {
+	if len(os.Args) != 2 {
+		usage()
+	}
+	name := os.Args[1]
+	if name == "all" {
+		for _, n := range order {
+			fmt.Printf("######## %s ########\n", n)
+			experiments[n]()
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := experiments[name]
+	if !ok {
+		usage()
+	}
+	fn()
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: llama4d <experiment>")
+	fmt.Fprintln(os.Stderr, "experiments: all", order)
+	os.Exit(2)
+}
+
+// table2 reproduces the parallelism-dimension table via the §5 planner.
+func table2() {
+	fmt.Println("Table 2: 4D parallelism for 405B on 16K GPUs, 16M-token batches")
+	fmt.Printf("%-10s %-12s | %-3s %-3s %-3s %-4s | %s\n",
+		"ctx len", "global batch", "TP", "CP", "PP", "DP", "predicted")
+	for _, seq := range []int{8192, 131072} {
+		req := planner.Production405B(seq)
+		p, err := planner.PaperPlan(req)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Printf("%-10d %-12d | %-3d %-3d %-3d %-4d | %.0f TFLOPs/GPU, %.1f GiB\n",
+			seq, req.GBSSamples(), p.TP, p.CP, p.PP, p.DP, p.TFLOPsPerGPU, p.PeakMemGiB)
+	}
+	fmt.Println("(paper: 8K → tp8 cp1 pp16 dp128; 131K → tp8 cp16 pp16 dp8)")
+}
+
+// fig2 renders the paper's example schedule: 3 PP ranks, 2 virtual stages,
+// 6 micro-batches in rounds of nc=3.
+func fig2() {
+	fmt.Println("Fig 2: interleaved 1F1B schedule (pp=3, v=2, nmb=6, nc=3)")
+	s := pp.NewFlexible(3, 2, 6, 3)
+	out, err := s.Render()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(out)
+	fmt.Println("warm-up micro-batches per rank:",
+		pp.Warmup(3, 2, 6, 3, 0), pp.Warmup(3, 2, 6, 3, 1), pp.Warmup(3, 2, 6, 3, 2),
+		"(paper's Fig 2: 7, 5, 3)")
+}
+
+// fig3 shows how extra warm-up micro-batches hide exposed P2P.
+func fig3() {
+	fmt.Println("Fig 3: exposed P2P bubbles vs extra warm-up micro-batches")
+	ppSize, v, nmb := 4, 2, 12
+	costs := pp.UniformCosts(1, 0.6)
+	fmt.Printf("%-18s %-9s %-8s %-14s\n", "schedule", "makespan", "bubble", "peak in-flight")
+	for _, nc := range []int{ppSize, ppSize + 1, ppSize + 2} {
+		s := pp.NewFlexible(ppSize, v, nmb, nc)
+		tl, err := s.Simulate(costs)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("nc=%-15d %-9.1f %-8.3f %-14d\n", nc, tl.Makespan, tl.BubbleRatio(), s.MaxPeakInFlight())
+	}
+	fmt.Println("(paper: extra micro-batches shrink the P2P bubble at the cost of memory)")
+}
+
+// fig4 prints gradient-memory staircases for schedule × ZeRO combinations.
+func fig4() {
+	fmt.Println("Fig 4: gradient memory lifetime by PP schedule and ZeRO mode")
+	ppSize, v, nmb := 4, 4, 8
+	unit := make([]float64, v)
+	for i := range unit {
+		unit[i] = 1
+	}
+	cases := []struct {
+		name  string
+		sched *pp.Schedule
+		mode  fsdp.Mode
+	}{
+		{"(a) 1F1B + ZeRO-1", pp.NewFlexible(ppSize, v, nmb, ppSize), fsdp.ZeRO1},
+		{"(b) allFallB + ZeRO-2", pp.NewAllFwdAllBwd(ppSize, v, nmb), fsdp.ZeRO2},
+		{"(c) 1F1B + ZeRO-2", pp.NewFlexible(ppSize, v, nmb, ppSize), fsdp.ZeRO2},
+	}
+	for _, c := range cases {
+		tl, err := c.sched.Simulate(pp.UniformCosts(1, 0))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		events, peak := memsim.GradMemoryTimeline(tl, 0, c.mode, unit)
+		fmt.Printf("%-22s peak=%.0f buffers, %d reduce points\n", c.name, peak, len(events))
+	}
+	fmt.Println("(paper: ZeRO-2 reshards per round; ZeRO-1 holds buffers to step end)")
+}
+
+// fig6 evaluates the three encoder-sharding options.
+func fig6() {
+	fmt.Println("Fig 6: multimodal encoder sharding options (672px encoder)")
+	s := vision.Production672()
+	fmt.Printf("%-20s %-10s %-10s %-10s %s\n", "option", "enc (ms)", "text (ms)", "comm (ms)", "encoder share")
+	for _, opt := range []vision.ShardingOption{vision.Opt1WholePP, vision.Opt2EncoderFirst, vision.Opt3Replicated} {
+		r := s.Evaluate(opt)
+		fmt.Printf("%-20s %-10.1f %-10.1f %-10.2f %.1f%%\n",
+			r.Option, r.EncoderTime*1e3, r.TextTime*1e3, r.CommTime*1e3, 100*r.EncoderShare)
+	}
+	fmt.Println("(paper: Option 2 hit 33% encoder share at 672px; Option 3 cut it to 8%)")
+	s1, n1, s2, n2 := s.StageBalance()
+	fmt.Printf("stage wrapping: option1 %d stages spread %.2f | option2 %d stages spread %.2f\n", n1, s1, n2, s2)
+}
+
+// fig8 demonstrates top-down slow-rank localisation.
+func fig8() {
+	fmt.Println("Fig 8 / §6.1: top-down slow-rank localisation (cp=2, tp=4)")
+	topo := core.Topology{TP: 4, CP: 2, PP: 1, DP: 1}
+	slow := 6
+	tr := debug.SyntheticTrace(topo, slow, 1.0, 1.5, 3)
+	loc := &debug.Localizer{Topo: topo, T: tr}
+	got, path := loc.FindSlowRank()
+	fmt.Printf("injected slow rank: %d\n", slow)
+	fmt.Print(debug.Report(got, path))
+	for r := 0; r < topo.World(); r++ {
+		fmt.Println(tr.ASCIITimeline(r, 60))
+	}
+}
+
+// fig9Sim builds the scaled-down 26-layer Fig 9 scenario.
+func fig9Sim(sched string) (engine.TrainSim, *pp.Schedule) {
+	cfg := model.Llama3_405B()
+	cfg.NLayers = 26
+	ts := engine.TrainSim{
+		Cost: cost.Default(), Model: cfg,
+		TP: 8, CP: 1, PP: 4, DP: 4,
+		V: 2, NMB: 12, Seq: 8192, Balanced: false,
+	}
+	var s *pp.Schedule
+	switch sched {
+	case "allFallB":
+		ts.NC = 12
+		s = pp.NewAllFwdAllBwd(4, 2, 12)
+	case "1F1B":
+		ts.NC = 4
+		s = pp.NewFlexible(4, 2, 12, 4)
+	case "flexible":
+		ts.NC = 6
+		s = pp.NewFlexible(4, 2, 12, 6)
+	}
+	ts.Schedule = s
+	return ts, s
+}
+
+// fig9 compares throughput and memory across the three schedules.
+func fig9() {
+	fmt.Println("Fig 9: all-forward-all-backward vs 1F1B vs flexible PP (26-layer 405B-width, pp=4, bs=12)")
+	fmt.Printf("%-10s %-14s %-10s %-12s\n", "schedule", "TFLOPs/GPU", "bubble", "max mem GiB")
+	for _, name := range []string{"allFallB", "1F1B", "flexible"} {
+		ts, sched := fig9Sim(name)
+		rep, err := ts.Simulate()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		mem := memsim.Config{
+			Model: ts.Model, TP: ts.TP, CP: 1, DP: ts.DP, Seq: ts.Seq, MBS: 1,
+			ZeRO: fsdp.ZeRO1, Sched: sched,
+			LayerCounts: pp.StageLayerCounts(ts.Model.NLayers, sched.Stages(), false),
+		}
+		fmt.Printf("%-10s %-14.0f %-10.3f %-12.1f\n",
+			name, rep.TFLOPsPerGPU, rep.BubbleRatio, memsim.MaxTotalGiB(mem.PerRank()))
+	}
+	fmt.Println("(paper: memory ordering 1F1B < flexible < allFallB — reproduced.")
+	fmt.Println(" paper's TFLOPs spread was tiny (397/400/404) and driven by synchronous-P2P")
+	fmt.Println(" exposure; our async-P2P idealisation favours 1F1B instead — see EXPERIMENTS.md)")
+}
+
+// fig10 shows balanced-PP memory and throughput effects.
+func fig10() {
+	fmt.Println("Fig 10: balanced pipeline parallelism (remove one layer from first/last stage)")
+	cfg := model.Llama3_405B()
+	ppSize := 4
+	sched := pp.NewFlexible(ppSize, 1, 12, ppSize)
+	mem := func(layers int, balanced bool) []memsim.RankMemory {
+		return memsim.Config{
+			Model: func() model.Config { c := cfg; c.NLayers = layers; return c }(),
+			TP:    8, CP: 1, DP: 4, Seq: 8192, MBS: 1,
+			ZeRO: fsdp.ZeRO1, Sched: sched,
+			LayerCounts: pp.StageLayerCounts(layers, sched.Stages(), balanced),
+		}.PerRank()
+	}
+	fmt.Println("per-rank peak memory (GiB):")
+	unbal, bal := mem(28, false), mem(26, true)
+	for r := 0; r < ppSize; r++ {
+		fmt.Printf("  rank %d: no-balance %.1f | balance %.1f\n", r, unbal[r].TotalGiB(), bal[r].TotalGiB())
+	}
+	fmt.Printf("max: no-balance %.1f GiB, balance %.1f GiB (paper: ≈5 GB saved)\n",
+		memsim.MaxTotalGiB(unbal), memsim.MaxTotalGiB(bal))
+
+	sim := func(layers int, balanced, recompute bool) float64 {
+		ts := engine.TrainSim{
+			Cost:  cost.Default(),
+			Model: func() model.Config { c := cfg; c.NLayers = layers; return c }(),
+			TP:    8, CP: 1, PP: ppSize, DP: 4,
+			V: 1, NC: ppSize, NMB: 12, Seq: 8192,
+			Balanced: balanced, Recompute: recompute,
+		}
+		rep, err := ts.Simulate()
+		if err != nil {
+			panic(err)
+		}
+		return rep.TFLOPsPerGPU
+	}
+	simTime := func(layers int, balanced, recompute bool) float64 {
+		ts := engine.TrainSim{
+			Cost:  cost.Default(),
+			Model: func() model.Config { c := cfg; c.NLayers = layers; return c }(),
+			TP:    8, CP: 1, PP: ppSize, DP: 4,
+			V: 1, NC: ppSize, NMB: 12, Seq: 8192,
+			Balanced: balanced, Recompute: recompute,
+		}
+		rep, err := ts.Simulate()
+		if err != nil {
+			panic(err)
+		}
+		return rep.StepTime
+	}
+	a := sim(28, false, true)
+	b := sim(28, false, false)
+	c := sim(26, true, false)
+	fmt.Printf("TFLOPs/GPU: no-balance+recompute %.0f | no-balance %.0f | balance %.0f\n", a, b, c)
+	// The paper's +6.5% is a throughput (step time) gain: the 126-layer
+	// balanced placement removes the heavy last stage from the critical path.
+	speedup := simTime(28, false, false)/simTime(26, true, false) - 1
+	recoup := simTime(28, false, true)/simTime(26, true, false) - 1
+	fmt.Printf("step-time speedup: balance vs no-balance %+.1f%%; vs no-balance+recompute %+.1f%% (paper: +6.5%%, +17.5%%)\n",
+		100*speedup, 100*recoup)
+}
+
+// fig11 sweeps relative HFU of CP attention.
+func fig11() {
+	fmt.Println("Fig 11: relative HFU of all-gather CP attention (H100 HBM2e)")
+	fmt.Printf("%-8s %-4s %-14s %-10s\n", "seq", "cp", "mask", "rel HFU")
+	for _, r := range engine.Fig11(cost.Default()) {
+		mask := "causal"
+		if r.DocMask {
+			mask = "block-causal"
+		}
+		fmt.Printf("%-8d %-4d %-14s %.1f%%\n", r.Seq, r.CP, mask, 100*r.RelativeHFU)
+	}
+	fmt.Println("(paper: up to 95% at 128K; block-causal lower due to imbalance)")
+}
+
+// fig12 sweeps achieved all-gather bandwidth.
+func fig12() {
+	fmt.Println("Fig 12: achieved CP all-gather bandwidth (GB/s)")
+	fmt.Printf("%-8s %-4s %-14s %-10s\n", "seq", "cp", "mask", "AG GB/s")
+	for _, r := range engine.Fig12(cost.Default()) {
+		mask := "causal"
+		if r.DocMask {
+			mask = "block-causal"
+		}
+		fmt.Printf("%-8d %-4d %-14s %.0f\n", r.Seq, r.CP, mask, r.AGBandwidth)
+	}
+	fmt.Println("(paper: bandwidth grows with message size; masks don't change it)")
+}
+
+// fig13 compares all-gather CP attention with ring (TE-style) attention.
+func fig13() {
+	fmt.Println("Fig 13: all-gather CP attention vs ring (TE) attention, causal, H100 HBM3")
+	results := engine.Fig13(cost.Default())
+	fmt.Printf("%-8s %-4s %-12s %-12s %s\n", "seq", "cp", "CP attn", "TE attn", "advantage")
+	for _, seq := range engine.SweepSeqs {
+		for _, cpSize := range []int{2, 4} {
+			var ag, ring float64
+			for _, r := range results {
+				if r.Seq == seq && r.CP == cpSize {
+					if r.Method == "ring" {
+						ring = r.RelativeHFU
+					} else {
+						ag = r.RelativeHFU
+					}
+				}
+			}
+			fmt.Printf("%-8d %-4d %-12.1f %-12.1f %+.1f pts\n", seq, cpSize, 100*ag, 100*ring, 100*(ag-ring))
+		}
+	}
+	fmt.Println("(paper: CP attn up to 13.5% better at cp=4 / short seq; both >95% beyond 64K)")
+}
+
+// fig14 analyses document-mask workload imbalance.
+func fig14() {
+	fmt.Println("Fig 14 / §7.3.2: document-mask workload imbalance at 128K, cp=16")
+	rep := engine.DocMaskImbalance(cost.Default(), model.Llama3_405B(), 8, 131072, 16, 4096, 32, 4, 3)
+	n := len(rep.ComputeTimes)
+	quant := func(xs []float64, q float64) float64 { return xs[int(q*float64(n-1))] }
+	fmt.Printf("per-GPU total compute time distribution (normalised to max):\n")
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		fmt.Printf("  p%-3.0f %.3f\n", q*100, quant(rep.ComputeTimes, q)/rep.ComputeTimes[n-1])
+	}
+	fmt.Printf("slowest/fastest compute: %.2fx (paper: 1.44x)\n", rep.SlowFastRatio)
+	fmt.Printf("slowest/fastest attention: %.2fx (imbalance is attention-driven)\n", rep.AttnSlowFastRatio)
+	fmt.Printf("CP exposed latency: %.2f%% of elapsed (paper: 7.64%%)\n", 100*rep.CPExposedFrac)
+	fmt.Printf("  of which waiting for slowest rank: %.1f%% (paper: 65.75%%)\n", 100*rep.WaitFracOfExposed)
+	fmt.Printf("perfect-overlap upper bound: %.2f%% e2e (paper: 2.62%%)\n", 100*rep.OverlapUpperBound)
+}
+
+// e2e reports the §7.3 headline numbers.
+func e2e() {
+	fmt.Println("§7.3: end-to-end production throughput (simulated 16K H100s)")
+	for _, tc := range []struct {
+		name string
+		ts   engine.TrainSim
+	}{
+		{"8K seq, 3D (bs=pp)", engine.Production8K()},
+		{"131K seq, 4D (cp=16)", engine.Production128K()},
+	} {
+		rep, err := tc.ts.Simulate()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%-22s %.0f TFLOPs/GPU, bubble %.1f%%, step %.2fs\n",
+			tc.name, rep.TFLOPsPerGPU, 100*rep.BubbleRatio, rep.StepTime)
+	}
+	double := engine.Production8K()
+	double.NMB, double.DP = 32, 64
+	rep, _ := double.Simulate()
+	fmt.Printf("%-22s bubble %.1f%% (paper: 5%% at bs=2pp, 12%% at bs=pp)\n", "8K seq, bs=2pp", 100*rep.BubbleRatio)
+	fmt.Println("(paper: 400 TFLOPs/GPU at 8K, 380 at 131K)")
+}
+
+// numerics demonstrates the §6.2 methodology.
+func numerics() {
+	fmt.Println("§6.2: numerical debugging methodology")
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float32, 1<<15)
+	for i := range values {
+		v := rng.NormFloat64() * 1e-2
+		if v < 0 {
+			v = -v
+		}
+		values[i] = float32(v)
+	}
+	study := debug.RunAccumulationStudy(values, []int{2, 8, 64, 512})
+	fmt.Printf("summing %d gradient-like terms:\n", study.N)
+	fmt.Printf("  FP32 accumulation error: %.2e\n", study.FP32Err)
+	fmt.Printf("  BF16 accumulation error: %.2e  (%.0fx worse — why gradients accumulate in FP32)\n",
+		study.BF16Err, study.BF16Err/study.FP32Err)
+	var ks []int
+	for k := range study.ChunkErrs {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		fmt.Printf("  FP32 %4d-way chunked error: %.2e\n", k, study.ChunkErrs[k])
+	}
+	fmt.Printf("  max gap between chunk orders: %.2e (numerics, not a bug)\n", study.OrderGap)
+
+	cfg := model.TinyConfig()
+	m := model.New(cfg, rand.New(rand.NewSource(3)))
+	env := model.SeqEnv(16, nil)
+	_ = env
+	gen := &data.Generator{Vocab: cfg.Vocab, Seq: 16, AvgDocLen: 6, Seed: 4}
+	var batches [][2][]int
+	for i := int64(0); i < 8; i++ {
+		s := gen.Sample(i)
+		batches = append(batches, [2][]int{s.Tokens, s.Targets})
+	}
+	sens := debug.CriticalBuffers(m, batches, data.Env(gen.Sample(0)))
+	fmt.Println("critical gradient buffers (BF16-accumulation sensitivity, top 5):")
+	for i := 0; i < 5 && i < len(sens); i++ {
+		fmt.Printf("  %-20s rel err %.2e\n", sens[i].Name, sens[i].RelErr)
+	}
+}
+
+// losscurve trains a tiny model under 4D parallelism with a warm-up+cosine
+// schedule and prints a CSV of train/eval losses — the loss-trajectory
+// artefact of a real run, in miniature.
+func losscurve() {
+	cfg := core.Config{
+		Model: model.Config{Vocab: 64, Dim: 32, Hidden: 64, NHeads: 4, NKVHeads: 2,
+			NLayers: 4, MaxSeq: 32, RopeBase: 10000},
+		Topo: core.Topology{TP: 2, CP: 1, PP: 2, DP: 2},
+		V:    2, NMB: 2, NC: 2,
+		ZeRO: fsdp.ZeRO1, Seq: 32, GBS: 4, LR: 5e-3,
+		LRSchedule: optim.WarmupCosine(5e-3, 5e-4, 5, 40),
+		UseDocMask: true, Seed: 21,
+	}
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	train := &data.Generator{Vocab: cfg.Model.Vocab, Seq: cfg.Seq, AvgDocLen: 8, Seed: 22}
+	valid := &data.Generator{Vocab: cfg.Model.Vocab, Seq: cfg.Seq, AvgDocLen: 8, Seed: 23}
+	fmt.Println("step,lr,train_loss,eval_loss")
+	for step := int64(0); step < 30; step++ {
+		trainLoss := cl.Step(train, step)
+		evalLoss := cl.EvalLoss(valid, 0)
+		fmt.Printf("%d,%.5f,%.4f,%.4f\n", step, cl.Ranks[0].Opt.LR, trainLoss, evalLoss)
+	}
+}
+
+// hw regenerates the §8 hardware-recommendation studies.
+func hw() {
+	fmt.Println("§8: hardware recommendations as experiments")
+
+	fmt.Println("\n§8.1 HBM capacity (2048 GPUs): tp=4 beats tp=8 if it fits")
+	for _, p := range planner.TPCapacityStudy(2048) {
+		fmt.Printf("  tp=%d: %.0f TFLOPs/GPU, needs %.1f GiB\n", p.TP, p.TFLOPsPerGPU, p.PeakMemGiB)
+	}
+	fmt.Println("  (paper: ≈10%% end-to-end gain from tp 8→4 when memory allows)")
+
+	fmt.Println("\n§8.1 deterministic DVFS: transient per-rank slowdowns compound with scale")
+	for _, j := range engine.JitterStudy([]int{16, 256, 2048, 16384}, 1e-4, 1.3, 2000, 1) {
+		fmt.Printf("  %6d GPUs: expected step inflation %.3fx\n", j.World, j.Slowdown)
+	}
+
+	fmt.Println("\n§8.2 network hierarchy: throughput vs inter-node bandwidth (diminishing)")
+	for _, n := range engine.NetworkSweep([]float64{12.5, 25, 50, 100, 200}) {
+		fmt.Printf("  %5.1f GB/s/GPU: %.0f TFLOPs/GPU\n", n.RoCEGBs, n.TFLOPsPerGPU)
+	}
+
+	fmt.Println("\n§8.1 CPU performance: throughput vs per-kernel host overhead")
+	for _, c := range engine.CPUOverheadStudy([]float64{2, 6, 20, 60}) {
+		fmt.Printf("  %4.0f µs/launch: %.0f TFLOPs/GPU\n", c.LaunchUs, c.TFLOPsPerGPU)
+	}
+
+	fmt.Println("\n§1/§5 capability computing: fixed 16M-token batch vs cluster size")
+	for _, p := range engine.ScalingStudy([]int{2048, 4096, 8192, 16384}) {
+		fmt.Printf("  %6d GPUs: %.0f TFLOPs/GPU (bubble %.1f%%), cluster %.0f PFLOPs/s\n",
+			p.NGPUs, p.TFLOPsPerGPU, 100*p.BubbleRatio, p.ClusterPF)
+	}
+
+	fmt.Println("\n§8.2 power efficiency (perf/W on the production step):")
+	fmt.Printf("  H100 (989 TF @ 700 W):        %.3f TFLOPs/W\n", engine.PerfPerWatt(cluster.H100()))
+	fmt.Printf("  hypothetical 700 TF @ 500 W:  %.3f TFLOPs/W (wins in a power-capped DC)\n",
+		engine.PerfPerWatt(engine.FutureGPU(700, 3350, 500)))
+}
+
+// train runs a real (tiny) 4D-parallel training job on goroutine ranks.
+func train() {
+	fmt.Println("functional demo: 4D-parallel training (tp=2 cp=2 pp=2 dp=2, 16 ranks)")
+	cfg := core.Config{
+		Model: model.Config{Vocab: 64, Dim: 32, Hidden: 64, NHeads: 4, NKVHeads: 2,
+			NLayers: 4, MaxSeq: 32, RopeBase: 10000},
+		Topo: core.Topology{TP: 2, CP: 2, PP: 2, DP: 2},
+		V:    1, NMB: 2, NC: 2,
+		ZeRO: fsdp.ZeRO1, Seq: 32, GBS: 4, LR: 2e-3,
+		UseDocMask: true, Seed: 11,
+	}
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	gen := &data.Generator{Vocab: cfg.Model.Vocab, Seq: cfg.Seq, AvgDocLen: 8, Seed: 5}
+	for step := int64(0); step < 5; step++ {
+		loss := cl.Step(gen, 0) // repeat one batch to show the loss move
+		fmt.Printf("  step %d: loss %.4f\n", step, loss)
+	}
+	fmt.Println("(document-mask attention, FSDP ZeRO-1, flexible PP, all-gather CP, TP=2)")
+}

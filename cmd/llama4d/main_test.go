@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment end to end — the CLI's
+// regression net. Output goes to a pipe so the test log stays readable.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	for _, name := range order {
+		fn := experiments[name]
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("experiment %s panicked: %v", name, p)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestOrderCoversAllExperiments(t *testing.T) {
+	if len(order) != len(experiments) {
+		t.Fatalf("order lists %d experiments, map has %d", len(order), len(experiments))
+	}
+	for _, n := range order {
+		if _, ok := experiments[n]; !ok {
+			t.Fatalf("order entry %q missing from experiments", n)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command planner searches 4D parallelism configurations for a training job
+// and prints the ranked feasible plans (§5 / Table 2 as a tool).
+//
+// Usage:
+//
+//	planner [-seq N] [-ngpu N] [-tokens N] [-model 405b|70b|8b] [-top K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llama4d/internal/model"
+	"llama4d/internal/planner"
+)
+
+func main() {
+	seq := flag.Int("seq", 8192, "sequence length")
+	ngpu := flag.Int("ngpu", 16384, "cluster size in GPUs")
+	tokens := flag.Int64("tokens", 16*1024*1024, "global batch size in tokens")
+	modelName := flag.String("model", "405b", "model size: 405b, 70b, 8b")
+	top := flag.Int("top", 10, "show the top K plans")
+	flag.Parse()
+
+	req := planner.Production405B(*seq)
+	req.NGPUs = *ngpu
+	req.GlobalTokens = *tokens
+	switch *modelName {
+	case "405b":
+		req.Model = model.Llama3_405B()
+	case "70b":
+		req.Model = model.Llama3_70B()
+	case "8b":
+		req.Model = model.Llama3_8B()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+
+	if p, err := planner.PaperPlan(req); err == nil {
+		fmt.Println("paper-style plan (§5.1 decision chain):")
+		fmt.Println(" ", p)
+	} else {
+		fmt.Println("paper-style plan: infeasible:", err)
+	}
+
+	plans := planner.Search(req)
+	if len(plans) == 0 {
+		fmt.Println("no feasible configuration")
+		os.Exit(1)
+	}
+	fmt.Printf("top %d of %d feasible plans by simulated throughput:\n", min(*top, len(plans)), len(plans))
+	for i, p := range plans {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %2d. %v\n", i+1, p)
+	}
+}

@@ -1,0 +1,87 @@
+// Command traceview renders a simulated pipeline-parallel timeline as an
+// ASCII strip chart and optionally exports it as Chrome trace JSON for
+// about://tracing — the visual half of the §6.1 debugging workflow.
+//
+// Usage:
+//
+//	traceview [-pp N] [-v N] [-nmb N] [-nc N] [-sched 1f1b|allfallb|flexible]
+//	          [-p2p F] [-json FILE] [-slow RANK] [-slowdown F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llama4d/internal/pp"
+)
+
+func main() {
+	ppSize := flag.Int("pp", 4, "pipeline size")
+	v := flag.Int("v", 2, "virtual stages per rank")
+	nmb := flag.Int("nmb", 8, "micro-batches per virtual stage")
+	nc := flag.Int("nc", 4, "consecutive micro-batches per round")
+	schedName := flag.String("sched", "1f1b", "schedule: 1f1b, allfallb, flexible")
+	p2p := flag.Float64("p2p", 0.2, "P2P latency relative to one forward")
+	jsonPath := flag.String("json", "", "write Chrome trace JSON to this file")
+	slow := flag.Int("slow", -1, "inject a slow rank")
+	slowdown := flag.Float64("slowdown", 1.5, "slow-rank compute multiplier")
+	flag.Parse()
+
+	var sched *pp.Schedule
+	switch *schedName {
+	case "1f1b":
+		sched = pp.NewFlexible(*ppSize, *v, *nmb, *ppSize)
+	case "allfallb":
+		sched = pp.NewAllFwdAllBwd(*ppSize, *v, *nmb)
+	case "flexible":
+		sched = pp.NewFlexible(*ppSize, *v, *nmb, *nc)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown schedule %q\n", *schedName)
+		os.Exit(2)
+	}
+
+	costs := pp.UniformCosts(1, *p2p)
+	if *slow >= 0 {
+		base := costs
+		costs.Fwd = func(g int) float64 {
+			if g%*ppSize == *slow {
+				return base.Fwd(g) * *slowdown
+			}
+			return base.Fwd(g)
+		}
+		costs.Bwd = func(g int) float64 {
+			if g%*ppSize == *slow {
+				return base.Bwd(g) * *slowdown
+			}
+			return base.Bwd(g)
+		}
+	}
+	tl, err := sched.Simulate(costs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+
+	tr := tl.ToTrace()
+
+	fmt.Printf("%s: pp=%d v=%d nmb=%d nc=%d  makespan=%.1f bubble=%.1f%%\n",
+		sched.Name, sched.PP, sched.V, sched.NMB, sched.NC, tl.Makespan, 100*tl.BubbleRatio())
+	for r := 0; r < sched.PP; r++ {
+		fmt.Println(tr.ASCIITimeline(r, 100))
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tr.WriteChromeJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+}

@@ -1,0 +1,8 @@
+// Package llama4d reproduces "Scaling Llama 3 Training with Efficient
+// Parallelism Strategies" (ISCA 2025): the 4D-parallel (FSDP × TP × CP ×
+// PP) training system, its flexible pipeline schedules, all-gather context
+// parallelism with document masks, the scale-debugging methodology, and a
+// discrete-event performance model that regenerates every table and figure
+// of the paper's evaluation. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package llama4d

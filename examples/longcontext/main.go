@@ -1,0 +1,65 @@
+// Longcontext: the paper's §4 in action — all-gather context parallelism
+// with document-mask attention. Trains with the full 4D stack (FSDP × TP ×
+// CP × PP), shows the 2×cp load-balanced sharding, and contrasts the
+// causal-balanced split with the document-mask workload imbalance that
+// drives Fig 14.
+package main
+
+import (
+	"fmt"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/core"
+	"llama4d/internal/cp"
+	"llama4d/internal/data"
+	"llama4d/internal/fsdp"
+	"llama4d/internal/model"
+)
+
+func main() {
+	seq := 64
+	cpSize := 4
+	sh := cp.NewSharding(seq, cpSize)
+
+	fmt.Printf("2×cp sharding of a %d-token sequence over cp=%d:\n", seq, cpSize)
+	for r := 0; r < cpSize; r++ {
+		a, b := sh.Chunks(r)
+		fmt.Printf("  rank %d owns chunks %d and %d\n", r, a, b)
+	}
+	fmt.Println("causal attention pairs per rank (balanced by construction):",
+		sh.CausalWorkBalanced())
+
+	// Document masks break that balance (Fig 14's root cause).
+	gen := &data.Generator{Vocab: 128, Seq: seq, AvgDocLen: 12, Seed: 3, LongDocFrac: 0.2}
+	sample := gen.Sample(0)
+	ds := attention.DocStarts(sample.DocIDs)
+	fmt.Print("document-mask pairs per rank: ")
+	for r := 0; r < cpSize; r++ {
+		fmt.Printf("%d ", attention.FastAllowedPairs(sh.LocalPositions(r), ds))
+	}
+	fmt.Println("(imbalanced: boundaries don't align with the static sharding)")
+
+	// Full 4D training with CP enabled.
+	cfg := core.Config{
+		Model: model.Config{
+			Vocab: 128, Dim: 32, Hidden: 64, NHeads: 4, NKVHeads: 2,
+			NLayers: 2, MaxSeq: seq, RopeBase: 10000,
+		},
+		Topo: core.Topology{TP: 2, CP: cpSize, PP: 1, DP: 1},
+		V:    1, NMB: 2, NC: 1,
+		ZeRO: fsdp.ZeRO1,
+		Seq:  seq, GBS: 2, LR: 3e-3,
+		UseDocMask: true,
+		Seed:       11,
+	}
+	cluster, err := core.NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ntraining with tp=2 × cp=%d (8 ranks), document-mask attention:\n", cpSize)
+	for step := int64(0); step < 6; step++ {
+		fmt.Printf("  step %d  loss %.4f\n", step, cluster.Step(gen, step))
+	}
+	fmt.Println("each CP rank computed its mask from the full sequence and")
+	fmt.Println("all-gathered K/V before attention — §4's design, verified bitwise in tests")
+}

@@ -1,0 +1,3 @@
+module llama4d
+
+go 1.22

@@ -1,0 +1,203 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"llama4d/internal/tensor"
+)
+
+// Output holds the results of an attention forward pass for one head.
+type Output struct {
+	O *tensor.Tensor // [sq, d] attention output
+	P *tensor.Tensor // [sq, sk] post-softmax probabilities (saved for backward)
+}
+
+// Forward computes masked scaled-dot-product attention naively. It is the
+// oracle against which the flash-style kernel, CP attention, and ring
+// attention are property-tested. qPos gives the global position of each
+// query row; keys occupy global positions kOff..kOff+sk-1.
+func Forward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Output {
+	sq, d := q.Rows(), q.Cols()
+	sk := k.Rows()
+	if len(qPos) != sq {
+		panic(fmt.Sprintf("attention: %d qPos for %d query rows", len(qPos), sq))
+	}
+	if k.Cols() != d || v.Rows() != sk {
+		panic(fmt.Sprintf("attention: shape mismatch q%v k%v v%v", q.Shape, k.Shape, v.Shape))
+	}
+	scale := float32(1 / math.Sqrt(float64(d)))
+	s := tensor.MatMulT(q, k)
+	neg := float32(math.Inf(-1))
+	for i := 0; i < sq; i++ {
+		row := s.Row(i)
+		for j := 0; j < sk; j++ {
+			if m.Allowed(qPos[i], kOff+j) {
+				row[j] *= scale
+			} else {
+				row[j] = neg
+			}
+		}
+	}
+	tensor.SoftmaxRows(s)
+	return &Output{O: tensor.MatMul(s, v), P: s}
+}
+
+// Backward computes gradients for Forward given the saved probabilities.
+// Returns dQ, dK, dV. The mask needs no re-application: masked entries of P
+// are exactly zero, which zeroes their contribution to every gradient.
+func Backward(q, k, v, p, dO *tensor.Tensor) (dQ, dK, dV *tensor.Tensor) {
+	d := q.Cols()
+	scale := float32(1 / math.Sqrt(float64(d)))
+
+	dV = tensor.TMatMul(p, dO)  // [sk, d]
+	dP := tensor.MatMulT(dO, v) // [sq, sk]
+	// dS = P ∘ (dP − rowsum(dP ∘ P))
+	sq, sk := p.Rows(), p.Cols()
+	dS := tensor.New(sq, sk)
+	for i := 0; i < sq; i++ {
+		pi, dpi, dsi := p.Row(i), dP.Row(i), dS.Row(i)
+		var dot float32
+		for j := range pi {
+			dot += pi[j] * dpi[j]
+		}
+		for j := range pi {
+			dsi[j] = pi[j] * (dpi[j] - dot)
+		}
+	}
+	dQ = tensor.MatMul(dS, k).Scale(scale)
+	dK = tensor.TMatMul(dS, q).Scale(scale)
+	return dQ, dK, dV
+}
+
+// Partial is the result of attending a block of keys: an unnormalised output
+// plus per-query-row softmax statistics (running max m and sum l), in the
+// log-sum-exp form flash attention and ring attention use to merge partial
+// results across blocks (the "scaling and rescaling" of §4).
+type Partial struct {
+	O *tensor.Tensor // [sq, d]; rows scaled by their block-local softmax
+	M []float32      // per-row running max of masked logits
+	L []float32      // per-row sum of exp(logit - M)
+}
+
+// PartialForward computes flash-style attention of q against one key block.
+// Rows with no allowed keys get M = -Inf, L = 0, O = 0 and merge as neutral
+// elements.
+func PartialForward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Partial {
+	sq, d := q.Rows(), q.Cols()
+	sk := k.Rows()
+	scale := float32(1 / math.Sqrt(float64(d)))
+	s := tensor.MatMulT(q, k)
+	out := &Partial{O: tensor.New(sq, d), M: make([]float32, sq), L: make([]float32, sq)}
+	for i := 0; i < sq; i++ {
+		row := s.Row(i)
+		maxv := float32(math.Inf(-1))
+		for j := 0; j < sk; j++ {
+			if m.Allowed(qPos[i], kOff+j) {
+				row[j] *= scale
+				if row[j] > maxv {
+					maxv = row[j]
+				}
+			} else {
+				row[j] = float32(math.Inf(-1))
+			}
+		}
+		out.M[i] = maxv
+		if math.IsInf(float64(maxv), -1) {
+			continue
+		}
+		oi := out.O.Row(i)
+		var l float32
+		for j := 0; j < sk; j++ {
+			if math.IsInf(float64(row[j]), -1) {
+				continue
+			}
+			e := float32(math.Exp(float64(row[j] - maxv)))
+			l += e
+			vj := v.Row(j)
+			for c := 0; c < d; c++ {
+				oi[c] += e * vj[c]
+			}
+		}
+		out.L[i] = l
+	}
+	return out
+}
+
+// Merge combines two partials over disjoint key blocks into one partial over
+// their union, using log-sum-exp rescaling. It is associative and
+// commutative up to floating-point rounding.
+func Merge(a, b *Partial) *Partial {
+	sq, d := a.O.Rows(), a.O.Cols()
+	out := &Partial{O: tensor.New(sq, d), M: make([]float32, sq), L: make([]float32, sq)}
+	for i := 0; i < sq; i++ {
+		ma, mb := a.M[i], b.M[i]
+		m := ma
+		if mb > m {
+			m = mb
+		}
+		out.M[i] = m
+		if math.IsInf(float64(m), -1) {
+			continue
+		}
+		wa, wb := float32(0), float32(0)
+		if !math.IsInf(float64(ma), -1) {
+			wa = float32(math.Exp(float64(ma - m)))
+		}
+		if !math.IsInf(float64(mb), -1) {
+			wb = float32(math.Exp(float64(mb - m)))
+		}
+		out.L[i] = wa*a.L[i] + wb*b.L[i]
+		oa, ob, oo := a.O.Row(i), b.O.Row(i), out.O.Row(i)
+		for c := 0; c < d; c++ {
+			oo[c] = wa*oa[c] + wb*ob[c]
+		}
+	}
+	return out
+}
+
+// Finalize normalises a partial into the attention output: O[i] /= L[i].
+// Rows with L == 0 (no allowed keys) stay zero.
+func Finalize(p *Partial) *tensor.Tensor {
+	out := p.O.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		l := p.L[i]
+		if l == 0 {
+			continue
+		}
+		inv := 1 / l
+		oi := out.Row(i)
+		for c := range oi {
+			oi[c] *= inv
+		}
+	}
+	return out
+}
+
+// FlashForward computes attention by streaming key blocks of size blockSize
+// through PartialForward/Merge — numerically equivalent to Forward but with
+// O(sq·d) working memory, the structure of Flash-Attention V2 that serves as
+// the paper's single-GPU baseline (§7.2).
+func FlashForward(q, k, v *tensor.Tensor, m Mask, qPos []int, blockSize int) *tensor.Tensor {
+	sk := k.Rows()
+	if blockSize <= 0 {
+		blockSize = sk
+	}
+	var acc *Partial
+	for off := 0; off < sk; off += blockSize {
+		end := off + blockSize
+		if end > sk {
+			end = sk
+		}
+		p := PartialForward(q, k.RowSlice(off, end), v.RowSlice(off, end), m, qPos, off)
+		if acc == nil {
+			acc = p
+		} else {
+			acc = Merge(acc, p)
+		}
+	}
+	if acc == nil {
+		return tensor.New(q.Rows(), q.Cols())
+	}
+	return Finalize(acc)
+}

@@ -1,0 +1,30 @@
+package bf16_test
+
+import (
+	"fmt"
+
+	"llama4d/internal/bf16"
+)
+
+// BF16 keeps 7 mantissa bits: 1 + 2⁻⁸ is not representable and rounds back
+// to 1, which is why low-precision gradient accumulators stall (§6.2).
+func ExampleRound() {
+	x := float32(1) + 1.0/256
+	fmt.Println(bf16.Round(x))
+	fmt.Println(bf16.Round(float32(1) + 1.0/128))
+	// Output:
+	// 1
+	// 1.0078125
+}
+
+// Summing many small same-sign terms: a BF16 accumulator loses them, FP32
+// accumulation does not — the paper's §6.2 precision policy in two lines.
+func ExampleSumFP32() {
+	xs := make([]float32, 1024)
+	for i := range xs {
+		xs[i] = 1.0 / 512
+	}
+	fmt.Printf("fp32 %.2f bf16 %.2f\n", bf16.SumFP32(xs), bf16.SumBF16(xs))
+	// Output:
+	// fp32 2.00 bf16 0.50
+}

@@ -1,0 +1,140 @@
+// Package comm provides the communication substrate of the functional layer:
+// an in-process "cluster" whose ranks are goroutines and whose collectives
+// and point-to-point transfers run over channels.
+//
+// The package mirrors the primitives the paper's training system uses on real
+// hardware — all-gather, reduce-scatter, all-reduce, broadcast, and decoupled
+// asynchronous P2P send/receive — with two properties the paper's debugging
+// methodology (§6.2) depends on:
+//
+//   - Determinism: reductions always accumulate contributions in local-rank
+//     order, so repeated runs are bitwise identical and accumulation order can
+//     be emulated exactly by a sequential reference.
+//   - Accounting: every collective records its byte volume, feeding the
+//     bandwidth analyses of §7.2.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"llama4d/internal/tensor"
+)
+
+// Recorder observes communication timing: rank r spent dur (seconds,
+// wall-clock) inside a collective of the labelled group. Because slow ranks
+// arrive last and wait least, these durations carry exactly the signal the
+// §6.1 top-down localisation reads from production traces.
+type Recorder interface {
+	RecordComm(rank int, label string, dur float64)
+}
+
+// World is an in-process cluster of ranks numbered 0..Size()-1.
+type World struct {
+	size int
+
+	// Recorder, if non-nil, receives per-rank collective timings. Set it
+	// before spawning ranks; implementations must be safe for concurrent
+	// use.
+	Recorder Recorder
+
+	mu    sync.Mutex
+	mail  map[p2pKey]chan *tensor.Tensor
+	stats Stats
+}
+
+type p2pKey struct {
+	from, to, tag int
+}
+
+// Stats accumulates communication volume for the whole world.
+type Stats struct {
+	AllGatherBytes     atomic.Int64
+	ReduceScatterBytes atomic.Int64
+	AllReduceBytes     atomic.Int64
+	BroadcastBytes     atomic.Int64
+	P2PBytes           atomic.Int64
+	AllGatherOps       atomic.Int64
+	ReduceScatterOps   atomic.Int64
+	AllReduceOps       atomic.Int64
+	BroadcastOps       atomic.Int64
+	P2POps             atomic.Int64
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("comm: world size %d", size))
+	}
+	return &World{size: size, mail: make(map[p2pKey]chan *tensor.Tensor)}
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Stats returns the world's communication counters.
+func (w *World) Stats() *Stats { return &w.stats }
+
+const mailboxDepth = 256 // decoupled async P2P: sends do not block on the receiver
+
+func (w *World) mailbox(k p2pKey) chan *tensor.Tensor {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ch, ok := w.mail[k]
+	if !ok {
+		ch = make(chan *tensor.Tensor, mailboxDepth)
+		w.mail[k] = ch
+	}
+	return ch
+}
+
+// Send delivers a copy of t from rank `from` to rank `to` under `tag`.
+// Sends are asynchronous up to the mailbox depth, modelling the decoupled
+// P2P send/receive the paper relies on for pipeline parallelism (§5.2).
+func (w *World) Send(from, to, tag int, t *tensor.Tensor) {
+	w.checkRank(from)
+	w.checkRank(to)
+	w.stats.P2POps.Add(1)
+	w.stats.P2PBytes.Add(int64(t.Len()) * 4)
+	w.mailbox(p2pKey{from, to, tag}) <- t.Clone()
+}
+
+// Recv blocks until a tensor tagged `tag` from rank `from` arrives at `to`.
+func (w *World) Recv(to, from, tag int) *tensor.Tensor {
+	w.checkRank(from)
+	w.checkRank(to)
+	return <-w.mailbox(p2pKey{from, to, tag})
+}
+
+func (w *World) checkRank(r int) {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("comm: rank %d outside world of size %d", r, w.size))
+	}
+}
+
+// RunSPMD runs body once per rank, each on its own goroutine, and waits for
+// all of them. A panic in any rank is re-raised in the caller with the rank
+// attached, so test failures surface instead of deadlocking.
+func RunSPMD(size int, body func(rank int)) {
+	var wg sync.WaitGroup
+	panics := make([]any, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			body(rank)
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("comm: rank %d panicked: %v", r, p))
+		}
+	}
+}

@@ -1,0 +1,501 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"llama4d/internal/tensor"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	x := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	done := make(chan *tensor.Tensor)
+	go func() { done <- w.Recv(1, 0, 7) }()
+	w.Send(0, 1, 7, x)
+	got := <-done
+	if !tensor.BitwiseEqual(got, x) {
+		t.Fatalf("Recv = %v", got.Data)
+	}
+	// Sends copy: mutating the original must not affect the received tensor.
+	x.Data[0] = 99
+	if got.Data[0] == 99 {
+		t.Fatal("Send must deep-copy")
+	}
+}
+
+func TestSendIsAsync(t *testing.T) {
+	w := NewWorld(2)
+	// Multiple sends complete without any receiver (decoupled P2P).
+	for i := 0; i < 10; i++ {
+		w.Send(0, 1, i, tensor.New(4))
+	}
+	for i := 0; i < 10; i++ {
+		w.Recv(1, 0, i)
+	}
+}
+
+func TestSendTagsAreIndependent(t *testing.T) {
+	w := NewWorld(2)
+	a := tensor.FromSlice([]float32{1}, 1)
+	b := tensor.FromSlice([]float32{2}, 1)
+	w.Send(0, 1, 100, a)
+	w.Send(0, 1, 200, b)
+	// Receive in the opposite order of sending.
+	if got := w.Recv(1, 0, 200); got.Data[0] != 2 {
+		t.Fatalf("tag 200 = %v", got.Data)
+	}
+	if got := w.Recv(1, 0, 100); got.Data[0] != 1 {
+		t.Fatalf("tag 100 = %v", got.Data)
+	}
+}
+
+func TestSendRecvFIFOPerTag(t *testing.T) {
+	w := NewWorld(2)
+	for i := 0; i < 5; i++ {
+		w.Send(0, 1, 0, tensor.FromSlice([]float32{float32(i)}, 1))
+	}
+	for i := 0; i < 5; i++ {
+		if got := w.Recv(1, 0, 0); got.Data[0] != float32(i) {
+			t.Fatalf("message %d out of order: %v", i, got.Data)
+		}
+	}
+}
+
+func TestRankBoundsPanic(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range rank must panic")
+		}
+	}()
+	w.Send(0, 5, 0, tensor.New(1))
+}
+
+func TestAllGatherOrderAndContent(t *testing.T) {
+	w := NewWorld(4)
+	g := w.NewGroup([]int{0, 1, 2, 3})
+	results := make([]*tensor.Tensor, 4)
+	RunSPMD(4, func(rank int) {
+		x := tensor.FromSlice([]float32{float32(rank), float32(rank)}, 1, 2)
+		results[rank] = g.AllGather(rank, x)
+	})
+	want := tensor.FromSlice([]float32{0, 0, 1, 1, 2, 2, 3, 3}, 4, 2)
+	for r, res := range results {
+		if !tensor.BitwiseEqual(res, want) {
+			t.Fatalf("rank %d AllGather = %v", r, res.Data)
+		}
+	}
+}
+
+func TestAllGatherNonTrivialRankOrder(t *testing.T) {
+	// Group rank order (not global rank order) defines concatenation order.
+	w := NewWorld(4)
+	g := w.NewGroup([]int{3, 1})
+	results := make(map[int]*tensor.Tensor)
+	var mu sync.Mutex
+	RunSPMD(4, func(rank int) {
+		if !g.Contains(rank) {
+			return
+		}
+		x := tensor.FromSlice([]float32{float32(rank)}, 1, 1)
+		res := g.AllGather(rank, x)
+		mu.Lock()
+		results[rank] = res
+		mu.Unlock()
+	})
+	want := []float32{3, 1}
+	for r, res := range results {
+		for i, v := range want {
+			if res.Data[i] != v {
+				t.Fatalf("rank %d: got %v want %v", r, res.Data, want)
+			}
+		}
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	w := NewWorld(2)
+	g := w.NewGroup([]int{0, 1})
+	results := make([]*tensor.Tensor, 2)
+	RunSPMD(2, func(rank int) {
+		x := tensor.FromSlice([]float32{1, 2, 3, 4}, 4, 1)
+		if rank == 1 {
+			x = tensor.FromSlice([]float32{10, 20, 30, 40}, 4, 1)
+		}
+		results[rank] = g.ReduceScatter(rank, x)
+	})
+	if results[0].Data[0] != 11 || results[0].Data[1] != 22 {
+		t.Fatalf("rank 0 ReduceScatter = %v", results[0].Data)
+	}
+	if results[1].Data[0] != 33 || results[1].Data[1] != 44 {
+		t.Fatalf("rank 1 ReduceScatter = %v", results[1].Data)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	w := NewWorld(3)
+	g := w.NewGroup([]int{0, 1, 2})
+	results := make([]*tensor.Tensor, 3)
+	RunSPMD(3, func(rank int) {
+		x := tensor.FromSlice([]float32{float32(rank + 1)}, 1)
+		results[rank] = g.AllReduce(rank, x)
+	})
+	for r := range results {
+		if results[r].Data[0] != 6 {
+			t.Fatalf("rank %d AllReduce = %v", r, results[r].Data)
+		}
+	}
+}
+
+func TestAllReduceDeterministicBitwise(t *testing.T) {
+	// The same inputs must reduce to bitwise-identical outputs across runs:
+	// the determinism §6.2's methodology requires.
+	run := func() *tensor.Tensor {
+		w := NewWorld(4)
+		g := w.NewGroup([]int{0, 1, 2, 3})
+		results := make([]*tensor.Tensor, 4)
+		RunSPMD(4, func(rank int) {
+			rng := rand.New(rand.NewSource(int64(rank)))
+			x := tensor.RandN(rng, 1e3, 64)
+			results[rank] = g.AllReduce(rank, x)
+		})
+		for r := 1; r < 4; r++ {
+			if !tensor.BitwiseEqual(results[0], results[r]) {
+				t.Fatal("AllReduce results differ across ranks")
+			}
+		}
+		return results[0]
+	}
+	a, b := run(), run()
+	if !tensor.BitwiseEqual(a, b) {
+		t.Fatal("AllReduce must be bitwise deterministic across runs")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	w := NewWorld(3)
+	g := w.NewGroup([]int{0, 1, 2})
+	results := make([]*tensor.Tensor, 3)
+	RunSPMD(3, func(rank int) {
+		var x *tensor.Tensor
+		if rank == 1 {
+			x = tensor.FromSlice([]float32{7, 8}, 2)
+		}
+		results[rank] = g.Broadcast(rank, 1, x)
+	})
+	for r := range results {
+		if results[r].Data[0] != 7 || results[r].Data[1] != 8 {
+			t.Fatalf("rank %d Broadcast = %v", r, results[r].Data)
+		}
+	}
+}
+
+func TestBarrierAndSequencing(t *testing.T) {
+	w := NewWorld(4)
+	g := w.NewGroup([]int{0, 1, 2, 3})
+	// Many sequential collectives: the per-rank op counters must stay aligned.
+	results := make([]*tensor.Tensor, 4)
+	RunSPMD(4, func(rank int) {
+		for i := 0; i < 20; i++ {
+			g.Barrier(rank)
+			x := tensor.FromSlice([]float32{float32(rank)}, 1)
+			results[rank] = g.AllReduce(rank, x)
+		}
+	})
+	for r := range results {
+		if results[r].Data[0] != 6 {
+			t.Fatalf("rank %d final AllReduce = %v", r, results[r].Data)
+		}
+	}
+}
+
+func TestAllGatherParts(t *testing.T) {
+	w := NewWorld(2)
+	g := w.NewGroup([]int{0, 1})
+	var got [][]*tensor.Tensor = make([][]*tensor.Tensor, 2)
+	RunSPMD(2, func(rank int) {
+		x := tensor.FromSlice([]float32{float32(rank * 10)}, 1)
+		got[rank] = g.AllGatherParts(rank, x)
+	})
+	for r := 0; r < 2; r++ {
+		if len(got[r]) != 2 || got[r][0].Data[0] != 0 || got[r][1].Data[0] != 10 {
+			t.Fatalf("rank %d parts wrong", r)
+		}
+	}
+}
+
+func TestDisjointGroupsRunConcurrently(t *testing.T) {
+	w := NewWorld(4)
+	g01 := w.NewGroup([]int{0, 1})
+	g23 := w.NewGroup([]int{2, 3})
+	sums := make([]float32, 4)
+	RunSPMD(4, func(rank int) {
+		g := g01
+		if rank >= 2 {
+			g = g23
+		}
+		x := tensor.FromSlice([]float32{float32(rank)}, 1)
+		sums[rank] = g.AllReduce(rank, x).Data[0]
+	})
+	if sums[0] != 1 || sums[1] != 1 || sums[2] != 5 || sums[3] != 5 {
+		t.Fatalf("disjoint group sums = %v", sums)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	w := NewWorld(2)
+	g := w.NewGroup([]int{0, 1})
+	RunSPMD(2, func(rank int) {
+		g.AllGather(rank, tensor.New(8))
+		g.AllReduce(rank, tensor.New(8))
+	})
+	s := w.Stats()
+	if s.AllGatherOps.Load() != 2 || s.AllReduceOps.Load() != 2 {
+		t.Fatalf("op counts: ag=%d ar=%d", s.AllGatherOps.Load(), s.AllReduceOps.Load())
+	}
+	if s.AllGatherBytes.Load() != 2*8*4 {
+		t.Fatalf("allgather bytes = %d", s.AllGatherBytes.Load())
+	}
+}
+
+func TestGroupLocalRankMapping(t *testing.T) {
+	w := NewWorld(8)
+	g := w.NewGroup([]int{6, 2, 4})
+	if g.Size() != 3 {
+		t.Fatal("size")
+	}
+	if g.LocalRank(2) != 1 || g.GlobalRank(0) != 6 {
+		t.Fatal("rank mapping wrong")
+	}
+	if g.Contains(3) {
+		t.Fatal("Contains(3) should be false")
+	}
+}
+
+func TestDuplicateRankPanics(t *testing.T) {
+	w := NewWorld(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate rank must panic")
+		}
+	}()
+	w.NewGroup([]int{1, 1})
+}
+
+func TestRunSPMDPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunSPMD must re-raise rank panics")
+		}
+	}()
+	RunSPMD(2, func(rank int) {
+		if rank == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestReduceScatterRoundTripWithAllGather(t *testing.T) {
+	// AllGather(ReduceScatter(x)) == sum of inputs: the ZeRO decomposition of
+	// all-reduce the paper's FSDP uses.
+	w := NewWorld(4)
+	g := w.NewGroup([]int{0, 1, 2, 3})
+	inputs := make([]*tensor.Tensor, 4)
+	want := tensor.New(8, 2)
+	for r := range inputs {
+		rng := rand.New(rand.NewSource(int64(r + 1)))
+		inputs[r] = tensor.RandN(rng, 1, 8, 2)
+		want.Add(inputs[r])
+	}
+	results := make([]*tensor.Tensor, 4)
+	RunSPMD(4, func(rank int) {
+		shard := g.ReduceScatter(rank, inputs[rank])
+		results[rank] = g.AllGather(rank, shard)
+	})
+	for r := range results {
+		if tensor.MaxDiff(results[r], want) > 1e-6 {
+			t.Fatalf("rank %d RS+AG != AllReduce, diff %v", r, tensor.MaxDiff(results[r], want))
+		}
+	}
+}
+
+func TestAllReduceMatchesSequentialOrder(t *testing.T) {
+	// The deterministic reduction must equal a sequential sum in local-rank
+	// order, bitwise — the reference-emulation trick of §6.2.
+	w := NewWorld(3)
+	g := w.NewGroup([]int{0, 1, 2})
+	inputs := make([]*tensor.Tensor, 3)
+	for r := range inputs {
+		rng := rand.New(rand.NewSource(int64(100 + r)))
+		inputs[r] = tensor.RandN(rng, 1e2, 16)
+	}
+	ref := inputs[0].Clone()
+	ref.Add(inputs[1])
+	ref.Add(inputs[2])
+	results := make([]*tensor.Tensor, 3)
+	RunSPMD(3, func(rank int) {
+		results[rank] = g.AllReduce(rank, inputs[rank])
+	})
+	if !tensor.BitwiseEqual(results[0], ref) {
+		t.Fatalf("AllReduce must match sequential rank-order sum bitwise; maxdiff=%v",
+			tensor.MaxDiff(results[0], ref))
+	}
+}
+
+func TestReduceScatterValuesFinite(t *testing.T) {
+	w := NewWorld(2)
+	g := w.NewGroup([]int{0, 1})
+	results := make([]*tensor.Tensor, 2)
+	RunSPMD(2, func(rank int) {
+		x := tensor.New(4, 4)
+		x.Fill(float32(rank) + 0.5)
+		results[rank] = g.ReduceScatter(rank, x)
+	})
+	for _, res := range results {
+		for _, v := range res.Data {
+			if math.IsNaN(float64(v)) || v != 2 {
+				t.Fatalf("ReduceScatter values = %v", res.Data)
+			}
+		}
+	}
+}
+
+func BenchmarkAllReduce4Ranks(b *testing.B) {
+	w := NewWorld(4)
+	g := w.NewGroup([]int{0, 1, 2, 3})
+	x := tensor.New(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunSPMD(4, func(rank int) {
+			g.AllReduce(rank, x)
+		})
+	}
+}
+
+func BenchmarkSendRecv(b *testing.B) {
+	w := NewWorld(2)
+	x := tensor.New(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Send(0, 1, 0, x)
+		w.Recv(1, 0, 0)
+	}
+}
+
+func TestGatherToRoot(t *testing.T) {
+	w := NewWorld(3)
+	g := w.NewGroup([]int{0, 1, 2})
+	results := make([]*tensor.Tensor, 3)
+	RunSPMD(3, func(rank int) {
+		x := tensor.FromSlice([]float32{float32(rank)}, 1, 1)
+		results[rank] = g.Gather(rank, 1, x)
+	})
+	if results[0] != nil || results[2] != nil {
+		t.Fatal("non-root ranks must receive nil")
+	}
+	want := []float32{0, 1, 2}
+	for i, v := range want {
+		if results[1].Data[i] != v {
+			t.Fatalf("gathered = %v", results[1].Data)
+		}
+	}
+}
+
+func TestScatterFromRoot(t *testing.T) {
+	w := NewWorld(2)
+	g := w.NewGroup([]int{0, 1})
+	results := make([]*tensor.Tensor, 2)
+	RunSPMD(2, func(rank int) {
+		var x *tensor.Tensor
+		if rank == 0 {
+			x = tensor.FromSlice([]float32{10, 20}, 2, 1)
+		}
+		results[rank] = g.Scatter(rank, 0, x)
+	})
+	if results[0].Data[0] != 10 || results[1].Data[0] != 20 {
+		t.Fatalf("scatter results: %v %v", results[0].Data, results[1].Data)
+	}
+}
+
+func TestAllToAllTranspose(t *testing.T) {
+	// Rank r sends chunk d of its tensor to rank d: result[d] rows =
+	// [chunk d of rank 0, chunk d of rank 1, ...].
+	w := NewWorld(2)
+	g := w.NewGroup([]int{0, 1})
+	results := make([]*tensor.Tensor, 2)
+	RunSPMD(2, func(rank int) {
+		x := tensor.FromSlice([]float32{
+			float32(10*rank + 0), float32(10*rank + 1),
+		}, 2, 1)
+		results[rank] = g.AllToAll(rank, x)
+	})
+	// Rank 0 receives row 0 of each: [0, 10]; rank 1: [1, 11].
+	if results[0].Data[0] != 0 || results[0].Data[1] != 10 {
+		t.Fatalf("alltoall rank 0 = %v", results[0].Data)
+	}
+	if results[1].Data[0] != 1 || results[1].Data[1] != 11 {
+		t.Fatalf("alltoall rank 1 = %v", results[1].Data)
+	}
+}
+
+func TestAllToAllInvolution(t *testing.T) {
+	// Applying AllToAll twice restores the original layout.
+	w := NewWorld(4)
+	g := w.NewGroup([]int{0, 1, 2, 3})
+	inputs := make([]*tensor.Tensor, 4)
+	for r := range inputs {
+		rng := rand.New(rand.NewSource(int64(r)))
+		inputs[r] = tensor.RandN(rng, 1, 8, 2)
+	}
+	results := make([]*tensor.Tensor, 4)
+	RunSPMD(4, func(rank int) {
+		once := g.AllToAll(rank, inputs[rank])
+		results[rank] = g.AllToAll(rank, once)
+	})
+	for r := range results {
+		if !tensor.BitwiseEqual(results[r], inputs[r]) {
+			t.Fatalf("alltoall twice must be identity (rank %d)", r)
+		}
+	}
+}
+
+func TestCommRecorderTimings(t *testing.T) {
+	w := NewWorld(2)
+	rec := &fakeRecorder{}
+	w.Recorder = rec
+	g := w.NewGroup([]int{0, 1})
+	g.Label = "tp"
+	RunSPMD(2, func(rank int) {
+		g.AllReduce(rank, tensor.New(4))
+	})
+	if len(rec.events) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(rec.events))
+	}
+	for _, e := range rec.events {
+		if e.label != "tp" || e.dur < 0 {
+			t.Fatalf("bad event %+v", e)
+		}
+	}
+}
+
+type fakeRecorder struct {
+	mu     sync.Mutex
+	events []struct {
+		rank  int
+		label string
+		dur   float64
+	}
+}
+
+func (f *fakeRecorder) RecordComm(rank int, label string, dur float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.events = append(f.events, struct {
+		rank  int
+		label string
+		dur   float64
+	}{rank, label, dur})
+}

@@ -1,0 +1,303 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"llama4d/internal/tensor"
+)
+
+// Group is a process group: an ordered subset of world ranks that perform
+// collectives together. All member ranks must call the same sequence of
+// collectives in the same order (SPMD), exactly as NCCL process groups
+// require.
+type Group struct {
+	world *World
+	ranks []int       // global ranks, position = local rank
+	local map[int]int // global rank -> local rank
+
+	// Label names the parallelism dimension this group implements ("tp",
+	// "cp", "pp", "dp"); recorded timings are attributed to it.
+	Label string
+
+	mu    sync.Mutex
+	slots map[int]*collSlot // keyed by per-group op sequence number
+	next  []int             // per-local-rank op counters
+}
+
+type collSlot struct {
+	op       string
+	contribs []*tensor.Tensor
+	arrived  int
+	readers  int
+	result   []*tensor.Tensor // per-local-rank results (views into shared data allowed)
+	done     chan struct{}
+}
+
+// NewGroup creates a process group over the given global ranks. Rank order
+// defines local rank order and therefore the deterministic reduction order.
+func (w *World) NewGroup(ranks []int) *Group {
+	if len(ranks) == 0 {
+		panic("comm: empty group")
+	}
+	g := &Group{
+		world: w,
+		ranks: append([]int(nil), ranks...),
+		local: make(map[int]int, len(ranks)),
+		slots: make(map[int]*collSlot),
+		next:  make([]int, len(ranks)),
+	}
+	for i, r := range ranks {
+		w.checkRank(r)
+		if _, dup := g.local[r]; dup {
+			panic(fmt.Sprintf("comm: duplicate rank %d in group", r))
+		}
+		g.local[r] = i
+	}
+	return g
+}
+
+// Size returns the number of ranks in the group.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// Ranks returns the global ranks of the group in local-rank order.
+func (g *Group) Ranks() []int { return append([]int(nil), g.ranks...) }
+
+// LocalRank translates a global rank into the group's local rank.
+func (g *Group) LocalRank(globalRank int) int {
+	lr, ok := g.local[globalRank]
+	if !ok {
+		panic(fmt.Sprintf("comm: rank %d not in group %v", globalRank, g.ranks))
+	}
+	return lr
+}
+
+// GlobalRank translates a local rank into a global rank.
+func (g *Group) GlobalRank(localRank int) int { return g.ranks[localRank] }
+
+// Contains reports whether the global rank is a member of the group.
+func (g *Group) Contains(globalRank int) bool {
+	_, ok := g.local[globalRank]
+	return ok
+}
+
+// enter registers the caller's contribution under its next op sequence
+// number, blocks until all members have arrived, and returns the caller's
+// result. combine runs exactly once, on the last arriver, with contributions
+// ordered by local rank; it must fill slot.result with one entry per member.
+func (g *Group) enter(globalRank int, op string, contrib *tensor.Tensor, combine func(contribs []*tensor.Tensor, results []*tensor.Tensor)) *tensor.Tensor {
+	lr := g.LocalRank(globalRank)
+	if g.world.Recorder != nil {
+		start := time.Now()
+		defer func() {
+			g.world.Recorder.RecordComm(globalRank, g.Label, time.Since(start).Seconds())
+		}()
+	}
+
+	g.mu.Lock()
+	seq := g.next[lr]
+	g.next[lr]++
+	slot, ok := g.slots[seq]
+	if !ok {
+		slot = &collSlot{
+			op:       op,
+			contribs: make([]*tensor.Tensor, len(g.ranks)),
+			result:   make([]*tensor.Tensor, len(g.ranks)),
+			done:     make(chan struct{}),
+		}
+		g.slots[seq] = slot
+	}
+	if slot.op != op {
+		g.mu.Unlock()
+		panic(fmt.Sprintf("comm: collective mismatch at seq %d: rank %d called %s, group is running %s",
+			seq, globalRank, op, slot.op))
+	}
+	slot.contribs[lr] = contrib
+	slot.arrived++
+	last := slot.arrived == len(g.ranks)
+	g.mu.Unlock()
+
+	if last {
+		combine(slot.contribs, slot.result)
+		close(slot.done)
+	} else {
+		<-slot.done
+	}
+
+	res := slot.result[lr]
+
+	g.mu.Lock()
+	slot.readers++
+	if slot.readers == len(g.ranks) {
+		delete(g.slots, seq)
+	}
+	g.mu.Unlock()
+	return res
+}
+
+// AllGatherParts exchanges each member's tensor; every member receives deep
+// copies of all contributions in local-rank order, each with the shape of
+// its own contribution. All contributions must share one shape.
+func (g *Group) AllGatherParts(globalRank int, x *tensor.Tensor) []*tensor.Tensor {
+	rows := x.Rows()
+	full := g.AllGather(globalRank, x.Reshape(append([]int(nil), x.Shape...)...))
+	parts := make([]*tensor.Tensor, len(g.ranks))
+	for i := range parts {
+		parts[i] = full.RowSlice(i*rows, (i+1)*rows).Clone().Reshape(x.Shape...)
+	}
+	return parts
+}
+
+// AllGather concatenates the members' tensors along dimension 0 (rows) in
+// local-rank order. This is the KV all-gather of the paper's CP design (§4)
+// and the parameter all-gather of FSDP.
+func (g *Group) AllGather(globalRank int, x *tensor.Tensor) *tensor.Tensor {
+	g.world.stats.AllGatherOps.Add(1)
+	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1))
+	return g.enter(globalRank, "allgather", x, func(contribs, results []*tensor.Tensor) {
+		full := tensor.ConcatRows(contribs...)
+		for i := range results {
+			results[i] = full
+		}
+	}).Clone()
+}
+
+// ReduceScatter sums the members' tensors element-wise (accumulating in
+// local-rank order, FP32) and returns to each member its row-chunk of the
+// sum. Input rows must be divisible by the group size.
+func (g *Group) ReduceScatter(globalRank int, x *tensor.Tensor) *tensor.Tensor {
+	g.world.stats.ReduceScatterOps.Add(1)
+	g.world.stats.ReduceScatterBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1) / int64(len(g.ranks)))
+	n := len(g.ranks)
+	return g.enter(globalRank, "reducescatter", x, func(contribs, results []*tensor.Tensor) {
+		sum := contribs[0].Clone()
+		for _, c := range contribs[1:] {
+			sum.Add(c)
+		}
+		chunks := tensor.SplitRows(sum, n)
+		for i := range results {
+			results[i] = chunks[i]
+		}
+	}).Clone()
+}
+
+// AllReduce sums the members' tensors element-wise in local-rank order and
+// returns the full sum to every member.
+func (g *Group) AllReduce(globalRank int, x *tensor.Tensor) *tensor.Tensor {
+	g.world.stats.AllReduceOps.Add(1)
+	g.world.stats.AllReduceBytes.Add(int64(x.Len()) * 4 * 2 * int64(len(g.ranks)-1) / int64(len(g.ranks)))
+	return g.enter(globalRank, "allreduce", x, func(contribs, results []*tensor.Tensor) {
+		sum := contribs[0].Clone()
+		for _, c := range contribs[1:] {
+			sum.Add(c)
+		}
+		for i := range results {
+			results[i] = sum
+		}
+	}).Clone()
+}
+
+// AllReduceMax returns the element-wise maximum of the members' tensors —
+// the reduction a vocabulary-parallel softmax needs for its global row max.
+func (g *Group) AllReduceMax(globalRank int, x *tensor.Tensor) *tensor.Tensor {
+	g.world.stats.AllReduceOps.Add(1)
+	g.world.stats.AllReduceBytes.Add(int64(x.Len()) * 4 * 2 * int64(len(g.ranks)-1) / int64(len(g.ranks)))
+	return g.enter(globalRank, "allreducemax", x, func(contribs, results []*tensor.Tensor) {
+		m := contribs[0].Clone()
+		for _, c := range contribs[1:] {
+			for i, v := range c.Data {
+				if v > m.Data[i] {
+					m.Data[i] = v
+				}
+			}
+		}
+		for i := range results {
+			results[i] = m
+		}
+	}).Clone()
+}
+
+// Broadcast distributes root's tensor (root is a local rank) to all members.
+// Non-root callers may pass nil.
+func (g *Group) Broadcast(globalRank, rootLocal int, x *tensor.Tensor) *tensor.Tensor {
+	g.world.stats.BroadcastOps.Add(1)
+	if x != nil {
+		g.world.stats.BroadcastBytes.Add(int64(x.Len()) * 4)
+	}
+	return g.enter(globalRank, "broadcast", x, func(contribs, results []*tensor.Tensor) {
+		src := contribs[rootLocal]
+		if src == nil {
+			panic(fmt.Sprintf("comm: broadcast root local rank %d passed nil", rootLocal))
+		}
+		for i := range results {
+			results[i] = src
+		}
+	}).Clone()
+}
+
+// Gather collects every member's tensor at the root local rank,
+// concatenated along rows in local-rank order; non-root members receive nil.
+func (g *Group) Gather(globalRank, rootLocal int, x *tensor.Tensor) *tensor.Tensor {
+	g.world.stats.AllGatherOps.Add(1)
+	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4)
+	res := g.enter(globalRank, "gather", x, func(contribs, results []*tensor.Tensor) {
+		results[rootLocal] = tensor.ConcatRows(contribs...)
+	})
+	if g.LocalRank(globalRank) != rootLocal {
+		return nil
+	}
+	return res.Clone()
+}
+
+// Scatter splits the root's tensor into equal row chunks and hands chunk i
+// to local rank i. Non-root callers pass nil.
+func (g *Group) Scatter(globalRank, rootLocal int, x *tensor.Tensor) *tensor.Tensor {
+	g.world.stats.BroadcastOps.Add(1)
+	if x != nil {
+		g.world.stats.BroadcastBytes.Add(int64(x.Len()) * 4)
+	}
+	n := len(g.ranks)
+	return g.enter(globalRank, "scatter", x, func(contribs, results []*tensor.Tensor) {
+		src := contribs[rootLocal]
+		if src == nil {
+			panic(fmt.Sprintf("comm: scatter root local rank %d passed nil", rootLocal))
+		}
+		chunks := tensor.SplitRows(src, n)
+		for i := range results {
+			results[i] = chunks[i]
+		}
+	}).Clone()
+}
+
+// AllToAll exchanges row chunks: every member splits its tensor into n row
+// chunks and receives chunk lr from every member, concatenated in local-rank
+// order — the transpose of the contribution matrix (used by expert-parallel
+// systems; provided for completeness).
+func (g *Group) AllToAll(globalRank int, x *tensor.Tensor) *tensor.Tensor {
+	g.world.stats.AllGatherOps.Add(1)
+	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1) / int64(len(g.ranks)))
+	n := len(g.ranks)
+	return g.enter(globalRank, "alltoall", x, func(contribs, results []*tensor.Tensor) {
+		split := make([][]*tensor.Tensor, n)
+		for i, c := range contribs {
+			split[i] = tensor.SplitRows(c, n)
+		}
+		for dst := 0; dst < n; dst++ {
+			parts := make([]*tensor.Tensor, n)
+			for src := 0; src < n; src++ {
+				parts[src] = split[src][dst]
+			}
+			results[dst] = tensor.ConcatRows(parts...)
+		}
+	}).Clone()
+}
+
+// Barrier blocks until every member has reached it.
+func (g *Group) Barrier(globalRank int) {
+	g.enter(globalRank, "barrier", tensor.New(0), func(contribs, results []*tensor.Tensor) {
+		for i := range results {
+			results[i] = contribs[0]
+		}
+	})
+}

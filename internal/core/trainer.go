@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/comm"
+	"llama4d/internal/cp"
+	"llama4d/internal/data"
+	"llama4d/internal/fsdp"
+	"llama4d/internal/model"
+	"llama4d/internal/optim"
+	"llama4d/internal/pp"
+	"llama4d/internal/tensor"
+	"llama4d/internal/tp"
+)
+
+// Config describes a 4D-parallel training run.
+type Config struct {
+	Model model.Config
+	Topo  Topology
+
+	// Pipeline schedule: V virtual stages per PP rank, NMB micro-batches per
+	// virtual stage, NC consecutive micro-batches per round (§3.1.1).
+	V, NMB, NC int
+
+	ZeRO     fsdp.Mode
+	Balanced bool // remove one layer from first/last stage (§3.1.2)
+
+	Seq int
+	GBS int // global batch size in samples
+	LR  float32
+	// LRSchedule, if set, overrides LR per step (e.g. optim.WarmupCosine).
+	LRSchedule func(step int) float64
+	UseDocMask bool
+	Seed       int64
+}
+
+// Validate checks the configuration's divisibility constraints (§5.1).
+func (c Config) Validate() error {
+	if err := c.Topo.Validate(); err != nil {
+		return err
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.GBS%c.Topo.DP != 0 {
+		return fmt.Errorf("core: gbs %d not divisible by dp %d", c.GBS, c.Topo.DP)
+	}
+	bs := c.GBS / c.Topo.DP
+	if bs%c.NMB != 0 {
+		return fmt.Errorf("core: per-group batch %d not divisible by nmb %d", bs, c.NMB)
+	}
+	if c.Topo.CP > 1 && c.Seq%(2*c.Topo.CP) != 0 {
+		return fmt.Errorf("core: seq %d not divisible by 2*cp", c.Seq)
+	}
+	if c.Topo.TP > 1 && (c.Model.NHeads%c.Topo.TP != 0 || c.Model.NKVHeads%c.Topo.TP != 0) {
+		return fmt.Errorf("core: heads not divisible by tp %d", c.Topo.TP)
+	}
+	stages := c.Topo.PP * c.V
+	need := c.Model.NLayers
+	if c.Balanced {
+		need += 2
+	}
+	if need%stages != 0 && !c.Balanced {
+		return fmt.Errorf("core: %d layers not divisible by %d stages", c.Model.NLayers, stages)
+	}
+	return nil
+}
+
+// MBS returns the samples per micro-batch.
+func (c Config) MBS() int { return c.GBS / c.Topo.DP / c.NMB }
+
+// Rank is the per-GPU training state.
+type Rank struct {
+	ID     int
+	Coord  Coord
+	Groups Groups
+
+	Exec  *pp.Executor
+	Shard *fsdp.Shard
+	Opt   *optim.AdamW
+
+	cpShard cp.Sharding
+	cluster *Cluster
+}
+
+// Cluster is an in-process 4D-parallel training cluster.
+type Cluster struct {
+	Cfg   Config
+	World *comm.World
+	Sched *pp.Schedule
+	Ranks []*Rank
+}
+
+// NewCluster builds every rank's model shard, pipeline stages, process
+// groups, and FSDP state. All ranks initialise from the same seed, so TP
+// shards and replicas start bitwise aligned.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	world := comm.NewWorld(cfg.Topo.World())
+	sched := pp.NewFlexible(cfg.Topo.PP, cfg.V, cfg.NMB, cfg.NC)
+	cache := newGroupCache(world)
+	cl := &Cluster{Cfg: cfg, World: world, Sched: sched}
+
+	counts := pp.StageLayerCounts(cfg.Model.NLayers, sched.Stages(), cfg.Balanced)
+	for id := 0; id < world.Size(); id++ {
+		c := cfg.Topo.Coords(id)
+		r := &Rank{ID: id, Coord: c, cluster: cl}
+		r.Groups = Groups{
+			TP:    cache.get(cfg.Topo.TPGroupRanks(id), "tp"),
+			CP:    cache.get(cfg.Topo.CPGroupRanks(id), "cp"),
+			PP:    cache.get(cfg.Topo.PPGroupRanks(id), "pp"),
+			FSDP:  cache.get(cfg.Topo.FSDPGroupRanks(id), "dp"),
+			World: cache.get(allRanks(world.Size()), "world"),
+		}
+
+		replica := model.New(cfg.Model, rand.New(rand.NewSource(cfg.Seed)))
+		var tpc *tp.Ctx
+		if cfg.Topo.TP > 1 {
+			tpc = &tp.Ctx{Group: r.Groups.TP, Rank: id}
+			for i, b := range replica.Blocks {
+				replica.Blocks[i] = tp.ShardBlock(b, tpc)
+			}
+		}
+		stages := pp.SplitModel(replica, sched, c.PP, counts)
+		if tpc != nil {
+			// Vocabulary parallelism: shard the embedding table and output
+			// head across the TP group (the 128K-vocabulary matrices of
+			// §3.1.2 are far too large to replicate).
+			for _, st := range stages {
+				if st.Embed != nil {
+					st.Embed = tp.NewVocabParallelEmbeddingFromFull(
+						replica.Embed.P.Name, replica.Embed.P.W, tpc)
+				}
+				if st.Head != nil {
+					st.Head = tp.NewVocabParallelHeadFromFull(replica.Head, tpc)
+				}
+			}
+		}
+		r.Exec = &pp.Executor{
+			World: world, Group: r.Groups.PP, Rank: id, Sched: sched,
+			Stages: stages,
+		}
+		var params []*model.Param
+		for _, st := range r.Exec.Stages {
+			params = append(params, st.Params()...)
+		}
+		r.Opt = optim.NewAdamW(cfg.LR)
+		r.Shard = fsdp.New(r.Groups.FSDP, id, cfg.ZeRO, params, r.Opt)
+		if cfg.Topo.CP > 1 {
+			r.cpShard = cp.NewSharding(cfg.Seq, cfg.Topo.CP)
+		}
+		cl.Ranks = append(cl.Ranks, r)
+	}
+	return cl, nil
+}
+
+func allRanks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// buildMicrobatches prepares this rank's pipeline input for one step: the DP
+// group's samples split into micro-batches, with CP-local rows/positions and
+// token-weighted loss scales.
+func (r *Rank) buildMicrobatches(src data.Batcher, step int64) []*pp.Microbatch {
+	cfg := r.cluster.Cfg
+	samples := src.DPBatch(step, cfg.GBS, cfg.Topo.DP, r.Coord.DP)
+	mbs := make([]*pp.Microbatch, cfg.NMB)
+	mbsSamples := cfg.MBS()
+	for i := 0; i < cfg.NMB; i++ {
+		mb := &pp.Microbatch{}
+		for j := 0; j < mbsSamples; j++ {
+			full := samples[i*mbsSamples+j]
+			var mask attention.Mask = attention.Causal{}
+			if cfg.UseDocMask {
+				mask = attention.Document{DocID: full.DocIDs}
+			}
+			totalValid := validTargets(full.Targets)
+
+			if cfg.Topo.CP > 1 {
+				local := cp.LocalSample(r.cpShard, full, r.Groups.CP.LocalRank(r.ID))
+				localValid := validTargets(local.Targets)
+				mb.Samples = append(mb.Samples, local)
+				mb.Envs = append(mb.Envs, cp.Env(r.cpShard, mask, r.Groups.CP, r.ID))
+				// Head divides by localValid; the net per-token gradient
+				// coefficient must be 1/(gbs·totalValid).
+				mb.Scales = append(mb.Scales, float32(localValid)/(float32(cfg.GBS)*float32(totalValid)))
+				mb.Weights = append(mb.Weights, float64(localValid)/float64(totalValid))
+			} else {
+				mb.Samples = append(mb.Samples, full)
+				mb.Envs = append(mb.Envs, model.SeqEnv(cfg.Seq, mask))
+				mb.Scales = append(mb.Scales, 1/float32(cfg.GBS))
+				mb.Weights = append(mb.Weights, 1)
+			}
+		}
+		mbs[i] = mb
+	}
+	return mbs
+}
+
+func validTargets(ts []int) int {
+	n := 0
+	for _, t := range ts {
+		if t >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// stepRank executes one rank's training step and returns its weighted loss
+// contribution.
+func (r *Rank) stepRank(src data.Batcher, step int64) float64 {
+	cfg := r.cluster.Cfg
+	if cfg.ZeRO == fsdp.ZeRO3 {
+		r.Shard.GatherParams()
+	}
+	mbs := r.buildMicrobatches(src, step)
+	if cfg.ZeRO == fsdp.ZeRO2 {
+		r.Exec.OnBackward = func(vstage, mb int) { r.Shard.ReduceScatterGrads() }
+	} else {
+		r.Exec.OnBackward = nil
+	}
+	lossSum, _ := r.Exec.RunStep(mbs)
+	if cfg.LRSchedule != nil {
+		r.Opt.LR = float32(cfg.LRSchedule(r.Opt.StepCount()))
+	}
+	r.Opt.Tick()
+	r.Shard.Step()
+	return lossSum
+}
+
+// Step runs one synchronous training step across the whole cluster and
+// returns the global mean loss (per-sample token-mean averaged over the
+// global batch), identical in semantics to the sequential reference's
+// StepLoss over the same global batch.
+func (cl *Cluster) Step(src data.Batcher, step int64) float64 {
+	losses := make([]float64, len(cl.Ranks))
+	comm.RunSPMD(cl.World.Size(), func(id int) {
+		r := cl.Ranks[id]
+		local := r.stepRank(src, step)
+		// Aggregate the loss across the world: heads exist only on the last
+		// PP rank, and every TP rank duplicates the same head loss.
+		contrib := tensor.FromSlice([]float32{float32(local)}, 1)
+		total := r.Groups.World.AllReduce(id, contrib)
+		losses[id] = float64(total.Data[0]) / float64(cl.Cfg.Topo.TP) / float64(cl.Cfg.GBS)
+	})
+	return losses[0]
+}
+
+// EvalLoss runs a forward-only pass over the step's global batch and
+// returns the mean loss — validation without gradients, optimizer updates,
+// or activation retention.
+func (cl *Cluster) EvalLoss(src data.Batcher, step int64) float64 {
+	losses := make([]float64, len(cl.Ranks))
+	comm.RunSPMD(cl.World.Size(), func(id int) {
+		r := cl.Ranks[id]
+		if cl.Cfg.ZeRO == fsdp.ZeRO3 {
+			r.Shard.GatherParams()
+		}
+		mbs := r.buildMicrobatches(src, step)
+		local, _ := r.Exec.RunForward(mbs)
+		contrib := tensor.FromSlice([]float32{float32(local)}, 1)
+		total := r.Groups.World.AllReduce(id, contrib)
+		losses[id] = float64(total.Data[0]) / float64(cl.Cfg.Topo.TP) / float64(cl.Cfg.GBS)
+	})
+	return losses[0]
+}
+
+// SaveTo checkpoints the cluster's weights: one parameter stream per
+// (TP, PP) coordinate, taken from the dp=0/cp=0 replica (all DP/CP replicas
+// are bitwise identical). The stream restores into any cluster with the
+// same TP and PP — the DP, CP, sequence length, and batch size may all
+// change, which is exactly how Llama 3 moved between pre-training phases
+// (§2.2: growing GPU counts, batch sizes, and sequence lengths).
+func (cl *Cluster) SaveTo(w io.Writer) error {
+	cl.MaterializeParams()
+	for _, r := range cl.Ranks {
+		if r.Coord.DP != 0 || r.Coord.CP != 0 {
+			continue
+		}
+		if err := model.SaveParams(w, r.Shard.Params()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadFrom restores a SaveTo checkpoint into this cluster. TP and PP (and
+// the model architecture) must match the saving cluster; every DP/CP
+// replica receives the weights.
+func (cl *Cluster) LoadFrom(read io.Reader) error {
+	// Streams arrive in the saving cluster's (tp, pp) iteration order, which
+	// this cluster reproduces because rank order is deterministic.
+	type key struct{ tp, pp int }
+	loaded := make(map[key][]*model.Param)
+	for _, r := range cl.Ranks {
+		if r.Coord.DP != 0 || r.Coord.CP != 0 {
+			continue
+		}
+		if err := model.LoadParams(read, r.Shard.Params()); err != nil {
+			return fmt.Errorf("core: loading (tp=%d, pp=%d): %w", r.Coord.TP, r.Coord.PP, err)
+		}
+		loaded[key{r.Coord.TP, r.Coord.PP}] = r.Shard.Params()
+	}
+	// Copy into the remaining replicas.
+	for _, r := range cl.Ranks {
+		if r.Coord.DP == 0 && r.Coord.CP == 0 {
+			continue
+		}
+		src, ok := loaded[key{r.Coord.TP, r.Coord.PP}]
+		if !ok {
+			return fmt.Errorf("core: no source shard for rank %d", r.ID)
+		}
+		dst := r.Shard.Params()
+		for i := range dst {
+			copy(dst[i].W.Data, src[i].W.Data)
+		}
+	}
+	return nil
+}
+
+// SaveFullState checkpoints weights AND the sharded optimizer state of
+// every rank, enabling bitwise-exact resume on an identical topology.
+func (cl *Cluster) SaveFullState(w io.Writer) error {
+	if err := cl.SaveTo(w); err != nil {
+		return err
+	}
+	for _, r := range cl.Ranks {
+		if err := r.Opt.SaveState(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadFullState restores a SaveFullState checkpoint. The topology must
+// match exactly (optimizer shards are per-rank).
+func (cl *Cluster) LoadFullState(read io.Reader) error {
+	if err := cl.LoadFrom(read); err != nil {
+		return err
+	}
+	for _, r := range cl.Ranks {
+		if err := r.Opt.LoadState(read); err != nil {
+			return fmt.Errorf("core: loading optimizer state of rank %d: %w", r.ID, err)
+		}
+	}
+	return nil
+}
+
+// MaterializeParams all-gathers ZeRO-3-released parameters back into the
+// full per-rank buffers (no-op for ZeRO-1/2). Call before inspecting
+// weights.
+func (cl *Cluster) MaterializeParams() {
+	comm.RunSPMD(cl.World.Size(), func(id int) {
+		cl.Ranks[id].Shard.GatherParams()
+	})
+}
+
+// ParamsByName gathers one full copy of the model's parameters from the
+// cluster (TP shards reassembled, stages collected), for comparison against
+// a sequential reference. Only valid when TP == 1; with TP > 1 use
+// GradOrWeightShardsFor to compare shard-wise.
+func (cl *Cluster) ParamsByName() map[string]*tensor.Tensor {
+	if cl.Cfg.Topo.TP != 1 {
+		panic("core: ParamsByName requires TP == 1 (shards are partial)")
+	}
+	out := make(map[string]*tensor.Tensor)
+	// DP/CP replicas are identical; take dp=0, cp=0 ranks.
+	for _, r := range cl.Ranks {
+		if r.Coord.DP != 0 || r.Coord.CP != 0 || r.Coord.TP != 0 {
+			continue
+		}
+		for _, st := range r.Exec.Stages {
+			for _, p := range st.Params() {
+				out[p.Name] = p.W
+			}
+		}
+	}
+	return out
+}

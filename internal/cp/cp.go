@@ -1,0 +1,161 @@
+// Package cp implements the paper's context parallelism (§4): the input
+// sequence is split along its length across a CP group, attention all-gathers
+// the key/value tensors (fully exposed communication, by design), and every
+// rank evaluates the attention mask in global coordinates — which is what
+// makes irregular document masks work where ring-style tiling is error-prone.
+//
+// Sharding follows the paper's load-balancing scheme: the sequence is split
+// into 2×cp chunks and rank i owns chunks i and 2×cp−i−1, equalising causal
+// attention work across ranks. The package also provides a RingAttention
+// baseline (the TransformerEngine-style comparator of §7.2) built from the
+// attention package's partial-result merging.
+package cp
+
+import (
+	"fmt"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/comm"
+	"llama4d/internal/model"
+	"llama4d/internal/tensor"
+)
+
+// Sharding describes the 2×cp chunk assignment for one sequence length.
+type Sharding struct {
+	Seq int
+	CP  int
+}
+
+// NewSharding validates and builds a sharding. Seq must be divisible by 2·cp.
+func NewSharding(seq, cp int) Sharding {
+	if cp <= 0 || seq%(2*cp) != 0 {
+		panic(fmt.Sprintf("cp: seq %d not divisible by 2*cp=%d", seq, 2*cp))
+	}
+	return Sharding{Seq: seq, CP: cp}
+}
+
+// ChunkLen returns the token count of one chunk.
+func (s Sharding) ChunkLen() int { return s.Seq / (2 * s.CP) }
+
+// Chunks returns the two chunk indices owned by a CP local rank: (i, 2cp−i−1).
+func (s Sharding) Chunks(localRank int) (int, int) {
+	return localRank, 2*s.CP - localRank - 1
+}
+
+// LocalPositions returns the global positions of the rows owned by a local
+// rank, in local row order (first chunk then mirrored chunk).
+func (s Sharding) LocalPositions(localRank int) []int {
+	c := s.ChunkLen()
+	a, b := s.Chunks(localRank)
+	pos := make([]int, 0, 2*c)
+	for i := 0; i < c; i++ {
+		pos = append(pos, a*c+i)
+	}
+	for i := 0; i < c; i++ {
+		pos = append(pos, b*c+i)
+	}
+	return pos
+}
+
+// LocalRows returns this rank's rows of a full-sequence tensor (copy).
+func (s Sharding) LocalRows(full *tensor.Tensor, localRank int) *tensor.Tensor {
+	pos := s.LocalPositions(localRank)
+	out := tensor.New(len(pos), full.Cols())
+	for i, p := range pos {
+		copy(out.Row(i), full.Row(p))
+	}
+	return out
+}
+
+// LocalInts selects this rank's entries of a full-sequence int slice.
+func (s Sharding) LocalInts(full []int, localRank int) []int {
+	pos := s.LocalPositions(localRank)
+	out := make([]int, len(pos))
+	for i, p := range pos {
+		out[i] = full[p]
+	}
+	return out
+}
+
+// ScatterLocal adds local rows back into their global positions of dst.
+func (s Sharding) ScatterLocal(dst, local *tensor.Tensor, localRank int) {
+	pos := s.LocalPositions(localRank)
+	for i, p := range pos {
+		di, li := dst.Row(p), local.Row(i)
+		for j := range di {
+			di[j] += li[j]
+		}
+	}
+}
+
+// CausalWorkBalanced verifies the defining property of the 2×cp sharding:
+// every rank gets the same number of causal attention pairs. Returns the
+// per-rank pair counts.
+func (s Sharding) CausalWorkBalanced() []int {
+	counts := make([]int, s.CP)
+	for r := 0; r < s.CP; r++ {
+		counts[r] = attention.AllowedPairs(attention.Causal{}, s.LocalPositions(r), s.Seq)
+	}
+	return counts
+}
+
+// KV implements model.KVComm over a comm.Group: the all-gather-based CP
+// attention of §4. Gathered chunks are reassembled into global position
+// order, so downstream attention sees "a full K and V tensor after
+// all-gather" exactly as the paper describes.
+type KV struct {
+	Sharding Sharding
+	Group    *comm.Group
+	Rank     int // global rank
+}
+
+// GatherKV implements model.KVComm.
+func (kv *KV) GatherKV(k, v *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	return kv.gatherGlobal(k), kv.gatherGlobal(v)
+}
+
+func (kv *KV) gatherGlobal(local *tensor.Tensor) *tensor.Tensor {
+	parts := kv.Group.AllGatherParts(kv.Rank, local)
+	full := tensor.New(kv.Sharding.Seq, local.Cols())
+	for lr, part := range parts {
+		pos := kv.Sharding.LocalPositions(lr)
+		for i, p := range pos {
+			copy(full.Row(p), part.Row(i))
+		}
+	}
+	return full
+}
+
+// ReduceKVGrad implements model.KVComm: the backward-pass reduction of the
+// full-sequence K/V gradients back to local chunks. Implemented as a
+// deterministic all-reduce followed by local selection (numerically
+// identical to a permuted reduce-scatter; the cost model accounts for the
+// reduce-scatter volume).
+func (kv *KV) ReduceKVGrad(dK, dV *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	rk := kv.Group.AllReduce(kv.Rank, dK)
+	rv := kv.Group.AllReduce(kv.Rank, dV)
+	lr := kv.Group.LocalRank(kv.Rank)
+	return kv.Sharding.LocalRows(rk, lr), kv.Sharding.LocalRows(rv, lr)
+}
+
+// Env builds the model environment for a CP rank: the full-sequence mask
+// (each rank computes its own mask from the entire sequence, per §4
+// "CP ranks"), this rank's global positions, and the KV hook.
+func Env(sh Sharding, mask attention.Mask, group *comm.Group, globalRank int) *model.Env {
+	return &model.Env{
+		Mask: mask,
+		QPos: sh.LocalPositions(group.LocalRank(globalRank)),
+		KV:   &KV{Sharding: sh, Group: group, Rank: globalRank},
+	}
+}
+
+// LocalSample carves one rank's shard out of a full-sequence sample: local
+// tokens and targets in local row order. The document ids stay full-length —
+// the mask needs the whole sequence (§4 "Dataloaders").
+func LocalSample(sh Sharding, s *model.Sample, localRank int) *model.Sample {
+	return &model.Sample{
+		Tokens:  sh.LocalInts(s.Tokens, localRank),
+		DocIDs:  s.DocIDs, // full sequence: mask computation needs it all
+		Targets: sh.LocalInts(s.Targets, localRank),
+	}
+}

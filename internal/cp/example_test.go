@@ -1,0 +1,24 @@
+package cp_test
+
+import (
+	"fmt"
+
+	"llama4d/internal/cp"
+)
+
+// The paper's 2×cp sharding (§4): rank i owns chunks i and 2·cp−i−1, which
+// balances causal attention work exactly.
+func ExampleSharding_Chunks() {
+	s := cp.NewSharding(32, 4)
+	for r := 0; r < 4; r++ {
+		a, b := s.Chunks(r)
+		fmt.Println(r, a, b)
+	}
+	fmt.Println("balanced:", s.CausalWorkBalanced())
+	// Output:
+	// 0 0 7
+	// 1 1 6
+	// 2 2 5
+	// 3 3 4
+	// balanced: [132 132 132 132]
+}

@@ -1,0 +1,89 @@
+package cp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"llama4d/internal/attention"
+)
+
+func TestPropertyShardingPartitions(t *testing.T) {
+	// For any valid (seq, cp), local positions partition [0, seq) exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cpSize := 1 + rng.Intn(8)
+		seq := 2 * cpSize * (1 + rng.Intn(16))
+		s := NewSharding(seq, cpSize)
+		seen := make([]bool, seq)
+		for r := 0; r < cpSize; r++ {
+			for _, p := range s.LocalPositions(r) {
+				if p < 0 || p >= seq || seen[p] {
+					return false
+				}
+				seen[p] = true
+			}
+		}
+		for _, ok := range seen {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCausalBalanceExact(t *testing.T) {
+	// The 2×cp sharding balances causal pairs exactly for every shape.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cpSize := 1 + rng.Intn(8)
+		seq := 2 * cpSize * (1 + rng.Intn(16))
+		counts := NewSharding(seq, cpSize).CausalWorkBalanced()
+		for _, c := range counts[1:] {
+			if c != counts[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFastPairCountsMatchSlow(t *testing.T) {
+	// The O(n) pair counters agree with the O(n²) mask enumeration for
+	// random document layouts and random rank shards.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cpSize := 1 + rng.Intn(4)
+		seq := 2 * cpSize * (1 + rng.Intn(8))
+		var lengths []int
+		covered := 0
+		for covered < seq {
+			l := 1 + rng.Intn(seq/2+1)
+			lengths = append(lengths, l)
+			covered += l
+		}
+		ids := attention.DocIDsFromLengths(lengths, seq)
+		ds := attention.DocStarts(ids)
+		mask := attention.Document{DocID: ids}
+		sh := NewSharding(seq, cpSize)
+		for r := 0; r < cpSize; r++ {
+			pos := sh.LocalPositions(r)
+			fast := attention.FastAllowedPairs(pos, ds)
+			slow := int64(attention.AllowedPairs(mask, pos, seq))
+			if fast != slow {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

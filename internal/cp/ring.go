@@ -1,0 +1,182 @@
+package cp
+
+import (
+	"math"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/comm"
+	"llama4d/internal/tensor"
+)
+
+// RingAttention is the comparator of §7.2: the TransformerEngine-style
+// ring-based context-parallel attention. Each rank starts with its local KV
+// chunks and, over cp steps, computes a partial attention result against the
+// currently-held KV block while passing blocks around the ring, finally
+// merging the partials with log-sum-exp rescaling.
+//
+// Unlike the all-gather approach this touches O(cp) separate compute kernels
+// per rank and needs the merge arithmetic — the overheads the paper measures
+// at small sequence lengths (Fig 13).
+type RingAttention struct {
+	Sharding Sharding
+	Group    *comm.Group
+	World    *comm.World
+	Rank     int // global rank
+}
+
+const ringTagBase = 1 << 20 // tag space reserved for ring KV transfers
+
+// Forward computes this rank's attention output rows for one head.
+// q, k, v are the rank's local rows ([2·chunkLen, d]); the result matches
+// the all-gather CP attention and the sequential oracle bit-for-bit up to
+// merge rounding.
+func (r *RingAttention) Forward(q, k, v *tensor.Tensor, mask attention.Mask) *tensor.Tensor {
+	out, _ := r.ForwardWithStats(q, k, v, mask)
+	return out
+}
+
+// ForwardWithStats additionally returns the per-row log-sum-exp of the
+// masked logits — the statistic the backward pass needs to reconstruct each
+// block's softmax slice without re-merging (the "softmax log-sum-exp
+// results" of §4).
+func (r *RingAttention) ForwardWithStats(q, k, v *tensor.Tensor, mask attention.Mask) (*tensor.Tensor, []float64) {
+	lr := r.Group.LocalRank(r.Rank)
+	cp := r.Group.Size()
+	qPos := r.Sharding.LocalPositions(lr)
+
+	// The KV block currently held, and the positions its rows occupy.
+	curK, curV := k.Clone(), v.Clone()
+	curOwner := lr
+
+	var acc *attention.Partial
+	for step := 0; step < cp; step++ {
+		kPos := r.Sharding.LocalPositions(curOwner)
+		p := r.partial(q, curK, curV, mask, qPos, kPos)
+		if acc == nil {
+			acc = p
+		} else {
+			acc = attention.Merge(acc, p)
+		}
+		if step == cp-1 {
+			break
+		}
+		// Pass the block to the next rank in the ring; receive from previous.
+		next := r.Group.GlobalRank((lr + 1) % cp)
+		r.World.Send(r.Rank, next, ringTagBase+2*step, curK)
+		r.World.Send(r.Rank, next, ringTagBase+2*step+1, curV)
+		prev := r.Group.GlobalRank((lr - 1 + cp) % cp)
+		curK = r.World.Recv(r.Rank, prev, ringTagBase+2*step)
+		curV = r.World.Recv(r.Rank, prev, ringTagBase+2*step+1)
+		curOwner = (curOwner - 1 + cp) % cp
+	}
+	lse := make([]float64, len(acc.M))
+	for i := range lse {
+		if acc.L[i] == 0 {
+			lse[i] = math.Inf(-1)
+			continue
+		}
+		lse[i] = float64(acc.M[i]) + math.Log(float64(acc.L[i]))
+	}
+	return attention.Finalize(acc), lse
+}
+
+const ringBwdTagBase = ringTagBase + (1 << 18)
+
+// Backward back-propagates through ring attention. It replays the ring:
+// each step reconstructs the softmax slice against the currently-held KV
+// block from the saved log-sum-exp (P = exp(S − lse)), computes that block's
+// dK/dV, and circulates the KV blocks together with their gradient
+// accumulators so every block's gradient arrives back at its owner after a
+// full loop. dQ accumulates locally using the flash-attention identity
+// dS = P ∘ (dP − D) with D = rowsum(dO ∘ O).
+func (r *RingAttention) Backward(q, k, v, o *tensor.Tensor, lse []float64, dO *tensor.Tensor, mask attention.Mask) (dQ, dK, dV *tensor.Tensor) {
+	lr := r.Group.LocalRank(r.Rank)
+	cp := r.Group.Size()
+	qPos := r.Sharding.LocalPositions(lr)
+	sq, d := q.Rows(), q.Cols()
+	scale := float32(1 / math.Sqrt(float64(d)))
+
+	// D_i = Σ_j P_ij · dP_ij = dO_i · O_i (rowwise).
+	bigD := make([]float32, sq)
+	for i := 0; i < sq; i++ {
+		var s float32
+		oi, doi := o.Row(i), dO.Row(i)
+		for c := 0; c < d; c++ {
+			s += oi[c] * doi[c]
+		}
+		bigD[i] = s
+	}
+
+	curK, curV := k.Clone(), v.Clone()
+	curDK, curDV := tensor.New(k.Rows(), d), tensor.New(v.Rows(), d)
+	curOwner := lr
+	dQ = tensor.New(sq, d)
+
+	for step := 0; step < cp; step++ {
+		kPos := r.Sharding.LocalPositions(curOwner)
+		// Reconstruct this block's softmax slice: P_ij = exp(S_ij − lse_i).
+		sk := curK.Rows()
+		p := tensor.MatMulT(q, curK)
+		for i := 0; i < sq; i++ {
+			row := p.Row(i)
+			for j := 0; j < sk; j++ {
+				if !mask.Allowed(qPos[i], kPos[j]) || math.IsInf(lse[i], -1) {
+					row[j] = 0
+					continue
+				}
+				row[j] = float32(math.Exp(float64(row[j])*float64(scale) - lse[i]))
+			}
+		}
+		// dV_block += Pᵀ dO; dS = P ∘ (dP − D); dK_block += dSᵀ Q·scale;
+		// dQ += dS K_block·scale.
+		tensor.TMatMulAcc(curDV, p, dO)
+		dP := tensor.MatMulT(dO, curV)
+		dS := tensor.New(sq, sk)
+		for i := 0; i < sq; i++ {
+			pi, dpi, dsi := p.Row(i), dP.Row(i), dS.Row(i)
+			for j := range pi {
+				dsi[j] = pi[j] * (dpi[j] - bigD[i])
+			}
+		}
+		dQ.Add(tensor.MatMul(dS, curK).Scale(scale))
+		dkContrib := tensor.TMatMul(dS, q).Scale(scale)
+		curDK.Add(dkContrib)
+
+		// Circulate the block and its gradient accumulators; after cp−1
+		// passes each block (with its accumulated gradients) is back home.
+		next := r.Group.GlobalRank((lr + 1) % cp)
+		prev := r.Group.GlobalRank((lr - 1 + cp) % cp)
+		r.World.Send(r.Rank, next, ringBwdTagBase+4*step, curK)
+		r.World.Send(r.Rank, next, ringBwdTagBase+4*step+1, curV)
+		r.World.Send(r.Rank, next, ringBwdTagBase+4*step+2, curDK)
+		r.World.Send(r.Rank, next, ringBwdTagBase+4*step+3, curDV)
+		curK = r.World.Recv(r.Rank, prev, ringBwdTagBase+4*step)
+		curV = r.World.Recv(r.Rank, prev, ringBwdTagBase+4*step+1)
+		curDK = r.World.Recv(r.Rank, prev, ringBwdTagBase+4*step+2)
+		curDV = r.World.Recv(r.Rank, prev, ringBwdTagBase+4*step+3)
+		curOwner = (curOwner - 1 + cp) % cp
+	}
+	// After cp sends/receives the local block has completed the full loop.
+	return dQ, curDK, curDV
+}
+
+// partial computes attention of q rows (global positions qPos) against a KV
+// block whose rows sit at arbitrary global positions kPos. The block is
+// split into its two contiguous chunks so the kernel's contiguous-offset
+// interface applies.
+func (r *RingAttention) partial(q, k, v *tensor.Tensor, mask attention.Mask, qPos, kPos []int) *attention.Partial {
+	c := r.Sharding.ChunkLen()
+	first := attention.PartialForward(q, k.RowSlice(0, c), v.RowSlice(0, c), mask, qPos, kPos[0])
+	second := attention.PartialForward(q, k.RowSlice(c, 2*c), v.RowSlice(c, 2*c), mask, qPos, kPos[c])
+	return attention.Merge(first, second)
+}
+
+// AllGatherAttention computes the same output with the paper's approach:
+// one KV all-gather, then a single dense masked kernel per rank. Exposed for
+// head-to-head comparisons with RingAttention in tests and benchmarks.
+func AllGatherAttention(kv *KV, q, k, v *tensor.Tensor, mask attention.Mask) *tensor.Tensor {
+	fullK, fullV := kv.GatherKV(k, v)
+	lr := kv.Group.LocalRank(kv.Rank)
+	qPos := kv.Sharding.LocalPositions(lr)
+	return attention.Forward(q, fullK, fullV, mask, qPos, 0).O
+}

@@ -1,0 +1,113 @@
+package data
+
+import (
+	"fmt"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/model"
+)
+
+// Batcher is the data-source interface the trainer consumes: Generator
+// (synthetic) and Corpus (user-provided documents) both implement it.
+type Batcher interface {
+	// DPBatch returns the samples of one data-parallel group for one step.
+	DPBatch(step int64, gbs, ndp, dpRank int) []*model.Sample
+}
+
+var (
+	_ Batcher = (*Generator)(nil)
+	_ Batcher = (*Corpus)(nil)
+)
+
+// Corpus packs user-provided token documents into fixed-length training
+// sequences with eos separators and document masks — the bring-your-own-data
+// path. Documents are packed greedily in order; a document longer than the
+// remaining space is split across samples (the paper's sequences may begin
+// or end mid-document, which is why the slowest CP rank can hold a sequence
+// without any eos, §4).
+type Corpus struct {
+	Seq     int
+	EOS     int
+	samples []*model.Sample
+}
+
+// NewCorpus packs documents (each a token slice; tokens must be ≥ 0 and not
+// equal to eos) into samples of exactly seq tokens. Leftover space at the
+// end of the final sample is filled with eos padding.
+func NewCorpus(docs [][]int, seq, eos int) (*Corpus, error) {
+	c := &Corpus{Seq: seq, EOS: eos}
+	cur := make([]int, 0, seq)
+	flush := func() {
+		for len(cur) < seq {
+			cur = append(cur, eos)
+		}
+		tokens := append([]int(nil), cur...)
+		targets := make([]int, seq)
+		for i := 0; i < seq-1; i++ {
+			targets[i] = tokens[i+1]
+		}
+		targets[seq-1] = -1
+		c.samples = append(c.samples, &model.Sample{
+			Tokens:  tokens,
+			DocIDs:  attention.DocIDsFromEOS(tokens, eos),
+			Targets: targets,
+		})
+		cur = cur[:0]
+	}
+	for di, doc := range docs {
+		for _, tok := range doc {
+			if tok < 0 || tok == eos {
+				return nil, fmt.Errorf("data: document %d contains reserved token %d", di, tok)
+			}
+			cur = append(cur, tok)
+			if len(cur) == seq {
+				flush()
+			}
+		}
+		// Document boundary.
+		cur = append(cur, eos)
+		if len(cur) == seq {
+			flush()
+		}
+	}
+	if len(cur) > 0 {
+		flush()
+	}
+	if len(c.samples) == 0 {
+		return nil, fmt.Errorf("data: corpus is empty")
+	}
+	return c, nil
+}
+
+// Len returns the number of packed samples.
+func (c *Corpus) Len() int { return len(c.samples) }
+
+// Sample returns the packed sample at index i (mod the corpus length, so
+// epochs wrap around).
+func (c *Corpus) Sample(i int64) *model.Sample {
+	return c.samples[int(i%int64(len(c.samples)))]
+}
+
+// DPBatch implements Batcher with the same partitioning contract as
+// Generator.DPBatch.
+func (c *Corpus) DPBatch(step int64, gbs, ndp, dpRank int) []*model.Sample {
+	bs := gbs / ndp
+	out := make([]*model.Sample, bs)
+	for i := range out {
+		out[i] = c.Sample(step*int64(gbs) + int64(dpRank*bs+i))
+	}
+	return out
+}
+
+// TotalTokens returns the number of non-padding tokens packed.
+func (c *Corpus) TotalTokens() int {
+	n := 0
+	for _, s := range c.samples {
+		for _, tok := range s.Tokens {
+			if tok != c.EOS {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+// Package debug implements the paper's §6 debugging methodology as code:
+// top-down slow-rank localisation across the [DP → PP → CP → TP] hierarchy
+// (§6.1, Fig 8), and the numerical-issue toolkit (§6.2) — bitwise
+// comparison against order-emulated references and the identification of
+// gradient buffers that need FP32 accumulation.
+package debug
+
+import (
+	"fmt"
+
+	"llama4d/internal/core"
+	"llama4d/internal/trace"
+)
+
+// Localizer finds the root-cause slow rank in a multi-dimensional trace.
+//
+// The key observation (§6.1): within a process group, the slowest member
+// shows the *shortest* communication time — everyone else's collectives
+// stretch while waiting for it. A slow collective therefore implicates the
+// member with minimal communication, and the search proceeds top-down from
+// the outermost parallelism level so that inner-group symptoms (Fig 8's
+// Rank 2) are traced to their outer-group cause (Rank 6).
+type Localizer struct {
+	Topo core.Topology
+	T    *trace.Trace
+}
+
+// Step records one narrowing decision for the diagnostic report.
+type Step struct {
+	Dim        string
+	Candidates []int
+}
+
+// FindSlowRank narrows candidates dimension by dimension, outermost first,
+// then returns the candidate with the largest compute time — the root
+// cause — along with the narrowing path.
+func (l *Localizer) FindSlowRank() (int, []Step) {
+	candidates := make(map[int]bool)
+	for r := 0; r < l.Topo.World(); r++ {
+		candidates[r] = true
+	}
+	var path []Step
+	dims := []struct {
+		name   string
+		groups func(int) []int
+	}{
+		{"dp", l.Topo.DPGroupRanks},
+		{"pp", l.Topo.PPGroupRanks},
+		{"cp", l.Topo.CPGroupRanks},
+		{"tp", l.Topo.TPGroupRanks},
+	}
+	for _, dim := range dims {
+		next := make(map[int]bool)
+		seen := make(map[int]bool) // group representative dedup
+		for r := range candidates {
+			group := dim.groups(r)
+			if seen[group[0]] {
+				continue
+			}
+			seen[group[0]] = true
+			// The straggler of this group: minimal communication time in
+			// this dimension (it never waits; everyone waits for it).
+			best, bestDur := -1, 0.0
+			for _, m := range group {
+				if !candidates[m] {
+					continue
+				}
+				d := l.T.TotalDur(m, trace.Comm, dim.name)
+				if best == -1 || d < bestDur {
+					best, bestDur = m, d
+				}
+			}
+			if best >= 0 {
+				next[best] = true
+			}
+		}
+		if len(next) > 0 {
+			candidates = next
+		}
+		path = append(path, Step{Dim: dim.name, Candidates: sortedKeys(candidates)})
+	}
+	// Root cause: the remaining candidate with the largest compute time.
+	best, bestDur := -1, -1.0
+	for r := range candidates {
+		if d := l.T.TotalDur(r, trace.Compute, ""); d > bestDur {
+			best, bestDur = r, d
+		}
+	}
+	if bestDur == 0 {
+		// Communication-only trace (live Collector runs record no compute
+		// events): the straggler is the candidate that waited least overall.
+		best, bestDur = -1, 0
+		for r := range candidates {
+			d := l.T.TotalDur(r, trace.Comm, "")
+			if best == -1 || d < bestDur {
+				best, bestDur = r, d
+			}
+		}
+	}
+	return best, path
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// SyntheticTrace generates the trace a straggler produces: every rank does
+// `base` seconds of compute per step (the slow rank `slowdown`× more), and
+// each collective in each dimension stretches every member's communication
+// by how long it waits for the group's latest arrival — the signature the
+// localisation algorithm keys on.
+func SyntheticTrace(topo core.Topology, slowRank int, base, slowdown float64, steps int) *trace.Trace {
+	t := &trace.Trace{}
+	computeOf := func(r int) float64 {
+		if r == slowRank {
+			return base * slowdown
+		}
+		return base
+	}
+	dims := []struct {
+		name   string
+		groups func(int) []int
+	}{
+		{"tp", topo.TPGroupRanks},
+		{"cp", topo.CPGroupRanks},
+		{"pp", topo.PPGroupRanks},
+		{"dp", topo.DPGroupRanks},
+	}
+	for s := 0; s < steps; s++ {
+		t0 := float64(s) * base * (slowdown + 2)
+		for r := 0; r < topo.World(); r++ {
+			t.Add(trace.Event{Rank: r, Kind: trace.Compute, Name: "step.compute",
+				Start: t0, Dur: computeOf(r)})
+			at := t0 + computeOf(r)
+			for _, dim := range dims {
+				group := dim.groups(r)
+				slowest := 0.0
+				for _, m := range group {
+					if c := computeOf(m); c > slowest {
+						slowest = c
+					}
+				}
+				wait := slowest - computeOf(r) + 0.001*base // epsilon: wire time
+				t.Add(trace.Event{Rank: r, Kind: trace.Comm, Group: dim.name,
+					Name: dim.name + ".collective", Start: at, Dur: wait})
+				at += wait
+			}
+		}
+	}
+	return t
+}
+
+// Report formats a localisation result.
+func Report(rank int, path []Step) string {
+	s := ""
+	for _, st := range path {
+		s += fmt.Sprintf("  after %-2s: candidates %v\n", st.Dim, st.Candidates)
+	}
+	return fmt.Sprintf("slow rank: %d\n%s", rank, s)
+}

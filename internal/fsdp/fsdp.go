@@ -1,0 +1,249 @@
+// Package fsdp implements fully sharded data parallelism with the three
+// ZeRO sharding strategies the paper's in-house FSDP supports (§2.1):
+//
+//	ZeRO-1: shard optimizer states; keep full parameters and full gradients.
+//	ZeRO-2: additionally reshard gradients — reduce-scatter per backward
+//	        (the gradient-memory/communication trade-off of Fig 4).
+//	ZeRO-3: additionally shard parameters at rest — all-gather before use.
+//
+// Parameters are flattened into one padded flat buffer per Shard; each rank
+// owns a contiguous 1/n slice of it. The optimizer only ever sees the local
+// shard (sharded optimizer states), and reductions accumulate in FP32 in
+// deterministic rank order (§6.2).
+package fsdp
+
+import (
+	"fmt"
+
+	"llama4d/internal/comm"
+	"llama4d/internal/model"
+	"llama4d/internal/optim"
+	"llama4d/internal/tensor"
+)
+
+// Mode selects the ZeRO sharding strategy.
+type Mode int
+
+// ZeRO sharding strategies, in increasing order of what gets sharded.
+const (
+	ZeRO1 Mode = 1
+	ZeRO2 Mode = 2
+	ZeRO3 Mode = 3
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ZeRO1:
+		return "ZeRO-1"
+	case ZeRO2:
+		return "ZeRO-2"
+	case ZeRO3:
+		return "ZeRO-3"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// RecommendPolicy returns the paper's §3.1.3 production rule for combining
+// FSDP with pipeline parallelism: ZeRO-1 with the 1F1B schedule when the
+// per-group batch affords bs ≥ 2·pp (memory is plentiful, so skip the extra
+// per-micro-batch reduce-scatters), and ZeRO-2 with all-forward-all-backward
+// when bs < 2·pp (reshard gradients to survive the deeper in-flight queue).
+func RecommendPolicy(bs, pp int) (Mode, string) {
+	if bs >= 2*pp {
+		return ZeRO1, "1f1b"
+	}
+	return ZeRO2, "allfallb"
+}
+
+// Shard manages the FSDP state of one rank for one group of parameters
+// (a "unit": a block, a stage, or a whole model).
+type Shard struct {
+	Group *comm.Group
+	Rank  int // global rank
+	Mode  Mode
+
+	params    []*model.Param
+	flatLen   int // padded to a multiple of group size
+	shardLen  int
+	gradShard []float32 // this rank's accumulated reduced gradients
+	opt       optim.Optimizer
+	gathered  bool // ZeRO-3: whether full params are currently materialised
+}
+
+// New creates an FSDP shard over the given parameters. The parameter tensors
+// remain the compute buffers; for ZeRO-3 their contents are released between
+// uses (only the owner shard persists authoritative values).
+func New(group *comm.Group, rank int, mode Mode, params []*model.Param, opt optim.Optimizer) *Shard {
+	n := 0
+	for _, p := range params {
+		n += p.W.Len()
+	}
+	size := group.Size()
+	flatLen := (n + size - 1) / size * size
+	s := &Shard{
+		Group: group, Rank: rank, Mode: mode,
+		params: params, flatLen: flatLen, shardLen: flatLen / size,
+		gradShard: make([]float32, flatLen/size),
+		opt:       opt,
+	}
+	s.gathered = true // freshly constructed: replicas hold full params
+	return s
+}
+
+// Params returns the managed parameters.
+func (s *Shard) Params() []*model.Param { return s.params }
+
+// ShardLen returns the per-rank flat shard length (including padding).
+func (s *Shard) ShardLen() int { return s.shardLen }
+
+// flattenWeights copies all parameter values into a padded flat tensor.
+func (s *Shard) flattenWeights() *tensor.Tensor {
+	flat := tensor.New(s.flatLen)
+	off := 0
+	for _, p := range s.params {
+		copy(flat.Data[off:], p.W.Data)
+		off += p.W.Len()
+	}
+	return flat
+}
+
+// flattenGrads copies all gradient values into a padded flat tensor and
+// zeroes the per-parameter accumulators.
+func (s *Shard) flattenGrads() *tensor.Tensor {
+	flat := tensor.New(s.flatLen)
+	off := 0
+	for _, p := range s.params {
+		copy(flat.Data[off:], p.G.Data)
+		p.G.Zero()
+		off += p.G.Len()
+	}
+	return flat
+}
+
+// unflattenWeights writes a full flat weight buffer back into the parameters.
+func (s *Shard) unflattenWeights(flat *tensor.Tensor) {
+	off := 0
+	for _, p := range s.params {
+		copy(p.W.Data, flat.Data[off:off+p.W.Len()])
+		off += p.W.Len()
+	}
+}
+
+// localShard returns this rank's slice of a full flat buffer.
+func (s *Shard) localShard(flat *tensor.Tensor) []float32 {
+	lr := s.Group.LocalRank(s.Rank)
+	return flat.Data[lr*s.shardLen : (lr+1)*s.shardLen]
+}
+
+// ReduceScatterGrads reduce-scatters the currently accumulated per-parameter
+// gradients across the group, adding the result into this rank's gradient
+// shard, and clears the full-size accumulators.
+//
+// ZeRO-2 calls this after every backward (resharding gradient memory at the
+// cost of more collectives); ZeRO-1 calls it once per step via Step — the
+// exact trade-off of Fig 4.
+func (s *Shard) ReduceScatterGrads() {
+	flat := s.flattenGrads()
+	reduced := s.Group.ReduceScatter(s.Rank, flat.Reshape(s.Group.Size(), s.shardLen))
+	for i, v := range reduced.Data {
+		s.gradShard[i] += v
+	}
+}
+
+// GatherParams materialises the full parameters (ZeRO-3 pre-forward /
+// pre-backward all-gather). A no-op if already gathered.
+func (s *Shard) GatherParams() {
+	if s.gathered {
+		return
+	}
+	// Owner shards are authoritative: broadcast them via all-gather.
+	shard := tensor.FromSlice(s.ownedWeights(), s.shardLen)
+	full := s.Group.AllGather(s.Rank, shard)
+	s.unflattenWeights(full)
+	s.gathered = true
+}
+
+// ownedWeights extracts this rank's authoritative weight shard from the
+// (currently materialised or stale) parameter buffers. Ranks always keep
+// their own shard region valid.
+func (s *Shard) ownedWeights() []float32 {
+	flat := s.flattenWeights()
+	return s.localShard(flat)
+}
+
+// ReleaseParams drops the full parameter materialisation (ZeRO-3 post-use
+// reshard): every region outside this rank's shard is zeroed. The paper's
+// memory optimisations (§6.3) are about exactly this kind of eager release.
+func (s *Shard) ReleaseParams() {
+	if s.Mode != ZeRO3 {
+		return
+	}
+	owned := append([]float32(nil), s.ownedWeights()...)
+	for _, p := range s.params {
+		p.W.Zero()
+	}
+	flat := tensor.New(s.flatLen)
+	copy(s.localShard(flat), owned)
+	s.unflattenWeights(flat)
+	s.gathered = false
+}
+
+// Step completes a training step: ensures gradients are reduced, runs the
+// (sharded) optimizer on this rank's weight shard, and all-gathers the
+// updated parameters back into the full buffers (ZeRO-1/2) or leaves them
+// sharded (ZeRO-3 callers re-gather on next use via GatherParams).
+func (s *Shard) Step() {
+	// ZeRO-1 reduces once per step, on the last micro-batch (Fig 4a). For
+	// ZeRO-2/3 the per-backward reductions already emptied the accumulators,
+	// so this final reduce-scatter sums zeros; keeping it unconditional keeps
+	// the collective sequence identical on every rank.
+	s.ReduceScatterGrads()
+
+	flatW := s.flattenWeights()
+	local := s.localShard(flatW)
+	s.opt.Step(0, local, s.gradShard)
+	for i := range s.gradShard {
+		s.gradShard[i] = 0
+	}
+
+	updated := s.Group.AllGather(s.Rank, tensor.FromSlice(local, s.shardLen))
+	s.unflattenWeights(updated)
+	s.gathered = true
+	if s.Mode == ZeRO3 {
+		s.ReleaseParams()
+	}
+}
+
+// GradShardMaxAbs returns the largest accumulated gradient-shard magnitude
+// (diagnostics).
+func (s *Shard) GradShardMaxAbs() float32 {
+	var m float32
+	for _, v := range s.gradShard {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MemoryBytes reports the per-rank steady-state memory of this unit under
+// the shard's mode, in bytes, assuming 2-byte (BF16) parameters/gradients
+// and optStateBytesPerParam bytes of optimizer state per parameter — the
+// accounting behind the ZeRO rows of the paper's memory analysis.
+func (s *Shard) MemoryBytes(optStateBytesPerParam int) int64 {
+	n := int64(s.flatLen)
+	shard := int64(s.shardLen)
+	var params, grads int64
+	switch s.Mode {
+	case ZeRO1:
+		params, grads = 2*n, 2*n
+	case ZeRO2:
+		params, grads = 2*n, 2*shard
+	case ZeRO3:
+		params, grads = 2*shard, 2*shard
+	}
+	return params + grads + int64(optStateBytesPerParam)*shard
+}

@@ -1,0 +1,298 @@
+package fsdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"llama4d/internal/comm"
+	"llama4d/internal/data"
+	"llama4d/internal/model"
+	"llama4d/internal/optim"
+	"llama4d/internal/tensor"
+)
+
+func fullGroup(n int) (*comm.World, *comm.Group) {
+	w := comm.NewWorld(n)
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return w, w.NewGroup(ranks)
+}
+
+// trainSequential runs `steps` full-batch steps on a fresh model and returns
+// its final weights.
+func trainSequential(t *testing.T, cfg model.Config, gen *data.Generator, gbs, steps int, lr float32) []*model.Param {
+	t.Helper()
+	m := model.New(cfg, rand.New(rand.NewSource(500)))
+	opt := optim.NewAdamW(lr)
+	flat := func() ([]float32, []float32) {
+		var w, g []float32
+		for _, p := range m.Params() {
+			w = append(w, p.W.Data...)
+			g = append(g, p.G.Data...)
+		}
+		return w, g
+	}
+	for step := 0; step < steps; step++ {
+		m.ZeroGrads()
+		batch := gen.GlobalBatch(int64(step), gbs)
+		for _, s := range batch {
+			_, ctx := m.ForwardLoss(s.Tokens, s.Targets, data.Env(s), 1/float32(gbs))
+			m.Backward(ctx)
+		}
+		opt.Tick()
+		w, g := flat()
+		opt.Step(0, w, g)
+		// Write updated weights back.
+		off := 0
+		for _, p := range m.Params() {
+			copy(p.W.Data, w[off:off+p.W.Len()])
+			off += p.W.Len()
+		}
+	}
+	return m.Params()
+}
+
+// trainFSDP trains ndp replicas under the given ZeRO mode on the same data
+// partitioning and returns rank 0's final weights.
+func trainFSDP(t *testing.T, cfg model.Config, gen *data.Generator, gbs, steps, ndp int, mode Mode, lr float32) [][]*model.Param {
+	t.Helper()
+	_, g := fullGroup(ndp)
+	models := make([]*model.Model, ndp)
+	shards := make([]*Shard, ndp)
+	init := model.New(cfg, rand.New(rand.NewSource(500)))
+	for r := 0; r < ndp; r++ {
+		models[r] = model.New(cfg, rand.New(rand.NewSource(1000+int64(r))))
+		init.CopyWeightsTo(models[r].Params())
+		shards[r] = New(g, r, mode, models[r].Params(), optim.NewAdamW(lr))
+	}
+	for step := 0; step < steps; step++ {
+		comm.RunSPMD(ndp, func(rank int) {
+			sh := shards[rank]
+			if mode == ZeRO3 {
+				sh.GatherParams()
+			}
+			batch := gen.DPBatch(int64(step), gbs, ndp, rank)
+			for _, s := range batch {
+				_, ctx := models[rank].ForwardLoss(s.Tokens, s.Targets, data.Env(s), 1/float32(gbs))
+				models[rank].Backward(ctx)
+				if mode == ZeRO2 || mode == ZeRO3 {
+					sh.ReduceScatterGrads() // reshard gradients per backward
+				}
+			}
+			if a, ok := sh.opt.(*optim.AdamW); ok {
+				a.Tick()
+			}
+			sh.Step()
+		})
+	}
+	out := make([][]*model.Param, ndp)
+	for r := 0; r < ndp; r++ {
+		if mode == ZeRO3 {
+			// Materialise for comparison.
+			comm.RunSPMD(ndp, func(rank int) { shards[rank].GatherParams() })
+		}
+		out[r] = models[r].Params()
+	}
+	return out
+}
+
+func testCfg() model.Config {
+	return model.Config{Vocab: 32, Dim: 16, Hidden: 32, NHeads: 4, NKVHeads: 2, NLayers: 2, MaxSeq: 16, RopeBase: 10000}
+}
+
+func TestFSDPMatchesSequentialAllModes(t *testing.T) {
+	cfg := testCfg()
+	gen := &data.Generator{Vocab: cfg.Vocab, Seq: 16, AvgDocLen: 6, Seed: 11}
+	gbs, steps, ndp := 4, 3, 2
+	ref := trainSequential(t, cfg, gen, gbs, steps, 1e-3)
+	for _, mode := range []Mode{ZeRO1, ZeRO2, ZeRO3} {
+		got := trainFSDP(t, cfg, gen, gbs, steps, ndp, mode, 1e-3)
+		for r := 0; r < ndp; r++ {
+			for i, p := range got[r] {
+				if d := tensor.MaxDiff(p.W, ref[i].W); d > 1e-4 {
+					t.Fatalf("%v rank %d param %s differs from sequential by %v", mode, r, p.Name, d)
+				}
+			}
+		}
+		// All replicas bitwise identical after all-gather.
+		for i := range got[0] {
+			if !tensor.BitwiseEqual(got[0][i].W, got[1][i].W) {
+				t.Fatalf("%v replicas diverged on %s", mode, got[0][i].Name)
+			}
+		}
+	}
+}
+
+func TestZeRO1vsZeRO2AccumulationOrder(t *testing.T) {
+	// The §6.2 lesson, reproduced: ZeRO-1 accumulates micro-batches locally
+	// before one reduce (grouping additions by rank), ZeRO-2 reduces every
+	// micro-batch (grouping by micro-batch). The sums are mathematically
+	// equal but floating-point addition is non-associative, so the two modes
+	// agree only up to rounding — a numerics gap, not an implementation bug.
+	cfg := testCfg()
+	gen := &data.Generator{Vocab: cfg.Vocab, Seq: 16, AvgDocLen: 6, Seed: 12}
+	a := trainFSDP(t, cfg, gen, 4, 2, 2, ZeRO1, 1e-3)
+	b := trainFSDP(t, cfg, gen, 4, 2, 2, ZeRO2, 1e-3)
+	for i := range a[0] {
+		if d := tensor.MaxDiff(a[0][i].W, b[0][i].W); d > 1e-4 {
+			t.Fatalf("ZeRO-1 vs ZeRO-2 on %s differ by %v: beyond rounding, suggests a bug", a[0][i].Name, d)
+		}
+	}
+	// Re-running the SAME mode must be bitwise identical: the discriminator
+	// between accumulation-order effects and implementation bugs.
+	a2 := trainFSDP(t, cfg, gen, 4, 2, 2, ZeRO1, 1e-3)
+	for i := range a[0] {
+		if !tensor.BitwiseEqual(a[0][i].W, a2[0][i].W) {
+			t.Fatalf("same-mode rerun diverged on %s: implementation bug", a[0][i].Name)
+		}
+	}
+}
+
+func TestReduceScatterGradsAccumulates(t *testing.T) {
+	ndp := 2
+	_, g := fullGroup(ndp)
+	params := make([][]*model.Param, ndp)
+	shards := make([]*Shard, ndp)
+	for r := 0; r < ndp; r++ {
+		p := model.NewParam("w", tensor.New(4))
+		params[r] = []*model.Param{p}
+		shards[r] = New(g, r, ZeRO2, params[r], optim.NewSGD(0.1, 0))
+	}
+	comm.RunSPMD(ndp, func(rank int) {
+		params[rank][0].G.Fill(1)
+		shards[rank].ReduceScatterGrads()
+		params[rank][0].G.Fill(2)
+		shards[rank].ReduceScatterGrads()
+	})
+	// Each shard entry: (1+1) + (2+2) = 6.
+	for r := 0; r < ndp; r++ {
+		for _, v := range shards[r].gradShard {
+			if v != 6 {
+				t.Fatalf("rank %d grad shard = %v", r, shards[r].gradShard)
+			}
+		}
+		if params[r][0].G.MaxAbs() != 0 {
+			t.Fatal("accumulators must be cleared after reduce-scatter")
+		}
+	}
+}
+
+func TestZeRO3ReleaseAndGather(t *testing.T) {
+	ndp := 2
+	_, g := fullGroup(ndp)
+	ps := make([][]*model.Param, ndp)
+	shards := make([]*Shard, ndp)
+	rng := rand.New(rand.NewSource(13))
+	orig := tensor.RandN(rng, 1, 8)
+	for r := 0; r < ndp; r++ {
+		p := model.NewParam("w", orig.Clone())
+		ps[r] = []*model.Param{p}
+		shards[r] = New(g, r, ZeRO3, ps[r], optim.NewSGD(0.1, 0))
+	}
+	comm.RunSPMD(ndp, func(rank int) {
+		sh := shards[rank]
+		sh.ReleaseParams()
+		// After release, only the owner shard region is non-zero.
+		nonzero := 0
+		for _, v := range ps[rank][0].W.Data {
+			if v != 0 {
+				nonzero++
+			}
+		}
+		if nonzero > sh.ShardLen() {
+			panic("release must drop non-owned regions")
+		}
+		sh.GatherParams()
+	})
+	for r := 0; r < ndp; r++ {
+		if !tensor.BitwiseEqual(ps[r][0].W, orig) {
+			t.Fatalf("rank %d gather did not restore weights", r)
+		}
+	}
+}
+
+func TestMemoryBytesOrdering(t *testing.T) {
+	// ZeRO-3 < ZeRO-2 < ZeRO-1 in steady-state bytes for n > 1 ranks.
+	ndp := 4
+	_, g := fullGroup(ndp)
+	p := []*model.Param{model.NewParam("w", tensor.New(1024))}
+	var prev int64 = 1 << 62
+	for _, mode := range []Mode{ZeRO1, ZeRO2, ZeRO3} {
+		sh := New(g, 0, mode, p, optim.NewSGD(0.1, 0))
+		b := sh.MemoryBytes(8)
+		if b >= prev {
+			t.Fatalf("%v bytes %d not smaller than previous %d", mode, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestPaddingHandlesIndivisibleParamCount(t *testing.T) {
+	ndp := 4
+	_, g := fullGroup(ndp)
+	ps := make([][]*model.Param, ndp)
+	shards := make([]*Shard, ndp)
+	for r := 0; r < ndp; r++ {
+		// 10 elements over 4 ranks: padded to 12.
+		ps[r] = []*model.Param{model.NewParam("a", tensor.New(7)), model.NewParam("b", tensor.New(3))}
+		shards[r] = New(g, r, ZeRO1, ps[r], optim.NewSGD(0.5, 0))
+	}
+	if shards[0].ShardLen() != 3 {
+		t.Fatalf("shard len = %d, want 3", shards[0].ShardLen())
+	}
+	comm.RunSPMD(ndp, func(rank int) {
+		ps[rank][0].G.Fill(1)
+		ps[rank][1].G.Fill(1)
+		shards[rank].Step()
+	})
+	// All weights moved by -lr * ndp * 1 = -2.
+	for r := 0; r < ndp; r++ {
+		for _, p := range ps[r] {
+			for _, v := range p.W.Data {
+				if math.Abs(float64(v)+2) > 1e-6 {
+					t.Fatalf("rank %d weight %v, want -2", r, v)
+				}
+			}
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ZeRO1.String() != "ZeRO-1" || ZeRO3.String() != "ZeRO-3" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func BenchmarkZeRO1Step(b *testing.B) {
+	ndp := 4
+	_, g := fullGroup(ndp)
+	ps := make([][]*model.Param, ndp)
+	shards := make([]*Shard, ndp)
+	for r := 0; r < ndp; r++ {
+		ps[r] = []*model.Param{model.NewParam("w", tensor.New(1<<14))}
+		shards[r] = New(g, r, ZeRO1, ps[r], optim.NewSGD(0.01, 0))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comm.RunSPMD(ndp, func(rank int) {
+			ps[rank][0].G.Fill(0.001)
+			shards[rank].Step()
+		})
+	}
+}
+
+func TestRecommendPolicyPaperRule(t *testing.T) {
+	// §3.1.3: ZeRO-1 + 1F1B when bs ≥ 2·pp; ZeRO-2 + all-F-all-B otherwise.
+	if m, s := RecommendPolicy(32, 16); m != ZeRO1 || s != "1f1b" {
+		t.Fatalf("bs=2pp: got %v %s", m, s)
+	}
+	if m, s := RecommendPolicy(16, 16); m != ZeRO2 || s != "allfallb" {
+		t.Fatalf("bs=pp: got %v %s", m, s)
+	}
+	if m, _ := RecommendPolicy(64, 16); m != ZeRO1 {
+		t.Fatalf("large bs: got %v", m)
+	}
+}

@@ -1,0 +1,159 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/tensor"
+)
+
+// Attention is a grouped-query attention (GQA) block. NHeads and NKVHeads
+// are the *local* head counts: under tensor parallelism the constructor in
+// the tp package divides them by the TP degree and substitutes
+// column/row-parallel projections, leaving this module unchanged — the
+// Megatron-style head sharding of §2.1.
+type Attention struct {
+	NHeads   int
+	NKVHeads int
+	HeadDim  int
+	Rope     RoPE
+
+	Wq, Wk, Wv, Wo Layer
+}
+
+// NewAttention builds a sequential (non-parallel) GQA block.
+func NewAttention(name string, dim, nHeads, nKVHeads, headDim int, ropeBase float64, rng *rand.Rand) *Attention {
+	return &Attention{
+		NHeads:   nHeads,
+		NKVHeads: nKVHeads,
+		HeadDim:  headDim,
+		Rope:     RoPE{HeadDim: headDim, Base: ropeBase},
+		Wq:       NewLinear(name+".wq", dim, nHeads*headDim, rng),
+		Wk:       NewLinear(name+".wk", dim, nKVHeads*headDim, rng),
+		Wv:       NewLinear(name+".wv", dim, nKVHeads*headDim, rng),
+		Wo:       NewLinear(name+".wo", nHeads*headDim, dim, rng),
+	}
+}
+
+type attnCtx struct {
+	env                    *Env
+	qCtx, kCtx, vCtx, oCtx any
+	qRot                   *tensor.Tensor   // post-RoPE local queries [rows, nH*hd]
+	kFull                  *tensor.Tensor   // post-RoPE full-sequence keys [fullSeq, nKV*hd]
+	vFull                  *tensor.Tensor   // full-sequence values
+	probs                  []*tensor.Tensor // per local head
+}
+
+// headCols copies the column block of head h (width hd) out of t.
+func headCols(t *tensor.Tensor, h, hd int) *tensor.Tensor {
+	rows := t.Rows()
+	out := tensor.New(rows, hd)
+	w := t.Cols()
+	for i := 0; i < rows; i++ {
+		copy(out.Row(i), t.Data[i*w+h*hd:i*w+h*hd+hd])
+	}
+	return out
+}
+
+// addHeadCols accumulates src into the column block of head h of dst.
+func addHeadCols(dst, src *tensor.Tensor, h, hd int) {
+	rows := dst.Rows()
+	w := dst.Cols()
+	for i := 0; i < rows; i++ {
+		di := dst.Data[i*w+h*hd : i*w+h*hd+hd]
+		si := src.Row(i)
+		for j := range di {
+			di[j] += si[j]
+		}
+	}
+}
+
+// Forward implements Layer.
+func (a *Attention) Forward(x *tensor.Tensor, env *Env) (*tensor.Tensor, any) {
+	if env == nil {
+		panic("model: attention requires an Env (mask and positions)")
+	}
+	if len(env.QPos) != x.Rows() {
+		panic(fmt.Sprintf("model: %d positions for %d rows", len(env.QPos), x.Rows()))
+	}
+	ctx := &attnCtx{env: env}
+
+	var q, k, v *tensor.Tensor
+	q, ctx.qCtx = a.Wq.Forward(x, env)
+	k, ctx.kCtx = a.Wk.Forward(x, env)
+	v, ctx.vCtx = a.Wv.Forward(x, env)
+
+	q = a.Rope.Apply(q, env.QPos)
+	k = a.Rope.Apply(k, env.QPos)
+	ctx.qRot = q
+
+	if env.KV != nil {
+		// Context parallelism: all-gather the full-sequence K/V (§4).
+		ctx.kFull, ctx.vFull = env.KV.GatherKV(k, v)
+	} else {
+		ctx.kFull, ctx.vFull = k, v
+	}
+
+	group := a.NHeads / a.NKVHeads
+	ctx.probs = make([]*tensor.Tensor, a.NHeads)
+	concat := tensor.New(x.Rows(), a.NHeads*a.HeadDim)
+	for h := 0; h < a.NHeads; h++ {
+		qh := headCols(q, h, a.HeadDim)
+		kv := h / group
+		kh := headCols(ctx.kFull, kv, a.HeadDim)
+		vh := headCols(ctx.vFull, kv, a.HeadDim)
+		out := attention.Forward(qh, kh, vh, env.Mask, env.QPos, 0)
+		ctx.probs[h] = out.P
+		addHeadCols(concat, out.O, h, a.HeadDim)
+	}
+
+	y, oCtx := a.Wo.Forward(concat, env)
+	ctx.oCtx = oCtx
+	return y, ctx
+}
+
+// Backward implements Layer.
+func (a *Attention) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
+	ctx := ctxAny.(*attnCtx)
+	env := ctx.env
+
+	dConcat := a.Wo.Backward(ctx.oCtx, dy)
+
+	group := a.NHeads / a.NKVHeads
+	dq := tensor.New(ctx.qRot.Rows(), a.NHeads*a.HeadDim)
+	dKFull := tensor.New(ctx.kFull.Rows(), a.NKVHeads*a.HeadDim)
+	dVFull := tensor.New(ctx.vFull.Rows(), a.NKVHeads*a.HeadDim)
+	for h := 0; h < a.NHeads; h++ {
+		qh := headCols(ctx.qRot, h, a.HeadDim)
+		kv := h / group
+		kh := headCols(ctx.kFull, kv, a.HeadDim)
+		vh := headCols(ctx.vFull, kv, a.HeadDim)
+		dOh := headCols(dConcat, h, a.HeadDim)
+		dqh, dkh, dvh := attention.Backward(qh, kh, vh, ctx.probs[h], dOh)
+		addHeadCols(dq, dqh, h, a.HeadDim)
+		addHeadCols(dKFull, dkh, kv, a.HeadDim)
+		addHeadCols(dVFull, dvh, kv, a.HeadDim)
+	}
+
+	var dk, dv *tensor.Tensor
+	if env.KV != nil {
+		// Reduce-scatter the full-sequence KV gradients back to local chunks.
+		dk, dv = env.KV.ReduceKVGrad(dKFull, dVFull)
+	} else {
+		dk, dv = dKFull, dVFull
+	}
+
+	dq = a.Rope.ApplyGrad(dq, env.QPos)
+	dk = a.Rope.ApplyGrad(dk, env.QPos)
+
+	dx := a.Wq.Backward(ctx.qCtx, dq)
+	dx.Add(a.Wk.Backward(ctx.kCtx, dk))
+	dx.Add(a.Wv.Backward(ctx.vCtx, dv))
+	return dx
+}
+
+// Params implements Layer.
+func (a *Attention) Params() []*Param {
+	return CollectParams(a.Wq, a.Wk, a.Wv, a.Wo)
+}

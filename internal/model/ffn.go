@@ -1,0 +1,73 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+
+	"llama4d/internal/tensor"
+)
+
+// FFN is the SwiGLU feed-forward network of Llama:
+// y = W2(silu(W1·x) ∘ W3·x). Under tensor parallelism the tp package
+// substitutes W1/W3 with column-parallel and W2 with row-parallel linears.
+type FFN struct {
+	W1 Layer // gate projection [dim, hidden]
+	W3 Layer // up projection   [dim, hidden]
+	W2 Layer // down projection [hidden, dim]
+}
+
+// NewFFN builds a sequential SwiGLU FFN.
+func NewFFN(name string, dim, hidden int, rng *rand.Rand) *FFN {
+	return &FFN{
+		W1: NewLinear(name+".w1", dim, hidden, rng),
+		W3: NewLinear(name+".w3", dim, hidden, rng),
+		W2: NewLinear(name+".w2", hidden, dim, rng),
+	}
+}
+
+type ffnCtx struct {
+	a, b       *tensor.Tensor // gate pre-activation, up projection
+	c1, c3, c2 any
+}
+
+func sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// Forward implements Layer.
+func (f *FFN) Forward(x *tensor.Tensor, env *Env) (*tensor.Tensor, any) {
+	ctx := &ffnCtx{}
+	var a, b *tensor.Tensor
+	a, ctx.c1 = f.W1.Forward(x, env)
+	b, ctx.c3 = f.W3.Forward(x, env)
+	ctx.a, ctx.b = a, b
+	h := tensor.New(a.Rows(), a.Cols())
+	for i, av := range a.Data {
+		h.Data[i] = av * sigmoid(av) * b.Data[i]
+	}
+	y, c2 := f.W2.Forward(h, env)
+	ctx.c2 = c2
+	return y, ctx
+}
+
+// Backward implements Layer.
+func (f *FFN) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
+	ctx := ctxAny.(*ffnCtx)
+	dh := f.W2.Backward(ctx.c2, dy)
+	da := tensor.New(dh.Rows(), dh.Cols())
+	db := tensor.New(dh.Rows(), dh.Cols())
+	for i := range dh.Data {
+		a := ctx.a.Data[i]
+		s := sigmoid(a)
+		silu := a * s
+		dSilu := s * (1 + a*(1-s))
+		da.Data[i] = dh.Data[i] * ctx.b.Data[i] * dSilu
+		db.Data[i] = dh.Data[i] * silu
+	}
+	dx := f.W1.Backward(ctx.c1, da)
+	dx.Add(f.W3.Backward(ctx.c3, db))
+	return dx
+}
+
+// Params implements Layer.
+func (f *FFN) Params() []*Param { return CollectParams(f.W1, f.W3, f.W2) }

@@ -1,0 +1,33 @@
+package model
+
+import (
+	"math/rand"
+
+	"llama4d/internal/tensor"
+)
+
+// Linear is a bias-free linear layer y = x @ W with W of shape [in, out]
+// (Llama uses no biases).
+type Linear struct {
+	P *Param
+}
+
+// NewLinear creates a linear layer with N(0, 0.02²) initialisation.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	return &Linear{P: NewParam(name, initWeight(rng, 0.02, in, out))}
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, _ *Env) (*tensor.Tensor, any) {
+	return tensor.MatMul(x, l.P.W), x
+}
+
+// Backward implements Layer: accumulates dW = xᵀ @ dy and returns dx = dy @ Wᵀ.
+func (l *Linear) Backward(ctx any, dy *tensor.Tensor) *tensor.Tensor {
+	x := ctx.(*tensor.Tensor)
+	tensor.TMatMulAcc(l.P.G, x, dy)
+	return tensor.MatMulT(dy, l.P.W)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.P} }

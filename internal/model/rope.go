@@ -1,0 +1,58 @@
+package model
+
+import (
+	"math"
+
+	"llama4d/internal/tensor"
+)
+
+// RoPE applies rotary position embeddings to per-head query/key projections.
+// Rotation angles depend on the token's *global* sequence position, which is
+// why context-parallel ranks must select positional encodings matching their
+// token chunks (§4 "Integration: CP ranks").
+type RoPE struct {
+	HeadDim int
+	Base    float64
+}
+
+// invFreq returns the inverse frequency for dimension pair i.
+func (r RoPE) invFreq(i int) float64 {
+	return 1 / math.Pow(r.Base, float64(2*i)/float64(r.HeadDim))
+}
+
+// rotate applies the rotation with the given sign (+1 forward, -1 backward —
+// the Jacobian of a rotation is the inverse rotation) to every head of x.
+// x is [rows, nHeads*HeadDim]; pos gives each row's global position.
+func (r RoPE) rotate(x *tensor.Tensor, pos []int, sign float64) *tensor.Tensor {
+	rows, width := x.Rows(), x.Cols()
+	nHeads := width / r.HeadDim
+	out := tensor.New(rows, width)
+	half := r.HeadDim / 2
+	for i := 0; i < rows; i++ {
+		xi, oi := x.Row(i), out.Row(i)
+		p := float64(pos[i])
+		for h := 0; h < nHeads; h++ {
+			base := h * r.HeadDim
+			for j := 0; j < half; j++ {
+				theta := sign * p * r.invFreq(j)
+				c := float32(math.Cos(theta))
+				s := float32(math.Sin(theta))
+				a := xi[base+2*j]
+				b := xi[base+2*j+1]
+				oi[base+2*j] = a*c - b*s
+				oi[base+2*j+1] = a*s + b*c
+			}
+		}
+	}
+	return out
+}
+
+// Apply rotates x forward by each row's position.
+func (r RoPE) Apply(x *tensor.Tensor, pos []int) *tensor.Tensor {
+	return r.rotate(x, pos, 1)
+}
+
+// ApplyGrad back-propagates through Apply: rotation by the negated angle.
+func (r RoPE) ApplyGrad(dy *tensor.Tensor, pos []int) *tensor.Tensor {
+	return r.rotate(dy, pos, -1)
+}

@@ -1,0 +1,44 @@
+package pp_test
+
+import (
+	"fmt"
+
+	"llama4d/internal/pp"
+)
+
+// The warm-up formula of §3.1.1 on the paper's Fig 2 example: 3 PP ranks,
+// 2 virtual stages, rounds of 3 consecutive micro-batches.
+func ExampleWarmup() {
+	for ppr := 0; ppr < 3; ppr++ {
+		fmt.Println(pp.Warmup(3, 2, 6, 3, ppr))
+	}
+	// Output:
+	// 7
+	// 5
+	// 3
+}
+
+// The flexible schedule accepts micro-batch counts the original interleaved
+// 1F1B rejects, and still validates and simulates deadlock-free.
+func ExampleNewFlexible() {
+	s := pp.NewFlexible(4, 2, 5, 3) // nmb=5 is not a multiple of pp=4
+	fmt.Println("valid:", s.Validate() == nil)
+	tl, err := s.Simulate(pp.UniformCosts(1, 0))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bubble: %.3f\n", tl.BubbleRatio())
+	// Output:
+	// valid: true
+	// bubble: 0.600
+}
+
+// Peak in-flight micro-batches grow by (nc−pp)·(v−1) when warm-up is
+// extended to hide P2P (§3.1.1).
+func ExampleSchedule_PeakInFlight() {
+	base := pp.NewFlexible(4, 3, 12, 4)
+	extra := pp.NewFlexible(4, 3, 12, 6)
+	fmt.Println(base.PeakInFlight()[0], extra.PeakInFlight()[0])
+	// Output:
+	// 15 19
+}

@@ -1,0 +1,345 @@
+package pp
+
+import (
+	"fmt"
+
+	"llama4d/internal/comm"
+	"llama4d/internal/model"
+	"llama4d/internal/tensor"
+)
+
+// Stage holds the model fragment of one virtual pipeline stage. Embed is
+// non-nil only on global stage 0, Head only on the last global stage — the
+// placement whose memory/compute skew motivates the paper's balanced-PP
+// co-design (§3.1.2).
+type Stage struct {
+	Embed  model.TokenEmbedder
+	Layers []model.Layer
+	Head   model.LossHead
+}
+
+// Params returns all parameters owned by the stage.
+func (s *Stage) Params() []*model.Param {
+	var ps []*model.Param
+	if s.Embed != nil {
+		ps = append(ps, s.Embed.Params()...)
+	}
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	if s.Head != nil {
+		ps = append(ps, s.Head.Params()...)
+	}
+	return ps
+}
+
+// Microbatch is the unit of pipeline execution: a list of samples with their
+// attention environments and per-sample gradient scale. Scale applies to all
+// samples; Scales, if non-nil, overrides it per sample (context parallelism
+// needs per-sample token-count weighting).
+type Microbatch struct {
+	Samples []*model.Sample
+	Envs    []*model.Env
+	Scale   float32
+	Scales  []float32
+	// Weights, if non-nil, weight each sample's head loss in the returned
+	// loss sum (context parallelism weights by local/total token counts so
+	// that summing across CP ranks yields the full-sample token mean).
+	Weights []float64
+}
+
+func (m *Microbatch) scale(i int) float32 {
+	if m.Scales != nil {
+		return m.Scales[i]
+	}
+	return m.Scale
+}
+
+// Executor runs a schedule's ops for one rank over real tensors, exchanging
+// activations and gradients through decoupled asynchronous P2P.
+type Executor struct {
+	World  *comm.World
+	Group  *comm.Group // pipeline group; local rank order = pipeline order
+	Rank   int         // global rank
+	Sched  *Schedule
+	Stages []*Stage // local virtual stages
+
+	// PeakLiveContexts records, after RunStep, the maximum number of
+	// micro-batch forward contexts simultaneously held — the measured
+	// counterpart of Schedule.PeakInFlight.
+	PeakLiveContexts int
+
+	// OnBackward, if set, runs after every backward op (stage, mb). FSDP
+	// ZeRO-2 hooks its per-micro-batch gradient reduce-scatter here (Fig 4c);
+	// the hook must perform the same collectives on every rank of the data
+	// parallel group, which holds because those ranks share one schedule.
+	OnBackward func(vstage, mb int)
+}
+
+const ppTagBase = 1 << 21
+
+func fwdTag(stages, g, mb int) int { return ppTagBase + 2*(mb*stages+g) }
+func bwdTag(stages, g, mb int) int { return ppTagBase + 2*(mb*stages+g) + 1 }
+
+// mbState holds the in-flight state of one micro-batch on one stage.
+type mbState struct {
+	inputs   []*tensor.Tensor // per-sample stage inputs (for re-chunking dx)
+	layerCtx [][]any          // [sample][layer]
+	headCtx  []any
+	embCtx   []any
+	mb       *Microbatch
+}
+
+// RunStep executes the rank's schedule over the given micro-batches and
+// returns the summed loss of samples whose head ran on this rank (non-zero
+// only on the last pipeline rank) and the number of such samples.
+func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
+	if len(mbs) != e.Sched.NMB {
+		panic(fmt.Sprintf("pp: %d micro-batches for schedule with nmb=%d", len(mbs), e.Sched.NMB))
+	}
+	lr := e.Group.LocalRank(e.Rank)
+	stages := e.Sched.Stages()
+	live := make(map[[2]int]*mbState) // (vstage, mb) -> state
+	e.PeakLiveContexts = 0
+
+	for _, op := range e.Sched.Ranks[lr] {
+		g := e.Sched.GlobalStage(lr, op.Stage)
+		stage := e.Stages[op.Stage]
+		mb := mbs[op.MB]
+		keyID := [2]int{op.Stage, op.MB}
+		switch op.Kind {
+		case Fwd:
+			st := &mbState{mb: mb}
+			var xs []*tensor.Tensor
+			if g == 0 {
+				for i, s := range mb.Samples {
+					x, ec := stage.Embed.Forward(s.Tokens)
+					st.embCtx = append(st.embCtx, ec)
+					xs = append(xs, x)
+					_ = i
+				}
+			} else {
+				prevRank, _ := e.Sched.StageOwner(g - 1)
+				packed := e.World.Recv(e.Rank, e.Group.GlobalRank(prevRank), fwdTag(stages, g, op.MB))
+				xs = unpackRows(packed, len(mb.Samples))
+			}
+			st.inputs = xs
+			outs := make([]*tensor.Tensor, len(xs))
+			st.layerCtx = make([][]any, len(xs))
+			for i, x := range xs {
+				cur := x
+				for _, l := range stage.Layers {
+					var c any
+					cur, c = l.Forward(cur, mb.Envs[i])
+					st.layerCtx[i] = append(st.layerCtx[i], c)
+				}
+				outs[i] = cur
+			}
+			if g == stages-1 {
+				for i, out := range outs {
+					loss, hc := stage.Head.ForwardLoss(out, mb.Samples[i].Targets, mb.scale(i), mb.Envs[i])
+					st.headCtx = append(st.headCtx, hc)
+					w := 1.0
+					if mb.Weights != nil {
+						w = mb.Weights[i]
+					}
+					lossSum += loss * w
+					nSamples++
+				}
+			} else {
+				nextRank, _ := e.Sched.StageOwner(g + 1)
+				e.World.Send(e.Rank, e.Group.GlobalRank(nextRank), fwdTag(stages, g+1, op.MB), packRows(outs))
+			}
+			live[keyID] = st
+			if len(live) > e.PeakLiveContexts {
+				e.PeakLiveContexts = len(live)
+			}
+
+		case Bwd:
+			st, ok := live[keyID]
+			if !ok {
+				panic(fmt.Sprintf("pp: backward before forward for stage %d mb %d", op.Stage, op.MB))
+			}
+			var dys []*tensor.Tensor
+			if g == stages-1 {
+				for _, hc := range st.headCtx {
+					dys = append(dys, e.Stages[op.Stage].Head.BackwardLoss(hc))
+				}
+			} else {
+				nextRank, _ := e.Sched.StageOwner(g + 1)
+				packed := e.World.Recv(e.Rank, e.Group.GlobalRank(nextRank), bwdTag(stages, g, op.MB))
+				dys = unpackRows(packed, len(mb.Samples))
+			}
+			dxs := make([]*tensor.Tensor, len(dys))
+			for i, dy := range dys {
+				cur := dy
+				for li := len(stage.Layers) - 1; li >= 0; li-- {
+					cur = stage.Layers[li].Backward(st.layerCtx[i][li], cur)
+				}
+				dxs[i] = cur
+			}
+			if g == 0 {
+				for i, dx := range dxs {
+					stage.Embed.Backward(st.embCtx[i], dx)
+				}
+			} else {
+				prevRank, _ := e.Sched.StageOwner(g - 1)
+				e.World.Send(e.Rank, e.Group.GlobalRank(prevRank), bwdTag(stages, g-1, op.MB), packRows(dxs))
+			}
+			delete(live, keyID) // release activation memory (§6.3)
+			if e.OnBackward != nil {
+				e.OnBackward(op.Stage, op.MB)
+			}
+		}
+	}
+	if len(live) != 0 {
+		panic(fmt.Sprintf("pp: %d micro-batch contexts leaked after step", len(live)))
+	}
+	return lossSum, nSamples
+}
+
+// RunForward executes only the forward half of the schedule — an evaluation
+// pass: activations flow through the pipeline, losses accumulate on the last
+// stage, and no context is retained (no gradients, no activation memory).
+func (e *Executor) RunForward(mbs []*Microbatch) (lossSum float64, nSamples int) {
+	if len(mbs) != e.Sched.NMB {
+		panic(fmt.Sprintf("pp: %d micro-batches for schedule with nmb=%d", len(mbs), e.Sched.NMB))
+	}
+	lr := e.Group.LocalRank(e.Rank)
+	stages := e.Sched.Stages()
+	for _, op := range e.Sched.Ranks[lr] {
+		if op.Kind != Fwd {
+			continue
+		}
+		g := e.Sched.GlobalStage(lr, op.Stage)
+		stage := e.Stages[op.Stage]
+		mb := mbs[op.MB]
+		var xs []*tensor.Tensor
+		if g == 0 {
+			for _, s := range mb.Samples {
+				x, _ := stage.Embed.Forward(s.Tokens)
+				xs = append(xs, x)
+			}
+		} else {
+			prevRank, _ := e.Sched.StageOwner(g - 1)
+			packed := e.World.Recv(e.Rank, e.Group.GlobalRank(prevRank), fwdTag(stages, g, op.MB))
+			xs = unpackRows(packed, len(mb.Samples))
+		}
+		outs := make([]*tensor.Tensor, len(xs))
+		for i, x := range xs {
+			cur := x
+			for _, l := range stage.Layers {
+				cur, _ = l.Forward(cur, mb.Envs[i])
+			}
+			outs[i] = cur
+		}
+		if g == stages-1 {
+			for i, out := range outs {
+				loss, _ := stage.Head.ForwardLoss(out, mb.Samples[i].Targets, mb.scale(i), mb.Envs[i])
+				w := 1.0
+				if mb.Weights != nil {
+					w = mb.Weights[i]
+				}
+				lossSum += loss * w
+				nSamples++
+			}
+		} else {
+			nextRank, _ := e.Sched.StageOwner(g + 1)
+			e.World.Send(e.Rank, e.Group.GlobalRank(nextRank), fwdTag(stages, g+1, op.MB), packRows(outs))
+		}
+	}
+	return lossSum, nSamples
+}
+
+// packRows concatenates equal-shaped per-sample tensors for one P2P message.
+func packRows(xs []*tensor.Tensor) *tensor.Tensor {
+	return tensor.ConcatRows(xs...)
+}
+
+// unpackRows splits a packed message back into n per-sample tensors.
+func unpackRows(t *tensor.Tensor, n int) []*tensor.Tensor {
+	parts := tensor.SplitRows(t, n)
+	out := make([]*tensor.Tensor, n)
+	for i, p := range parts {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// StageLayerCounts distributes nLayers across nStages stages. With balanced
+// set, the first and last stage get one layer fewer than the (even) middle
+// allocation, compensating for the embedding and output head — the paper's
+// §3.1.2 co-design: 126 layers on 128 stages puts zero transformer layers
+// on the embed and head stages, and 126 layers on 16 ranks (v=1) gives the
+// 7/8×14/7 shape. Requires nStages >= 3 for balancing.
+func StageLayerCounts(nLayers, nStages int, balanced bool) []int {
+	counts := make([]int, nStages)
+	if nStages == 1 {
+		counts[0] = nLayers
+		return counts
+	}
+	if balanced && nStages >= 3 {
+		c0 := (nLayers+nStages-1)/nStages - 1
+		if c0 < 0 {
+			c0 = 0
+		}
+		counts[0], counts[nStages-1] = c0, c0
+		mid := nLayers - 2*c0
+		nMid := nStages - 2
+		base := mid / nMid
+		rem := mid % nMid
+		for i := 1; i < nStages-1; i++ {
+			counts[i] = base
+			if i <= rem {
+				counts[i]++
+			}
+		}
+		return counts
+	}
+	base := nLayers / nStages
+	rem := nLayers % nStages
+	for i := range counts {
+		counts[i] = base
+	}
+	for i := 1; rem > 0; i = i%(nStages-1) + 1 {
+		counts[i]++
+		rem--
+	}
+	return counts
+}
+
+// SplitModel carves a model instance into the local stages of one pipeline
+// rank under interleaved placement with the given per-stage layer counts.
+// The model's blocks are moved (by reference) into the stages; the caller
+// must not also use the model directly.
+func SplitModel(m *model.Model, sched *Schedule, localRank int, counts []int) []*Stage {
+	nStages := sched.Stages()
+	if len(counts) != nStages {
+		panic(fmt.Sprintf("pp: %d stage counts for %d stages", len(counts), nStages))
+	}
+	total := 0
+	starts := make([]int, nStages)
+	for g, c := range counts {
+		starts[g] = total
+		total += c
+	}
+	if total != len(m.Blocks) {
+		panic(fmt.Sprintf("pp: stage counts sum to %d, model has %d layers", total, len(m.Blocks)))
+	}
+	stages := make([]*Stage, sched.V)
+	for vs := 0; vs < sched.V; vs++ {
+		g := sched.GlobalStage(localRank, vs)
+		st := &Stage{}
+		for i := 0; i < counts[g]; i++ {
+			st.Layers = append(st.Layers, m.Blocks[starts[g]+i])
+		}
+		if g == 0 {
+			st.Embed = m.Embed
+		}
+		if g == nStages-1 {
+			st.Head = m.Head
+		}
+		stages[vs] = st
+	}
+	return stages
+}

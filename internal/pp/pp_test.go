@@ -1,0 +1,520 @@
+package pp
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"llama4d/internal/comm"
+	"llama4d/internal/data"
+	"llama4d/internal/model"
+	"llama4d/internal/tensor"
+)
+
+func TestWarmupMatchesPaperExample(t *testing.T) {
+	// Fig 2: pp=3, v=2, nc=3 → warm-up 7, 5, 3 for ranks 0, 1, 2.
+	want := []int{7, 5, 3}
+	for r, w := range want {
+		if got := Warmup(3, 2, 6, 3, r); got != w {
+			t.Fatalf("rank %d warmup = %d, want %d", r, got, w)
+		}
+	}
+}
+
+func TestWarmupClampsToTMB(t *testing.T) {
+	if got := Warmup(8, 4, 1, 8, 0); got > 4 {
+		t.Fatalf("warmup %d exceeds tmb=4", got)
+	}
+}
+
+func TestWarmupDegeneratesWhenNCSmall(t *testing.T) {
+	// nc < pp ⇒ all-forward-all-backward (§3.1.1).
+	if got := Warmup(4, 2, 8, 2, 1); got != 16 {
+		t.Fatalf("nc<pp warmup = %d, want tmb=16", got)
+	}
+}
+
+func TestSchedulesValidate(t *testing.T) {
+	scheds := []*Schedule{
+		NewInterleaved1F1B(4, 2, 8),
+		NewAllFwdAllBwd(4, 2, 8),
+		NewFlexible(4, 2, 8, 6),
+		NewFlexible(4, 2, 5, 3), // nmb not a multiple of pp: the paper's flexibility claim
+		NewFlexible(2, 1, 3, 2),
+		NewFlexible(1, 1, 4, 4),
+		NewFlexible(3, 2, 7, 5),
+	}
+	for _, s := range scheds {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s pp=%d v=%d nmb=%d nc=%d: %v", s.Name, s.PP, s.V, s.NMB, s.NC, err)
+		}
+	}
+}
+
+func TestInterleavedRequiresMultiple(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("1F1B with nmb %% pp != 0 must panic")
+		}
+	}()
+	NewInterleaved1F1B(4, 2, 6)
+}
+
+func TestSimulateAllSchedulesComplete(t *testing.T) {
+	costs := UniformCosts(1, 0.2)
+	for _, s := range []*Schedule{
+		NewInterleaved1F1B(4, 2, 8),
+		NewAllFwdAllBwd(4, 2, 8),
+		NewFlexible(4, 2, 8, 6),
+		NewFlexible(4, 2, 5, 3),
+		NewFlexible(3, 3, 7, 4),
+	} {
+		tl, err := s.Simulate(costs)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if len(tl.Intervals) != s.PP*2*s.TMB() {
+			t.Fatalf("%s executed %d intervals", s.Name, len(tl.Intervals))
+		}
+	}
+}
+
+func TestSimulateDetectsDeadlock(t *testing.T) {
+	s := &Schedule{Name: "bad", PP: 1, V: 1, NMB: 1, NC: 1,
+		Ranks: [][]Op{{{Kind: Bwd, Stage: 0, MB: 0}, {Kind: Fwd, Stage: 0, MB: 0}}}}
+	if _, err := s.Simulate(UniformCosts(1, 0)); err == nil {
+		t.Fatal("backward-before-forward must deadlock")
+	}
+}
+
+func TestBubbleRatioMatchesClassicFormula(t *testing.T) {
+	// (pp−1)/(nmb·v) with zero P2P cost (§3.1.1).
+	for _, tc := range []struct{ pp, v, nmb int }{{4, 1, 8}, {4, 2, 8}, {8, 1, 16}, {2, 2, 4}} {
+		s := NewInterleaved1F1B(tc.pp, tc.v, tc.nmb)
+		tl, err := s.Simulate(UniformCosts(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(tc.pp-1) / float64(tc.nmb*tc.v)
+		got := tl.BubbleRatio()
+		if got < want*0.6 || got > want*1.7 {
+			t.Fatalf("pp=%d v=%d nmb=%d: bubble %v, formula %v", tc.pp, tc.v, tc.nmb, got, want)
+		}
+	}
+}
+
+func TestBubbleShrinksWithMoreMicrobatches(t *testing.T) {
+	bubble := func(nmb int) float64 {
+		tl, err := NewInterleaved1F1B(4, 2, nmb).Simulate(UniformCosts(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tl.BubbleRatio()
+	}
+	if !(bubble(16) < bubble(8) && bubble(8) < bubble(4)) {
+		t.Fatalf("bubble must shrink with nmb: %v %v %v", bubble(4), bubble(8), bubble(16))
+	}
+}
+
+func TestBubbleRatioBsVsPP(t *testing.T) {
+	// §7.3.1: bs = 2·pp gives a materially smaller bubble than bs = pp.
+	pp, v := 4, 2
+	tlA, _ := NewFlexible(pp, v, 2*pp, pp).Simulate(UniformCosts(1, 0.05))
+	tlB, _ := NewFlexible(pp, v, pp, pp).Simulate(UniformCosts(1, 0.05))
+	if !(tlA.BubbleRatio() < tlB.BubbleRatio()*0.7) {
+		t.Fatalf("bs=2pp bubble %v not much smaller than bs=pp bubble %v",
+			tlA.BubbleRatio(), tlB.BubbleRatio())
+	}
+}
+
+func TestExtraWarmupHidesP2P(t *testing.T) {
+	// Fig 3: with exposed P2P latency, nc > pp (extra warm-up micro-batches)
+	// reduces the makespan relative to nc = pp.
+	pp, v, nmb := 4, 2, 12
+	costs := UniformCosts(1, 0.6)
+	base, err := NewFlexible(pp, v, nmb, pp).Simulate(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := NewFlexible(pp, v, nmb, pp+2).Simulate(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra.Makespan >= base.Makespan {
+		t.Fatalf("nc>pp makespan %v not better than nc=pp %v", extra.Makespan, base.Makespan)
+	}
+}
+
+func TestPeakInFlightOrdering(t *testing.T) {
+	// Memory: 1F1B < flexible(nc>pp) < all-forward-all-backward (Fig 9b).
+	pp, v, nmb := 4, 2, 12
+	p1 := NewFlexible(pp, v, nmb, pp).MaxPeakInFlight()
+	pf := NewFlexible(pp, v, nmb, pp+2).MaxPeakInFlight()
+	pa := NewAllFwdAllBwd(pp, v, nmb).MaxPeakInFlight()
+	if !(p1 < pf && pf < pa) {
+		t.Fatalf("peak in-flight ordering violated: 1f1b=%d flexible=%d allFallB=%d", p1, pf, pa)
+	}
+	if pa != nmb*v {
+		t.Fatalf("all-F-all-B peak = %d, want tmb=%d", pa, nmb*v)
+	}
+}
+
+func TestPeakInFlightGrowsByFormula(t *testing.T) {
+	// §3.1.1: nc > pp costs (nc−pp)·(v−1) extra in-flight micro-batches.
+	pp, v, nmb := 4, 3, 12
+	base := NewFlexible(pp, v, nmb, pp).PeakInFlight()[0]
+	for _, nc := range []int{5, 6} {
+		got := NewFlexible(pp, v, nmb, nc).PeakInFlight()[0]
+		want := base + (nc-pp)*(v-1)
+		if got != want {
+			t.Fatalf("nc=%d: rank-0 peak %d, want %d", nc, got, want)
+		}
+	}
+}
+
+func TestThroughputComplementsBubble(t *testing.T) {
+	s := NewInterleaved1F1B(4, 2, 8)
+	tl, _ := s.Simulate(UniformCosts(1, 0))
+	util := tl.Throughput()
+	if math.Abs(util-1/(1+tl.BubbleRatio())) > 1e-9 {
+		t.Fatalf("throughput %v inconsistent with bubble %v", util, tl.BubbleRatio())
+	}
+}
+
+func TestStageLayerCounts(t *testing.T) {
+	c := StageLayerCounts(8, 4, false)
+	for _, n := range c {
+		if n != 2 {
+			t.Fatalf("uniform counts = %v", c)
+		}
+	}
+	b := StageLayerCounts(8, 4, true)
+	if b[0] != 1 || b[3] != 1 {
+		t.Fatalf("balanced counts = %v", b)
+	}
+	sum := 0
+	for _, n := range b {
+		sum += n
+	}
+	if sum != 8 {
+		t.Fatalf("balanced counts sum = %d", sum)
+	}
+	// The paper's production shape: 126 layers, 16 ranks, v=1 per-rank view.
+	p := StageLayerCounts(126, 16, true)
+	total := 0
+	for _, n := range p {
+		total += n
+	}
+	if total != 126 || p[0] >= p[1] || p[15] >= p[14] {
+		t.Fatalf("405B layer counts = %v", p)
+	}
+}
+
+// buildPipeline constructs pp executors sharing a world, splitting a fresh
+// model initialised from seed across ranks.
+func buildPipeline(cfg model.Config, sched *Schedule, seed int64, counts []int) (*comm.World, []*Executor, []*model.Model) {
+	w := comm.NewWorld(sched.PP)
+	ranks := make([]int, sched.PP)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	g := w.NewGroup(ranks)
+	execs := make([]*Executor, sched.PP)
+	models := make([]*model.Model, sched.PP)
+	for r := 0; r < sched.PP; r++ {
+		m := model.New(cfg, rand.New(rand.NewSource(seed)))
+		models[r] = m
+		execs[r] = &Executor{
+			World: w, Group: g, Rank: r, Sched: sched,
+			Stages: SplitModel(m, sched, r, counts),
+		}
+	}
+	return w, execs, models
+}
+
+// runPPStep executes one pipeline step over samples (one sample per
+// micro-batch) and returns the last-rank loss mean.
+func runPPStep(execs []*Executor, sched *Schedule, samples []*model.Sample) float64 {
+	mbs := make([]*Microbatch, len(samples))
+	for i, s := range samples {
+		mbs[i] = &Microbatch{
+			Samples: []*model.Sample{s},
+			Envs:    []*model.Env{data.Env(s)},
+			Scale:   1 / float32(len(samples)),
+		}
+	}
+	losses := make([]float64, sched.PP)
+	counts := make([]int, sched.PP)
+	comm.RunSPMD(sched.PP, func(rank int) {
+		losses[rank], counts[rank] = execs[rank].RunStep(mbs)
+	})
+	var loss float64
+	n := 0
+	for r := range losses {
+		loss += losses[r]
+		n += counts[r]
+	}
+	return loss / float64(n)
+}
+
+func stageGradsByName(execs []*Executor) map[string]*tensor.Tensor {
+	grads := make(map[string]*tensor.Tensor)
+	for _, e := range execs {
+		for _, st := range e.Stages {
+			for _, p := range st.Params() {
+				grads[p.Name] = p.G
+			}
+		}
+	}
+	return grads
+}
+
+func TestExecutorMatchesSequentialBitwise(t *testing.T) {
+	// The §6.2 claim made executable: PP micro-batching with FP32 gradient
+	// accumulation reproduces the sequential reference BITWISE, because the
+	// micro-batch accumulation order matches the sequential sample order.
+	cfg := model.Config{Vocab: 32, Dim: 16, Hidden: 32, NHeads: 4, NKVHeads: 2, NLayers: 4, MaxSeq: 16, RopeBase: 10000}
+	gen := &data.Generator{Vocab: cfg.Vocab, Seq: 16, AvgDocLen: 6, Seed: 21}
+
+	for _, tc := range []struct {
+		name  string
+		sched *Schedule
+	}{
+		{"1f1b", NewInterleaved1F1B(2, 2, 4)},
+		{"allFallB", NewAllFwdAllBwd(2, 2, 4)},
+		{"flexible nc>pp", NewFlexible(2, 2, 4, 3)},
+		{"flexible ragged nmb", NewFlexible(2, 2, 5, 3)}, // nmb not multiple of pp
+	} {
+		nmb := tc.sched.NMB
+		samples := gen.GlobalBatch(0, nmb)
+
+		ref := model.New(cfg, rand.New(rand.NewSource(77)))
+		ref.ZeroGrads()
+		var refLoss float64
+		for _, s := range samples {
+			l, ctx := ref.ForwardLoss(s.Tokens, s.Targets, data.Env(s), 1/float32(nmb))
+			ref.Backward(ctx)
+			refLoss += l / float64(nmb)
+		}
+
+		counts := StageLayerCounts(cfg.NLayers, tc.sched.Stages(), false)
+		_, execs, _ := buildPipeline(cfg, tc.sched, 77, counts)
+		loss := runPPStep(execs, tc.sched, samples)
+
+		if math.Abs(loss-refLoss) > 1e-12 {
+			t.Fatalf("%s: PP loss %v != sequential %v", tc.name, loss, refLoss)
+		}
+		grads := stageGradsByName(execs)
+		for _, p := range ref.Params() {
+			g, ok := grads[p.Name]
+			if !ok {
+				t.Fatalf("%s: no stage owns %s", tc.name, p.Name)
+			}
+			if !tensor.BitwiseEqual(g, p.G) {
+				t.Fatalf("%s: gradient of %s not bitwise equal (maxdiff %v)",
+					tc.name, p.Name, tensor.MaxDiff(g, p.G))
+			}
+		}
+	}
+}
+
+func TestExecutorPeakMatchesScheduleAnalysis(t *testing.T) {
+	cfg := model.Config{Vocab: 32, Dim: 16, Hidden: 32, NHeads: 4, NKVHeads: 2, NLayers: 4, MaxSeq: 16, RopeBase: 10000}
+	gen := &data.Generator{Vocab: cfg.Vocab, Seq: 16, AvgDocLen: 6, Seed: 22}
+	sched := NewAllFwdAllBwd(2, 2, 4)
+	counts := StageLayerCounts(cfg.NLayers, sched.Stages(), false)
+	_, execs, _ := buildPipeline(cfg, sched, 5, counts)
+	runPPStep(execs, sched, gen.GlobalBatch(0, sched.NMB))
+	peaks := sched.PeakInFlight()
+	for r, e := range execs {
+		if e.PeakLiveContexts != peaks[r] {
+			t.Fatalf("rank %d measured peak %d != analytic %d", r, e.PeakLiveContexts, peaks[r])
+		}
+	}
+}
+
+func TestExecutorTrainingConverges(t *testing.T) {
+	// Multiple PP steps with SGD reduce loss on a fixed batch.
+	cfg := model.Config{Vocab: 32, Dim: 16, Hidden: 32, NHeads: 4, NKVHeads: 2, NLayers: 4, MaxSeq: 16, RopeBase: 10000}
+	gen := &data.Generator{Vocab: cfg.Vocab, Seq: 16, AvgDocLen: 6, Seed: 23}
+	sched := NewInterleaved1F1B(2, 2, 4)
+	counts := StageLayerCounts(cfg.NLayers, sched.Stages(), false)
+	_, execs, _ := buildPipeline(cfg, sched, 6, counts)
+	samples := gen.GlobalBatch(0, sched.NMB)
+	var first, last float64
+	for step := 0; step < 25; step++ {
+		for _, e := range execs {
+			for _, st := range e.Stages {
+				model.ZeroGrads(st.Params())
+			}
+		}
+		loss := runPPStep(execs, sched, samples)
+		for _, e := range execs {
+			for _, st := range e.Stages {
+				for _, p := range st.Params() {
+					p.W.AxpyFrom(-0.3, p.G)
+				}
+			}
+		}
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last > first*0.8 {
+		t.Fatalf("PP training did not reduce loss: %v -> %v", first, last)
+	}
+}
+
+func TestSplitModelCoversAllParams(t *testing.T) {
+	cfg := model.Config{Vocab: 32, Dim: 16, Hidden: 32, NHeads: 4, NKVHeads: 2, NLayers: 4, MaxSeq: 16, RopeBase: 10000}
+	sched := NewInterleaved1F1B(2, 2, 4)
+	counts := StageLayerCounts(cfg.NLayers, sched.Stages(), false)
+	owned := make(map[string]int)
+	for r := 0; r < sched.PP; r++ {
+		m := model.New(cfg, rand.New(rand.NewSource(1)))
+		for _, st := range SplitModel(m, sched, r, counts) {
+			for _, p := range st.Params() {
+				owned[p.Name]++
+			}
+		}
+	}
+	full := model.New(cfg, rand.New(rand.NewSource(1)))
+	for _, p := range full.Params() {
+		if owned[p.Name] != 1 {
+			t.Fatalf("param %s owned %d times", p.Name, owned[p.Name])
+		}
+	}
+}
+
+func BenchmarkSimulate1F1B(b *testing.B) {
+	s := NewInterleaved1F1B(16, 2, 32)
+	costs := UniformCosts(1, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Simulate(costs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecutorStep(b *testing.B) {
+	cfg := model.Config{Vocab: 32, Dim: 16, Hidden: 32, NHeads: 4, NKVHeads: 2, NLayers: 4, MaxSeq: 16, RopeBase: 10000}
+	gen := &data.Generator{Vocab: cfg.Vocab, Seq: 16, AvgDocLen: 6, Seed: 1}
+	sched := NewInterleaved1F1B(2, 2, 4)
+	counts := StageLayerCounts(cfg.NLayers, sched.Stages(), false)
+	_, execs, _ := buildPipeline(cfg, sched, 1, counts)
+	samples := gen.GlobalBatch(0, sched.NMB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runPPStep(execs, sched, samples)
+	}
+}
+
+func TestRenderScheduleGrid(t *testing.T) {
+	s := NewFlexible(3, 2, 6, 3)
+	out, err := s.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 rank rows, got %d:\n%s", len(lines), out)
+	}
+	// Fig 2's warm-up on rank 0: seven forwards (0 1 2 0 1 2 3) lead the row.
+	if !strings.Contains(lines[0], "0F 1F 2F 0F 1F 2F 3F") {
+		t.Fatalf("rank 0 warm-up not as in Fig 2:\n%s", out)
+	}
+	if !strings.Contains(out, "B") || !strings.Contains(out, ".") {
+		t.Fatalf("render must show backwards and idle slots:\n%s", out)
+	}
+}
+
+func TestRunForwardEvaluationPass(t *testing.T) {
+	// The forward-only pass must reproduce RunStep's loss exactly while
+	// touching no gradients and retaining no contexts.
+	cfg := model.Config{Vocab: 32, Dim: 16, Hidden: 32, NHeads: 4, NKVHeads: 2, NLayers: 4, MaxSeq: 16, RopeBase: 10000}
+	gen := &data.Generator{Vocab: cfg.Vocab, Seq: 16, AvgDocLen: 6, Seed: 91}
+	sched := NewInterleaved1F1B(2, 2, 4)
+	counts := StageLayerCounts(cfg.NLayers, sched.Stages(), false)
+	_, execs, _ := buildPipeline(cfg, sched, 92, counts)
+	samples := gen.GlobalBatch(0, sched.NMB)
+	mbs := make([]*Microbatch, len(samples))
+	for i, s := range samples {
+		mbs[i] = &Microbatch{Samples: []*model.Sample{s}, Envs: []*model.Env{data.Env(s)}, Scale: 0.25}
+	}
+
+	trainLosses := make([]float64, sched.PP)
+	comm.RunSPMD(sched.PP, func(rank int) {
+		trainLosses[rank], _ = execs[rank].RunStep(mbs)
+	})
+	// Reset grads, then evaluate.
+	var gradSumAfterReset float32
+	for _, e := range execs {
+		for _, st := range e.Stages {
+			model.ZeroGrads(st.Params())
+		}
+	}
+	evalLosses := make([]float64, sched.PP)
+	comm.RunSPMD(sched.PP, func(rank int) {
+		evalLosses[rank], _ = execs[rank].RunForward(mbs)
+	})
+	if evalLosses[0]+evalLosses[1] != trainLosses[0]+trainLosses[1] {
+		t.Fatalf("eval loss %v != train loss %v", evalLosses, trainLosses)
+	}
+	for _, e := range execs {
+		for _, st := range e.Stages {
+			for _, p := range st.Params() {
+				gradSumAfterReset += p.G.MaxAbs()
+			}
+		}
+	}
+	if gradSumAfterReset != 0 {
+		t.Fatal("forward-only pass must not touch gradients")
+	}
+}
+
+func TestExposedP2PTime(t *testing.T) {
+	tl, err := NewInterleaved1F1B(4, 1, 8).Simulate(UniformCosts(1, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.ExposedP2PTime() <= 0 {
+		t.Fatal("stall time must be positive with nonzero P2P cost")
+	}
+	// Zero P2P still has fill/drain idle, but less of it.
+	tl0, _ := NewInterleaved1F1B(4, 1, 8).Simulate(UniformCosts(1, 0))
+	if tl0.ExposedP2PTime() >= tl.ExposedP2PTime() {
+		t.Fatal("P2P cost must increase stall time")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if Fwd.String() != "F" || Bwd.String() != "B" {
+		t.Fatal("op kind strings wrong")
+	}
+}
+
+func TestValidateCatchesCorruptSchedules(t *testing.T) {
+	s := NewInterleaved1F1B(2, 1, 2)
+	// Out-of-range micro-batch.
+	bad := &Schedule{Name: "x", PP: 2, V: 1, NMB: 2, NC: 2,
+		Ranks: [][]Op{{{Kind: Fwd, Stage: 0, MB: 5}}, {}}}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range op must fail validation")
+	}
+	// Duplicate op.
+	dup := &Schedule{Name: "x", PP: 1, V: 1, NMB: 1, NC: 1,
+		Ranks: [][]Op{{{Kind: Fwd, Stage: 0, MB: 0}, {Kind: Fwd, Stage: 0, MB: 0}}}}
+	if dup.Validate() == nil {
+		t.Fatal("duplicate op must fail validation")
+	}
+	// Missing ops.
+	missing := &Schedule{Name: "x", PP: 1, V: 1, NMB: 2, NC: 1,
+		Ranks: [][]Op{{{Kind: Fwd, Stage: 0, MB: 0}, {Kind: Bwd, Stage: 0, MB: 0}}}}
+	if missing.Validate() == nil {
+		t.Fatal("missing ops must fail validation")
+	}
+	_ = s
+}

@@ -1,0 +1,157 @@
+package pp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over randomly drawn schedule shapes: the flexible schedule
+// must be structurally valid, deadlock-free, and respect its analytic
+// memory/bubble relationships for ANY (pp, v, nmb, nc), which is exactly
+// the paper's §3.1.1 claim of arbitrary-batch-size support.
+
+type schedShape struct {
+	pp, v, nmb, nc int
+}
+
+func drawShape(rng *rand.Rand) schedShape {
+	return schedShape{
+		pp:  1 + rng.Intn(6),
+		v:   1 + rng.Intn(4),
+		nmb: 1 + rng.Intn(12),
+		nc:  1 + rng.Intn(14),
+	}
+}
+
+func TestPropertyFlexibleAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := drawShape(rng)
+		sched := NewFlexible(s.pp, s.v, s.nmb, s.nc)
+		return sched.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFlexibleNeverDeadlocks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := drawShape(rng)
+		sched := NewFlexible(s.pp, s.v, s.nmb, s.nc)
+		tl, err := sched.Simulate(UniformCosts(1, rng.Float64()))
+		if err != nil {
+			return false
+		}
+		return len(tl.Intervals) == sched.PP*2*sched.TMB()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAllFwdAllBwdValidAndComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := drawShape(rng)
+		sched := NewAllFwdAllBwd(s.pp, s.v, s.nmb)
+		if sched.Validate() != nil {
+			return false
+		}
+		_, err := sched.Simulate(UniformCosts(1, 0))
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPeakInFlightBounds(t *testing.T) {
+	// 0 < peak ≤ tmb for every rank, and all-F-all-B achieves the maximum.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := drawShape(rng)
+		flex := NewFlexible(s.pp, s.v, s.nmb, s.nc)
+		for _, p := range flex.PeakInFlight() {
+			if p <= 0 || p > flex.TMB() {
+				return false
+			}
+		}
+		all := NewAllFwdAllBwd(s.pp, s.v, s.nmb)
+		return all.MaxPeakInFlight() == all.TMB() &&
+			flex.MaxPeakInFlight() <= all.MaxPeakInFlight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyWarmupMonotoneInRank(t *testing.T) {
+	// Earlier pipeline ranks never warm up with fewer micro-batches than
+	// later ones (they must fill the pipe ahead of their consumers).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := drawShape(rng)
+		prev := 1 << 30
+		for r := 0; r < s.pp; r++ {
+			w := Warmup(s.pp, s.v, s.nmb, s.nc, r)
+			if w > prev {
+				return false
+			}
+			prev = w
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStageLayerCountsConserve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nStages := 1 + rng.Intn(16)
+		nLayers := nStages + rng.Intn(64)
+		for _, balanced := range []bool{false, true} {
+			counts := StageLayerCounts(nLayers, nStages, balanced)
+			sum := 0
+			for _, c := range counts {
+				if c < 0 {
+					return false
+				}
+				sum += c
+			}
+			if sum != nLayers {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMoreMicrobatchesNeverHurtBubble(t *testing.T) {
+	// Doubling nmb must not increase the bubble ratio (at zero P2P cost).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pp := 2 + rng.Intn(4)
+		v := 1 + rng.Intn(3)
+		nmb := pp * (1 + rng.Intn(3))
+		a, err := NewFlexible(pp, v, nmb, pp).Simulate(UniformCosts(1, 0))
+		if err != nil {
+			return false
+		}
+		b, err := NewFlexible(pp, v, 2*nmb, pp).Simulate(UniformCosts(1, 0))
+		if err != nil {
+			return false
+		}
+		return b.BubbleRatio() <= a.BubbleRatio()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package cluster models the training hardware of the paper's evaluation:
+// H100 GPUs (700 W TDP, 80 GB HBM3) in Meta's Grand Teton servers — 8 GPUs
+// per node on NVLink, nodes connected by a 50 GB/s-per-GPU RoCE fabric
+// (§5.1, §7.3) — parameterised so the simulator can also model the HBM2e
+// variant used in §7.2 and hypothetical future hardware (§8).
+package cluster
+
+// GPU describes one accelerator.
+type GPU struct {
+	Name            string
+	PeakBF16TFLOPs  float64 // dense BF16 throughput
+	HBMBandwidthGBs float64 // memory bandwidth
+	HBMCapacityGiB  float64
+	TDPWatts        float64
+}
+
+// H100 returns the SXM H100 with HBM3 used for Llama 3 production training.
+func H100() GPU {
+	return GPU{Name: "H100-HBM3", PeakBF16TFLOPs: 989, HBMBandwidthGBs: 3350, HBMCapacityGiB: 80, TDPWatts: 700}
+}
+
+// H100HBM2e returns the lower-memory-bandwidth H100 variant of §7.2's CP
+// scalability study.
+func H100HBM2e() GPU {
+	return GPU{Name: "H100-HBM2e", PeakBF16TFLOPs: 989, HBMBandwidthGBs: 2000, HBMCapacityGiB: 80, TDPWatts: 700}
+}
+
+// Network describes the two-level Grand Teton fabric.
+type Network struct {
+	GPUsPerNode     int
+	NVLinkGBs       float64 // per-GPU per-direction intra-node bandwidth
+	RoCEGBs         float64 // per-GPU inter-node bandwidth (§5.1: 50 GB/s)
+	NVLinkLatencyUs float64
+	RoCELatencyUs   float64
+}
+
+// GrandTeton returns Meta's production network parameters.
+func GrandTeton() Network {
+	return Network{GPUsPerNode: 8, NVLinkGBs: 450, RoCEGBs: 50, NVLinkLatencyUs: 3, RoCELatencyUs: 15}
+}
+
+// Cluster is a set of identical GPUs under one network.
+type Cluster struct {
+	GPU   GPU
+	Net   Network
+	NGPUs int
+}
+
+// Production16K returns the 16,384-GPU production cluster of Table 2.
+func Production16K() Cluster {
+	return Cluster{GPU: H100(), Net: GrandTeton(), NGPUs: 16384}
+}
+
+// Node returns the node index hosting a global rank.
+func (c Cluster) Node(rank int) int { return rank / c.Net.GPUsPerNode }
+
+// IntraNode reports whether all ranks live on one node (NVLink-only group).
+func (c Cluster) IntraNode(ranks []int) bool {
+	if len(ranks) == 0 {
+		return true
+	}
+	n := c.Node(ranks[0])
+	for _, r := range ranks[1:] {
+		if c.Node(r) != n {
+			return false
+		}
+	}
+	return true
+}
+
+// GroupLink returns the effective per-GPU bandwidth (GB/s) and latency (µs)
+// of collectives over the given ranks: NVLink when the group fits in a node,
+// the RoCE fabric otherwise — the hierarchy that drives the paper's
+// parallelism ordering (§5.2).
+func (c Cluster) GroupLink(ranks []int) (bwGBs, latUs float64) {
+	if c.IntraNode(ranks) {
+		return c.Net.NVLinkGBs, c.Net.NVLinkLatencyUs
+	}
+	return c.Net.RoCEGBs, c.Net.RoCELatencyUs
+}
+
+// RanksOfGroup builds the global ranks of one parallelism group given the
+// [TP, CP, PP, DP] inner-to-outer layout: dim strides are cumulative
+// products of the inner dims.
+func RanksOfGroup(base, size, stride int) []int {
+	out := make([]int, size)
+	for i := range out {
+		out[i] = base + i*stride
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import "testing"
+
+func TestNodeMapping(t *testing.T) {
+	c := Production16K()
+	if c.Node(0) != 0 || c.Node(7) != 0 || c.Node(8) != 1 {
+		t.Fatal("8 GPUs per node mapping wrong")
+	}
+}
+
+func TestIntraNodeDetection(t *testing.T) {
+	c := Production16K()
+	if !c.IntraNode([]int{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatal("first 8 ranks share a node")
+	}
+	if c.IntraNode([]int{0, 8}) {
+		t.Fatal("ranks 0 and 8 are on different nodes")
+	}
+	if !c.IntraNode(nil) {
+		t.Fatal("empty group is trivially intra-node")
+	}
+}
+
+func TestGroupLinkHierarchy(t *testing.T) {
+	c := Production16K()
+	nvBW, nvLat := c.GroupLink([]int{0, 1})
+	roceBW, roceLat := c.GroupLink([]int{0, 8})
+	if nvBW <= roceBW {
+		t.Fatalf("NVLink (%v) must out-bandwidth RoCE (%v)", nvBW, roceBW)
+	}
+	if nvLat >= roceLat {
+		t.Fatalf("NVLink latency (%v) must undercut RoCE (%v)", nvLat, roceLat)
+	}
+}
+
+func TestProductionSpecs(t *testing.T) {
+	c := Production16K()
+	if c.NGPUs != 16384 {
+		t.Fatalf("production cluster size %d", c.NGPUs)
+	}
+	if c.GPU.PeakBF16TFLOPs != 989 || c.GPU.HBMCapacityGiB != 80 || c.GPU.TDPWatts != 700 {
+		t.Fatalf("H100 specs wrong: %+v", c.GPU)
+	}
+	if c.Net.RoCEGBs != 50 {
+		t.Fatalf("RoCE bandwidth %v, paper says 50 GB/s", c.Net.RoCEGBs)
+	}
+	if H100HBM2e().HBMBandwidthGBs >= H100().HBMBandwidthGBs {
+		t.Fatal("HBM2e must have lower bandwidth than HBM3")
+	}
+}
+
+func TestRanksOfGroup(t *testing.T) {
+	g := RanksOfGroup(3, 4, 8)
+	want := []int{3, 11, 19, 27}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("RanksOfGroup = %v", g)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"math/rand"
+
+	"llama4d/internal/sim/cluster"
+)
+
+// Section 8 of the paper gives hardware recommendations distilled from the
+// training experience. This file turns each recommendation into a runnable
+// study on the cost model, so the claims can be regenerated and swept.
+
+// JitterPoint is one row of the DVFS-jitter study.
+type JitterPoint struct {
+	World    int
+	Slowdown float64 // expected step-time inflation factor
+}
+
+// JitterStudy reproduces §8.1's "minimize performance variations and make
+// DVFS deterministic": if each accelerator independently suffers a
+// transient slowdown (probability p per step, factor f), a synchronously
+// communicating cluster runs at the speed of its slowest member, so the
+// expected step inflation grows with cluster size — the reason deterministic
+// DVFS matters at 16K GPUs but not at 16.
+func JitterStudy(worlds []int, p, f float64, steps int, seed int64) []JitterPoint {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]JitterPoint, 0, len(worlds))
+	for _, w := range worlds {
+		var total float64
+		for s := 0; s < steps; s++ {
+			// The step runs at the slowest member's pace: factor f if any of
+			// the w ranks is transiently slow this step, 1 otherwise.
+			slow := 1.0
+			for r := 0; r < w; r++ {
+				if rng.Float64() < p {
+					slow = f
+					break
+				}
+			}
+			total += slow
+		}
+		out = append(out, JitterPoint{World: w, Slowdown: total / float64(steps)})
+	}
+	return out
+}
+
+// NetworkPoint is one row of the network-bandwidth sweep.
+type NetworkPoint struct {
+	RoCEGBs      float64
+	TFLOPsPerGPU float64
+}
+
+// NetworkSweep reproduces §8.2's "optimize network hierarchy": end-to-end
+// throughput as a function of the inter-node per-GPU bandwidth. Returns a
+// diminishing curve — the basis for oversubscribed upper layers.
+func NetworkSweep(bandwidths []float64) []NetworkPoint {
+	out := make([]NetworkPoint, 0, len(bandwidths))
+	for _, bw := range bandwidths {
+		ts := Production8K()
+		ts.Cost.Cluster.Net.RoCEGBs = bw
+		rep, err := ts.Simulate()
+		if err != nil {
+			continue
+		}
+		out = append(out, NetworkPoint{RoCEGBs: bw, TFLOPsPerGPU: rep.TFLOPsPerGPU})
+	}
+	return out
+}
+
+// PerfPerWatt computes effective TFLOPs per watt for a GPU running the
+// production step — §8.2's "prioritize power efficiency" metric for
+// power-constrained data centers.
+func PerfPerWatt(g cluster.GPU) float64 {
+	ts := Production8K()
+	ts.Cost = ts.Cost.WithGPU(g)
+	rep, err := ts.Simulate()
+	if err != nil {
+		return 0
+	}
+	return rep.TFLOPsPerGPU / g.TDPWatts
+}
+
+// CPUBoundPoint is one row of the §8.1 CPU-overhead study.
+type CPUBoundPoint struct {
+	LaunchUs     float64
+	TFLOPsPerGPU float64
+}
+
+// CPUOverheadStudy reproduces §8.1's "ensure sufficient CPU performance":
+// as per-kernel host overhead grows (smaller per-GPU work at larger scale,
+// more lightweight kernels), throughput decays.
+func CPUOverheadStudy(launchUs []float64) []CPUBoundPoint {
+	out := make([]CPUBoundPoint, 0, len(launchUs))
+	for _, l := range launchUs {
+		ts := Production8K()
+		ts.Cost.KernelLaunchUs = l
+		rep, err := ts.Simulate()
+		if err != nil {
+			continue
+		}
+		out = append(out, CPUBoundPoint{LaunchUs: l, TFLOPsPerGPU: rep.TFLOPsPerGPU})
+	}
+	return out
+}
+
+// ScalingPoint is one row of the capability-computing scaling study.
+type ScalingPoint struct {
+	NGPUs        int
+	TFLOPsPerGPU float64
+	ClusterPF    float64 // aggregate PFLOPs/s
+	BubbleRatio  float64
+}
+
+// ScalingStudy sweeps cluster size at a FIXED 16M-token global batch — the
+// paper's capability-computing setting (§1, §5): more GPUs shrink the
+// per-group batch, inflating the pipeline bubble, so per-GPU efficiency
+// falls even as aggregate throughput rises. This is the batch-size wall the
+// flexible schedule and CP exist to push against.
+func ScalingStudy(ngpus []int) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(ngpus))
+	for _, n := range ngpus {
+		ts := Production8K()
+		ts.DP = n / (ts.TP * ts.PP)
+		ts.NMB = 2048 / ts.DP // gbs stays 2048 samples
+		rep, err := ts.Simulate()
+		if err != nil {
+			continue
+		}
+		out = append(out, ScalingPoint{
+			NGPUs:        n,
+			TFLOPsPerGPU: rep.TFLOPsPerGPU,
+			ClusterPF:    rep.TFLOPsPerGPU * float64(n) / 1000,
+			BubbleRatio:  rep.BubbleRatio,
+		})
+	}
+	return out
+}
+
+// FutureGPU is a hypothetical §8-style accelerator for what-if sweeps.
+func FutureGPU(peakTFLOPs, hbmGBs, watts float64) cluster.GPU {
+	return cluster.GPU{Name: "future", PeakBF16TFLOPs: peakTFLOPs,
+		HBMBandwidthGBs: hbmGBs, HBMCapacityGiB: 128, TDPWatts: watts}
+}

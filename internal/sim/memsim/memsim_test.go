@@ -1,0 +1,201 @@
+package memsim
+
+import (
+	"testing"
+
+	"llama4d/internal/fsdp"
+	"llama4d/internal/model"
+	"llama4d/internal/pp"
+)
+
+// fig9Config builds the scaled-down Fig 9 scenario: 26-layer 405B-width
+// model, pp=4, 12 micro-batches, seq 8192.
+func fig9Config(sched *pp.Schedule, zero fsdp.Mode) Config {
+	cfg := model.Llama3_405B()
+	cfg.NLayers = 26
+	stages := sched.Stages()
+	return Config{
+		Model: cfg, TP: 8, CP: 1, DP: 4, Seq: 8192, MBS: 1,
+		ZeRO: zero, Sched: sched,
+		LayerCounts: pp.StageLayerCounts(cfg.NLayers, stages, false),
+	}
+}
+
+func TestFig9MemoryOrdering(t *testing.T) {
+	// Fig 9(b): 1F1B uses the least memory, all-forward-all-backward the
+	// most, flexible in between.
+	pp4, v, nmb := 4, 2, 12
+	f1 := fig9Config(pp.NewFlexible(pp4, v, nmb, pp4), fsdp.ZeRO1)
+	fx := fig9Config(pp.NewFlexible(pp4, v, nmb, 6), fsdp.ZeRO1)
+	fa := fig9Config(pp.NewAllFwdAllBwd(pp4, v, nmb), fsdp.ZeRO1)
+	m1 := MaxTotalGiB(f1.PerRank())
+	mx := MaxTotalGiB(fx.PerRank())
+	ma := MaxTotalGiB(fa.PerRank())
+	if !(m1 < mx && mx < ma) {
+		t.Fatalf("memory ordering violated: 1f1b=%.1f flexible=%.1f allFallB=%.1f GiB", m1, mx, ma)
+	}
+	// Paper's Fig 9(b) band: roughly 42-50 GB across the three schedules.
+	if m1 < 20 || ma > 90 {
+		t.Fatalf("memory magnitudes implausible: %.1f..%.1f GiB", m1, ma)
+	}
+}
+
+func TestFig10BalanceReducesPeak(t *testing.T) {
+	// Fig 10(a): without balancing, the first PP rank peaks (embedding +
+	// most warm-up micro-batches); removing a layer from first/last stages
+	// lowers the max-rank memory by several GB.
+	cfg := model.Llama3_405B()
+	cfg.NLayers = 26
+	ppn := 4
+	sched := pp.NewFlexible(ppn, 1, 12, ppn)
+	mk := func(layers int, balanced bool) []RankMemory {
+		return Config{
+			Model: cfg, TP: 8, CP: 1, DP: 4, Seq: 8192, MBS: 1,
+			ZeRO: fsdp.ZeRO1, Sched: sched,
+			LayerCounts: pp.StageLayerCounts(layers, sched.Stages(), balanced),
+		}.PerRank()
+	}
+	// The paper's co-design removes the two layers outright: 28 uniform
+	// layers versus a 26-layer model with light first/last stages.
+	unbal := mk(28, false)
+	bal := mk(26, true)
+	if MaxTotalGiB(bal) >= MaxTotalGiB(unbal) {
+		t.Fatalf("balanced max %.1f not below unbalanced %.1f GiB",
+			MaxTotalGiB(bal), MaxTotalGiB(unbal))
+	}
+	if drop := MaxTotalGiB(unbal) - MaxTotalGiB(bal); drop < 2 || drop > 15 {
+		t.Fatalf("balance saves %.1f GiB, paper reports ≈5 GB", drop)
+	}
+	// First rank carries the peak in the unbalanced case.
+	first := unbal[0].TotalGiB()
+	for r, m := range unbal {
+		if m.TotalGiB() > first {
+			t.Fatalf("rank %d (%.1f GiB) outweighs first rank (%.1f GiB) unbalanced", r, m.TotalGiB(), first)
+		}
+	}
+}
+
+func TestRecomputeShrinksActivations(t *testing.T) {
+	sched := pp.NewFlexible(4, 1, 12, 4)
+	base := fig9Config(sched, fsdp.ZeRO1)
+	rec := base
+	rec.Recompute = true
+	if rec.PerRank()[0].ActivationGiB >= base.PerRank()[0].ActivationGiB/4 {
+		t.Fatal("recompute must slash activation memory")
+	}
+}
+
+func TestZeROModesOrderGradMemory(t *testing.T) {
+	sched := pp.NewFlexible(4, 1, 12, 4)
+	g1 := fig9Config(sched, fsdp.ZeRO1).PerRank()[0]
+	g2 := fig9Config(sched, fsdp.ZeRO2).PerRank()[0]
+	g3 := fig9Config(sched, fsdp.ZeRO3).PerRank()[0]
+	if !(g3.GradsGiB <= g2.GradsGiB && g2.GradsGiB < g1.GradsGiB) {
+		t.Fatalf("grad memory: z1=%.2f z2=%.2f z3=%.2f", g1.GradsGiB, g2.GradsGiB, g3.GradsGiB)
+	}
+	if g3.ParamsGiB >= g1.ParamsGiB {
+		t.Fatal("ZeRO-3 must shard parameter memory")
+	}
+}
+
+func TestCPReducesActivationMemory(t *testing.T) {
+	// §4: CP shards the sequence, reducing activation memory even though bs
+	// per DP group grows.
+	sched := pp.NewFlexible(4, 1, 12, 4)
+	base := fig9Config(sched, fsdp.ZeRO1)
+	base.Seq = 131072
+	withCP := base
+	withCP.CP = 16
+	if withCP.PerRank()[0].ActivationGiB >= base.PerRank()[0].ActivationGiB/8 {
+		t.Fatal("cp=16 must shrink activations ≈16×")
+	}
+}
+
+func TestGradMemoryTimelineFig4(t *testing.T) {
+	cfg := model.Llama3_405B()
+	cfg.NLayers = 16
+	ppn, v, nmb := 4, 4, 8
+	bytesPerStage := make([]float64, v)
+	for i := range bytesPerStage {
+		bytesPerStage[i] = 1 // unit gradient buffers
+	}
+
+	// (a) 1F1B + ZeRO-1: every stage's buffer lives to the end: peak = v.
+	s1 := pp.NewFlexible(ppn, v, nmb, ppn)
+	tl1, err := s1.Simulate(pp.UniformCosts(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, peak1 := GradMemoryTimeline(tl1, 0, fsdp.ZeRO1, bytesPerStage)
+	if peak1 != float64(v) {
+		t.Fatalf("ZeRO-1 peak %v, want %d", peak1, v)
+	}
+
+	// (c) 1F1B + ZeRO-2: reduce-scatter on the last consecutive micro-batch
+	// keeps fewer buffers live.
+	_, peak2 := GradMemoryTimeline(tl1, 0, fsdp.ZeRO2, bytesPerStage)
+	if peak2 >= peak1 {
+		t.Fatalf("ZeRO-2 peak %v must be below ZeRO-1 %v under 1F1B", peak2, peak1)
+	}
+
+	// (b) all-F-all-B: one round, so ZeRO-1 and ZeRO-2 peaks coincide.
+	sa := pp.NewAllFwdAllBwd(ppn, v, nmb)
+	tla, err := sa.Simulate(pp.UniformCosts(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pa1 := GradMemoryTimeline(tla, 0, fsdp.ZeRO1, bytesPerStage)
+	_, pa2 := GradMemoryTimeline(tla, 0, fsdp.ZeRO2, bytesPerStage)
+	if pa1 != pa2 {
+		t.Fatalf("all-F-all-B: ZeRO-1 (%v) and ZeRO-2 (%v) must coincide (Fig 4b)", pa1, pa2)
+	}
+
+	// Timelines end at zero live bytes.
+	ev, _ := GradMemoryTimeline(tl1, 0, fsdp.ZeRO1, bytesPerStage)
+	if ev[len(ev)-1].Bytes != 0 {
+		t.Fatal("gradient memory must return to zero at step end")
+	}
+}
+
+func TestActivationFormulas(t *testing.T) {
+	cfg := model.Llama3_405B()
+	full := ActivationBytesPerToken(cfg, 8)
+	rec := RecomputeActivationBytesPerToken(cfg, 8)
+	if rec >= full/10 {
+		t.Fatalf("checkpoint-only %v vs full %v", rec, full)
+	}
+	if full != 24*float64(cfg.Dim)/8 {
+		t.Fatalf("activation bytes per token = %v", full)
+	}
+}
+
+func TestPerRank405BFitsIn80GB(t *testing.T) {
+	// Sanity: the production configuration must fit the 80 GB HBM envelope
+	// without recomputation — the point of the paper's co-design (§6.3).
+	cfg := model.Llama3_405B()
+	sched := pp.NewFlexible(16, 8, 16, 16)
+	c := Config{
+		Model: cfg, TP: 8, CP: 1, DP: 128, Seq: 8192, MBS: 1,
+		ZeRO: fsdp.ZeRO1, Sched: sched,
+		LayerCounts: pp.StageLayerCounts(cfg.NLayers, sched.Stages(), true),
+	}
+	peak := MaxTotalGiB(c.PerRank())
+	if peak > 80 {
+		t.Fatalf("production config needs %.1f GiB > 80", peak)
+	}
+	if peak < 20 {
+		t.Fatalf("production config %.1f GiB implausibly small", peak)
+	}
+}
+
+func BenchmarkPerRank(b *testing.B) {
+	sched := pp.NewFlexible(16, 8, 16, 16)
+	cfg := Config{
+		Model: model.Llama3_405B(), TP: 8, CP: 1, DP: 128, Seq: 8192, MBS: 1,
+		ZeRO: fsdp.ZeRO1, Sched: sched,
+		LayerCounts: pp.StageLayerCounts(126, sched.Stages(), true),
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.PerRank()
+	}
+}

@@ -1,0 +1,263 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the FLOP count above which MatMul splits its output
+// rows across goroutines. Row-parallel splitting preserves bitwise results:
+// every output element is computed by exactly one goroutine in the same
+// accumulation order as the serial kernel.
+const parallelThreshold = 1 << 22
+
+// MatMul returns a @ b for 2-D tensors a [m,k] and b [k,n].
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul %v @ %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	workers := runtime.GOMAXPROCS(0)
+	if m > 1 && workers > 1 && m*k*n >= parallelThreshold {
+		var wg sync.WaitGroup
+		chunk := (m + workers - 1) / workers
+		for lo := 0; lo < m; lo += chunk {
+			hi := lo + chunk
+			if hi > m {
+				hi = m
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				matmulInto(out.Data[lo*n:hi*n], a.Data[lo*k:hi*k], b.Data, hi-lo, k, n)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return out
+	}
+	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// matmulInto computes out[m,n] = a[m,k] @ b[k,n] with an i-k-j loop order so
+// the inner loop streams both b and out rows.
+func matmulInto(out, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		oi := out[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j := range bp {
+				oi[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+// MatMulT returns a @ bᵀ for a [m,k] and b [n,k].
+func MatMulT(a, b *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	n, k2 := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT %v @ %vᵀ", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		oi := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p := range ai {
+				s += ai[p] * bj[p]
+			}
+			oi[j] = s
+		}
+	}
+	return out
+}
+
+// TMatMul returns aᵀ @ b for a [k,m] and b [k,n] — the shape needed for
+// weight gradients (dW = xᵀ @ dy).
+func TMatMul(a, b *Tensor) *Tensor {
+	k, m := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul %vᵀ @ %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			oi := out.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				oi[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// TMatMulAcc accumulates aᵀ @ b into out, used for gradient accumulation
+// across micro-batches (FP32 accumulation per §6.2).
+func TMatMulAcc(out, a, b *Tensor) {
+	k, m := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 || out.Rows() != m || out.Cols() != n {
+		panic(fmt.Sprintf("tensor: TMatMulAcc %vᵀ @ %v -> %v", a.Shape, b.Shape, out.Shape))
+	}
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			oi := out.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				oi[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	m, n := a.Rows(), a.Cols()
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// SoftmaxRow computes a numerically stable softmax of xs in place.
+func SoftmaxRow(xs []float32) {
+	maxv := float32(math.Inf(-1))
+	for _, v := range xs {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if math.IsInf(float64(maxv), -1) {
+		// Entire row masked out: define the result as uniform zeros so a
+		// fully-padded query attends to nothing (used by document masks).
+		for i := range xs {
+			xs[i] = 0
+		}
+		return
+	}
+	var sum float32
+	for i, v := range xs {
+		e := float32(math.Exp(float64(v - maxv)))
+		xs[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range xs {
+		xs[i] *= inv
+	}
+}
+
+// SoftmaxRows applies SoftmaxRow to every row of a 2-D tensor in place.
+func SoftmaxRows(a *Tensor) *Tensor {
+	m := a.Rows()
+	for i := 0; i < m; i++ {
+		SoftmaxRow(a.Row(i))
+	}
+	return a
+}
+
+// ConcatRows stacks tensors with identical column counts along dimension 0.
+func ConcatRows(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		return New(0)
+	}
+	cols := parts[0].Cols()
+	rows := 0
+	for _, p := range parts {
+		if p.Cols() != cols {
+			panic(fmt.Sprintf("tensor: ConcatRows column mismatch %d vs %d", p.Cols(), cols))
+		}
+		rows += p.Rows()
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, p := range parts {
+		copy(out.Data[off:], p.Data)
+		off += len(p.Data)
+	}
+	return out
+}
+
+// ConcatCols concatenates 2-D tensors with identical row counts along
+// dimension 1 — the reassembly step after column-parallel linear layers.
+func ConcatCols(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		return New(0)
+	}
+	rows := parts[0].Rows()
+	cols := 0
+	for _, p := range parts {
+		if p.Rows() != rows {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", p.Rows(), rows))
+		}
+		cols += p.Cols()
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, p := range parts {
+		pc := p.Cols()
+		for i := 0; i < rows; i++ {
+			copy(out.Data[i*cols+off:i*cols+off+pc], p.Row(i))
+		}
+		off += pc
+	}
+	return out
+}
+
+// SplitCols splits a 2-D tensor into n equal column blocks (copies).
+func SplitCols(a *Tensor, n int) []*Tensor {
+	rows, cols := a.Rows(), a.Cols()
+	if cols%n != 0 {
+		panic(fmt.Sprintf("tensor: SplitCols %d %% %d != 0", cols, n))
+	}
+	w := cols / n
+	out := make([]*Tensor, n)
+	for s := 0; s < n; s++ {
+		t := New(rows, w)
+		for i := 0; i < rows; i++ {
+			copy(t.Row(i), a.Data[i*cols+s*w:i*cols+(s+1)*w])
+		}
+		out[s] = t
+	}
+	return out
+}
+
+// SplitRows splits a 2-D tensor into n equal row blocks (views).
+func SplitRows(a *Tensor, n int) []*Tensor {
+	rows := a.Rows()
+	if rows%n != 0 {
+		panic(fmt.Sprintf("tensor: SplitRows %d %% %d != 0", rows, n))
+	}
+	h := rows / n
+	out := make([]*Tensor, n)
+	for s := 0; s < n; s++ {
+		out[s] = a.RowSlice(s*h, (s+1)*h)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package tp
+
+import (
+	"llama4d/internal/model"
+	"llama4d/internal/tensor"
+)
+
+// Sequence parallelism (SP, §2.1) shards the sequence-dependent region
+// between TP linears across the TP group, replacing the forward identity /
+// backward all-reduce conjugates with all-gather / reduce-scatter pairs:
+//
+//	x sharded [n/tp, in] --AllGather--> [n, in] --col-parallel W--> local
+//	local --row-parallel W--> partial [n, out] --ReduceScatter--> [n/tp, out]
+//
+// Activation memory between the pairs shrinks by tp at the cost of exposing
+// the gather/scatter on the critical path.
+
+// SPColParallelLinear is a column-parallel linear whose input is sharded
+// along the sequence (rows): the forward all-gathers the sequence shards,
+// the backward reduce-scatters the input gradient.
+type SPColParallelLinear struct {
+	P   *model.Param // [in, out/tp]
+	Ctx *Ctx
+}
+
+// NewSPColParallelFromFull shards a full weight by columns for SP use.
+func NewSPColParallelFromFull(name string, full *tensor.Tensor, ctx *Ctx) *SPColParallelLinear {
+	shard := tensor.SplitCols(full, ctx.Size())[ctx.Local()]
+	return &SPColParallelLinear{P: model.NewParam(name, shard), Ctx: ctx}
+}
+
+type spColCtx struct{ xFull *tensor.Tensor }
+
+// Forward implements model.Layer: x is this rank's sequence shard.
+func (l *SPColParallelLinear) Forward(x *tensor.Tensor, _ *model.Env) (*tensor.Tensor, any) {
+	xFull := l.Ctx.Group.AllGather(l.Ctx.Rank, x)
+	return tensor.MatMul(xFull, l.P.W), &spColCtx{xFull: xFull}
+}
+
+// Backward implements model.Layer: returns the sequence-sharded dx.
+func (l *SPColParallelLinear) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
+	ctx := ctxAny.(*spColCtx)
+	tensor.TMatMulAcc(l.P.G, ctx.xFull, dy)
+	dxFull := tensor.MatMulT(dy, l.P.W)
+	return l.Ctx.Group.ReduceScatter(l.Ctx.Rank, dxFull)
+}
+
+// Params implements model.Layer.
+func (l *SPColParallelLinear) Params() []*model.Param { return []*model.Param{l.P} }
+
+// SPRowParallelLinear is a row-parallel linear whose output is reduced and
+// scattered along the sequence: forward reduce-scatter, backward all-gather.
+type SPRowParallelLinear struct {
+	P   *model.Param // [in/tp, out]
+	Ctx *Ctx
+}
+
+// NewSPRowParallelFromFull shards a full weight by rows for SP use.
+func NewSPRowParallelFromFull(name string, full *tensor.Tensor, ctx *Ctx) *SPRowParallelLinear {
+	shard := tensor.SplitRows(full, ctx.Size())[ctx.Local()].Clone()
+	return &SPRowParallelLinear{P: model.NewParam(name, shard), Ctx: ctx}
+}
+
+type spRowCtx struct{ x *tensor.Tensor }
+
+// Forward implements model.Layer: returns this rank's sequence shard of y.
+func (l *SPRowParallelLinear) Forward(x *tensor.Tensor, _ *model.Env) (*tensor.Tensor, any) {
+	partial := tensor.MatMul(x, l.P.W)
+	return l.Ctx.Group.ReduceScatter(l.Ctx.Rank, partial), &spRowCtx{x: x}
+}
+
+// Backward implements model.Layer: dy is sequence-sharded.
+func (l *SPRowParallelLinear) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
+	ctx := ctxAny.(*spRowCtx)
+	dyFull := l.Ctx.Group.AllGather(l.Ctx.Rank, dy)
+	tensor.TMatMulAcc(l.P.G, ctx.x, dyFull)
+	return tensor.MatMulT(dyFull, l.P.W)
+}
+
+// Params implements model.Layer.
+func (l *SPRowParallelLinear) Params() []*model.Param { return []*model.Param{l.P} }

@@ -1,0 +1,126 @@
+package vision
+
+import (
+	"fmt"
+	"math/rand"
+
+	"llama4d/internal/model"
+	"llama4d/internal/tensor"
+)
+
+// Multimodal is the Fig 5 architecture: a frozen pre-trained text model with
+// a trainable cross-attention block inserted after every Ratio self-attention
+// layers, fed by a trainable ViT encoder. Image gradients flowing back from
+// the cross-attention layers are accumulated in FP32 (§6.2's multimodal
+// note) — which they are throughout this repository.
+type Multimodal struct {
+	Text    *model.Model
+	Encoder *ViT
+	Cross   []*CrossBlock
+	Ratio   int // self-attention layers per cross-attention layer (paper: 4)
+}
+
+// NewMultimodal freezes the text model's blocks and inserts cross blocks.
+func NewMultimodal(text *model.Model, enc *ViT, ratio int, rng *rand.Rand) *Multimodal {
+	m := &Multimodal{Text: text, Encoder: enc, Ratio: ratio}
+	for _, b := range text.Blocks {
+		b.Frozen = true
+	}
+	nCross := len(text.Blocks) / ratio
+	for i := 0; i < nCross; i++ {
+		m.Cross = append(m.Cross, NewCrossBlock(
+			fmt.Sprintf("cross%d", i), text.Cfg.Dim, enc.Cfg.Dim, text.Cfg.Hidden, text.Cfg.NHeads, rng))
+	}
+	return m
+}
+
+// TrainableParams returns only what multimodal pre-training updates: the
+// encoder and the cross-attention blocks (§3.2).
+func (m *Multimodal) TrainableParams() []*model.Param {
+	ps := m.Encoder.Params()
+	for _, c := range m.Cross {
+		ps = append(ps, c.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears the trainable gradients.
+func (m *Multimodal) ZeroGrads() { model.ZeroGrads(m.TrainableParams()) }
+
+type mmCtx struct {
+	encCtx   any
+	img      *tensor.Tensor
+	embCtx   any
+	blockCtx []any // text blocks
+	crossCtx []any // one per cross block actually used
+	crossAt  []int // block index after which each cross layer ran
+	headCtx  any
+}
+
+// ForwardLoss runs text tokens through the fused stack against one image.
+func (m *Multimodal) ForwardLoss(tokens, targets []int, patches *tensor.Tensor, env *model.Env, scale float32) (float64, any) {
+	ctx := &mmCtx{}
+	img, ec := m.Encoder.Forward(patches)
+	ctx.encCtx, ctx.img = ec, img
+
+	x, emb := m.Text.Embed.Forward(tokens)
+	ctx.embCtx = emb
+	crossIdx := 0
+	for i, b := range m.Text.Blocks {
+		var bc any
+		x, bc = b.Forward(x, env)
+		ctx.blockCtx = append(ctx.blockCtx, bc)
+		if (i+1)%m.Ratio == 0 && crossIdx < len(m.Cross) {
+			var cc any
+			x, cc = m.Cross[crossIdx].Forward(x, img)
+			ctx.crossCtx = append(ctx.crossCtx, cc)
+			ctx.crossAt = append(ctx.crossAt, i)
+			crossIdx++
+		}
+	}
+	loss, hc := m.Text.Head.ForwardLoss(x, targets, scale, env)
+	ctx.headCtx = hc
+	return loss, ctx
+}
+
+// Backward accumulates trainable gradients (encoder + cross blocks). Frozen
+// text blocks propagate input gradients only; the head and embedding are
+// frozen too (their gradient accumulators are reset afterwards).
+func (m *Multimodal) Backward(ctxAny any) {
+	ctx := ctxAny.(*mmCtx)
+	frozen := append([]*model.Param{}, m.Text.Embed.Params()...)
+	frozen = append(frozen, m.Text.Head.Params()...)
+	saved := make([]*tensor.Tensor, len(frozen))
+	for i, p := range frozen {
+		saved[i] = p.G.Clone()
+	}
+
+	dx := m.Text.Head.BackwardLoss(ctx.headCtx)
+	dImg := tensor.New(ctx.img.Rows(), ctx.img.Cols())
+	crossIdx := len(ctx.crossAt) - 1
+	for i := len(m.Text.Blocks) - 1; i >= 0; i-- {
+		if crossIdx >= 0 && ctx.crossAt[crossIdx] == i {
+			var dI *tensor.Tensor
+			dx, dI = m.Cross[crossIdx].Backward(ctx.crossCtx[crossIdx], dx)
+			dImg.Add(dI)
+			crossIdx--
+		}
+		dx = m.Text.Blocks[i].Backward(ctx.blockCtx[i], dx)
+	}
+	m.Encoder.Backward(ctx.encCtx, dImg)
+
+	for i, p := range frozen {
+		copy(p.G.Data, saved[i].Data)
+	}
+}
+
+// SyntheticImage generates a deterministic patch tensor whose content
+// correlates with a label, so the multimodal objective is learnable.
+func SyntheticImage(cfg ViTConfig, label int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed*7919 + int64(label)))
+	t := tensor.RandN(rng, 0.5, cfg.Tokens(), cfg.PatchDim())
+	for i := 0; i < t.Rows(); i++ {
+		t.Row(i)[0] = float32(label) * 0.5 // label channel
+	}
+	return t
+}

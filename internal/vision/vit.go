@@ -1,0 +1,137 @@
+// Package vision implements the multimodal side of Llama 3 pre-training
+// (§3.2): a ViT image encoder, cross-attention transformer layers that fuse
+// image tokens into the (frozen) text model, the combined multimodal model,
+// and the Fig 6 study of the three encoder-sharding options.
+package vision
+
+import (
+	"fmt"
+	"math/rand"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/model"
+	"llama4d/internal/tensor"
+)
+
+// ViTConfig describes the image encoder.
+type ViTConfig struct {
+	ImageSize int // square input resolution in pixels
+	PatchSize int
+	Channels  int
+	Dim       int
+	Hidden    int
+	NHeads    int
+	NLayers   int
+}
+
+// Tokens returns the number of image tokens: (ImageSize/PatchSize)².
+// 448 px → ~1K tokens, 672 px → ~2.3K tokens (the §3.2.1 resolution bump).
+func (c ViTConfig) Tokens() int {
+	side := c.ImageSize / c.PatchSize
+	return side * side
+}
+
+// PatchDim returns the flattened per-patch input width.
+func (c ViTConfig) PatchDim() int { return c.PatchSize * c.PatchSize * c.Channels }
+
+// Validate checks the configuration.
+func (c ViTConfig) Validate() error {
+	if c.ImageSize%c.PatchSize != 0 {
+		return fmt.Errorf("vision: image %d not divisible by patch %d", c.ImageSize, c.PatchSize)
+	}
+	if c.Dim%c.NHeads != 0 {
+		return fmt.Errorf("vision: dim %d not divisible by heads %d", c.Dim, c.NHeads)
+	}
+	return nil
+}
+
+// TinyViT returns a test-sized encoder.
+func TinyViT() ViTConfig {
+	return ViTConfig{ImageSize: 16, PatchSize: 4, Channels: 1, Dim: 16, Hidden: 32, NHeads: 2, NLayers: 2}
+}
+
+// ViT is a vision transformer over pre-extracted patches. Attention is
+// bidirectional (Full mask); positions are a learned embedding, so the
+// reused text blocks see position 0 everywhere (RoPE at 0 is the identity).
+type ViT struct {
+	Cfg      ViTConfig
+	PatchEmb *model.Linear
+	PosEmb   *model.Param // [tokens, dim] learned positional embedding
+	Blocks   []*model.Block
+	Norm     *model.RMSNorm
+}
+
+// NewViT builds an encoder with deterministic initialisation.
+func NewViT(name string, cfg ViTConfig, rng *rand.Rand) *ViT {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	v := &ViT{
+		Cfg:      cfg,
+		PatchEmb: model.NewLinear(name+".patch", cfg.PatchDim(), cfg.Dim, rng),
+		PosEmb:   model.NewParam(name+".pos", tensor.RandN(rng, 0.02, cfg.Tokens(), cfg.Dim)),
+		Norm:     model.NewRMSNorm(name+".norm", cfg.Dim),
+	}
+	blockCfg := model.Config{
+		Vocab: 1, Dim: cfg.Dim, Hidden: cfg.Hidden,
+		NHeads: cfg.NHeads, NKVHeads: cfg.NHeads,
+		NLayers: cfg.NLayers, MaxSeq: cfg.Tokens(), RopeBase: 10000,
+	}
+	for l := 0; l < cfg.NLayers; l++ {
+		v.Blocks = append(v.Blocks, model.NewBlock(fmt.Sprintf("%s.layer%d", name, l), blockCfg, rng))
+	}
+	return v
+}
+
+// Params returns all encoder parameters.
+func (v *ViT) Params() []*model.Param {
+	ps := []*model.Param{v.PatchEmb.P, v.PosEmb}
+	for _, b := range v.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	return append(ps, v.Norm.P)
+}
+
+// vitEnv returns the bidirectional environment of the encoder: Full mask,
+// position 0 everywhere (learned positions replace RoPE).
+func (v *ViT) vitEnv() *model.Env {
+	return &model.Env{Mask: attention.Full{}, QPos: make([]int, v.Cfg.Tokens())}
+}
+
+type vitCtx struct {
+	pCtx     any
+	blockCtx []any
+	nCtx     any
+}
+
+// Forward encodes one image's patches [tokens, patchDim] into image tokens
+// [tokens, dim].
+func (v *ViT) Forward(patches *tensor.Tensor) (*tensor.Tensor, any) {
+	if patches.Rows() != v.Cfg.Tokens() || patches.Cols() != v.Cfg.PatchDim() {
+		panic(fmt.Sprintf("vision: patches %v, want [%d %d]", patches.Shape, v.Cfg.Tokens(), v.Cfg.PatchDim()))
+	}
+	env := v.vitEnv()
+	ctx := &vitCtx{}
+	x, pc := v.PatchEmb.Forward(patches, env)
+	ctx.pCtx = pc
+	x.Add(v.PosEmb.W)
+	for _, b := range v.Blocks {
+		var bc any
+		x, bc = b.Forward(x, env)
+		ctx.blockCtx = append(ctx.blockCtx, bc)
+	}
+	out, nc := v.Norm.Forward(x, env)
+	ctx.nCtx = nc
+	return out, ctx
+}
+
+// Backward accumulates encoder gradients given the image-token gradient.
+func (v *ViT) Backward(ctxAny any, dy *tensor.Tensor) {
+	ctx := ctxAny.(*vitCtx)
+	dx := v.Norm.Backward(ctx.nCtx, dy)
+	for i := len(v.Blocks) - 1; i >= 0; i-- {
+		dx = v.Blocks[i].Backward(ctx.blockCtx[i], dx)
+	}
+	v.PosEmb.G.Add(dx)
+	v.PatchEmb.Backward(ctx.pCtx, dx)
+}
