@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# The full verification gate: compile everything, vet, run the suite with
+# the race detector (all collectives and the ft subsystem exercise real
+# cross-goroutine communication).
+check: build vet race

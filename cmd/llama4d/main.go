@@ -7,11 +7,12 @@
 //
 // where <experiment> is one of: table2, fig2, fig3, fig4, fig6, fig8, fig9,
 // fig10, fig11, fig12, fig13, fig14, e2e, numerics, train, losscurve, hw,
-// or all.
+// goodput, or all.
 package main
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -27,6 +28,7 @@ import (
 	"llama4d/internal/sim/cluster"
 	"llama4d/internal/sim/cost"
 	"llama4d/internal/sim/engine"
+	"llama4d/internal/sim/goodput"
 	"llama4d/internal/sim/memsim"
 	"llama4d/internal/vision"
 )
@@ -49,10 +51,11 @@ var experiments = map[string]func(){
 	"hw":        hw,
 	"fig2":      fig2,
 	"losscurve": losscurve,
+	"goodput":   goodputStudy,
 }
 
 var order = []string{"table2", "fig2", "fig3", "fig4", "fig6", "fig8", "fig9", "fig10",
-	"fig11", "fig12", "fig13", "fig14", "e2e", "numerics", "train", "losscurve", "hw"}
+	"fig11", "fig12", "fig13", "fig14", "e2e", "numerics", "train", "losscurve", "hw", "goodput"}
 
 func main() {
 	if len(os.Args) != 2 {
@@ -502,6 +505,50 @@ func hw() {
 	fmt.Printf("  H100 (989 TF @ 700 W):        %.3f TFLOPs/W\n", engine.PerfPerWatt(cluster.H100()))
 	fmt.Printf("  hypothetical 700 TF @ 500 W:  %.3f TFLOPs/W (wins in a power-capped DC)\n",
 		engine.PerfPerWatt(engine.FutureGPU(700, 3350, 500)))
+}
+
+// goodputStudy reports the fault-tolerance economics of the 16K-H100
+// production run: cluster MTBF from the component failure inventory
+// (calibrated to Llama 3's 54-day snapshot), checkpoint write cost from the
+// storage tier, and the effective-training-time curve with its Young/Daly
+// optimal checkpoint interval.
+func goodputStudy() {
+	fmt.Println("§ conclusion / Llama 3 §5.1.4: goodput at 16K GPUs (simulated)")
+	c, err := goodput.Production16K()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	fmt.Println("\nfailure inventory (per-unit MTBF × count → cluster rate):")
+	for _, comp := range c.Components {
+		rate := float64(comp.Count) / comp.MTBFHours
+		fmt.Printf("  %-28s %8.0f h × %-6d → %.4f /h\n", comp.Name, comp.MTBFHours, comp.Count, rate)
+	}
+	mtbf := c.ClusterMTBFHours()
+	fmt.Printf("cluster MTBF: %.2f h → %.0f interruptions per 54 days (Llama 3: 419)\n",
+		mtbf, 54*24*c.FailureRatePerHour())
+	fmt.Printf("step time %.2f s, checkpoint write δ=%.2f s (405B ×12 B/param over 16K ranks), restart R=%.0f s\n",
+		c.StepS, c.WriteS, c.RestartS)
+
+	fmt.Println("\neffective-training-time ratio vs checkpoint interval:")
+	fmt.Printf("%-14s %-8s %-12s %-12s %s\n", "interval", "steps", "ckpt ovhd", "lost work", "effective")
+	for _, tau := range []float64{10, 30, 60, 120, 300, 900, 3600, 10800} {
+		overhead := 1 - tau/(tau+c.WriteS)
+		lost := (c.RestartS + (tau+c.WriteS)/2) / c.ClusterMTBFS()
+		fmt.Printf("%8.0f s     %-8.0f %-12s %-12s %.2f%%\n",
+			tau, tau/c.StepS,
+			fmt.Sprintf("%.3f%%", 100*overhead), fmt.Sprintf("%.2f%%", 100*lost),
+			100*c.EffectiveRatio(tau))
+	}
+
+	young, daly, numeric := c.YoungIntervalS(), c.DalyIntervalS(), c.OptimalIntervalS()
+	fmt.Printf("\noptimal checkpoint interval: Young √(2δM)=%.0f s | Daly %.0f s | numeric argmax %.0f s\n",
+		young, daly, numeric)
+	fmt.Printf("effective training time at optimum: %.2f%% (Llama 3 reports >90%%)\n",
+		100*c.EffectiveRatio(numeric))
+	fmt.Printf("(checkpoint every %.0f steps; internal/ft demonstrates the detect→restore mechanism bitwise)\n",
+		math.Round(numeric/c.StepS))
 }
 
 // train runs a real (tiny) 4D-parallel training job on goroutine ranks.

@@ -6,15 +6,91 @@
 //
 //	traceview [-pp N] [-v N] [-nmb N] [-nc N] [-sched 1f1b|allfallb|flexible]
 //	          [-p2p F] [-json FILE] [-slow RANK] [-slowdown F]
+//	traceview -ft [-json FILE]
+//
+// With -ft it instead runs a live fault-tolerant training demo
+// (internal/ft): a rank crash mid-collective, detection, checkpoint
+// restore — fault lifecycle events render as '!' on the timelines.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"llama4d/internal/core"
+	"llama4d/internal/data"
+	"llama4d/internal/fsdp"
+	"llama4d/internal/ft"
+	"llama4d/internal/model"
 	"llama4d/internal/pp"
+	"llama4d/internal/trace"
 )
+
+// ftDemo runs a small 8-rank training job under the recovery controller
+// with a crash injected at step 3, and renders the collected live trace:
+// collective timings ('~') interleaved with the fault lifecycle ('!').
+func ftDemo(jsonPath string) {
+	cfg := core.Config{
+		Model: model.Config{Vocab: 64, Dim: 32, Hidden: 64, NHeads: 4, NKVHeads: 2,
+			NLayers: 4, MaxSeq: 32, RopeBase: 10000},
+		Topo: core.Topology{TP: 2, CP: 1, PP: 2, DP: 2},
+		V:    2, NMB: 2, NC: 2,
+		ZeRO: fsdp.ZeRO1, Seq: 32, GBS: 4, LR: 3e-3,
+		UseDocMask: true, Seed: 31,
+	}
+	col := &trace.Collector{}
+	ctl := &ft.Controller{
+		Cfg:             cfg,
+		Gen:             &data.Generator{Vocab: cfg.Model.Vocab, Seq: cfg.Seq, AvgDocLen: 8, Seed: 32},
+		CheckpointEvery: 2,
+		Plan:            ft.NewPlan(ft.Fault{Kind: ft.Crash, Rank: 3, Step: 3, OpIndex: 1}),
+		Timeout:         30 * time.Second,
+		Trace:           col,
+	}
+	const steps = 5
+	fmt.Printf("fault-tolerant run: %d ranks, crash of rank 3 at step 3, %d steps\n",
+		cfg.Topo.World(), steps)
+	if _, err := ctl.Run(steps); err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recovered: %d checkpoints, %d restart(s), failure: %v\n\n",
+		ctl.Checkpoints, ctl.Restarts, ctl.Failures[0])
+
+	tr := col.Snapshot()
+	fmt.Println("fault lifecycle ('!' on the strips below):")
+	for _, e := range tr.Events {
+		if e.Kind == trace.Fault {
+			fmt.Printf("  t=%7.3fs rank %2d  %s\n", e.Start, e.Rank, e.Name)
+		}
+	}
+	fmt.Println()
+	for r := -1; r < cfg.Topo.World(); r++ {
+		if line := tr.ASCIITimeline(r, 100); line != "" {
+			fmt.Println(line)
+		}
+	}
+
+	if jsonPath != "" {
+		writeJSON(tr, jsonPath)
+	}
+}
+
+func writeJSON(tr *trace.Trace, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := tr.WriteChromeJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}
 
 func main() {
 	ppSize := flag.Int("pp", 4, "pipeline size")
@@ -26,7 +102,13 @@ func main() {
 	jsonPath := flag.String("json", "", "write Chrome trace JSON to this file")
 	slow := flag.Int("slow", -1, "inject a slow rank")
 	slowdown := flag.Float64("slowdown", 1.5, "slow-rank compute multiplier")
+	ftMode := flag.Bool("ft", false, "run the live fault-tolerance demo instead of a PP schedule")
 	flag.Parse()
+
+	if *ftMode {
+		ftDemo(*jsonPath)
+		return
+	}
 
 	var sched *pp.Schedule
 	switch *schedName {
@@ -72,16 +154,6 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := tr.WriteChromeJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote", *jsonPath)
+		writeJSON(tr, *jsonPath)
 	}
 }

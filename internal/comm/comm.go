@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"llama4d/internal/tensor"
 )
@@ -30,6 +31,18 @@ type Recorder interface {
 	RecordComm(rank int, label string, dur float64)
 }
 
+// FaultInjector intercepts every communication operation of the world —
+// collectives as ranks enter them, P2P sends and receives — so injected
+// faults land inside real communication, exactly where production failures
+// surface. Implementations may sleep (a stall), mutate t in place (silent
+// data corruption; t is nil for receives and barriers), or return a non-nil
+// error, which kills the calling rank's goroutine (a crash: the rank panics
+// inside the op and never contributes, so its peers block until failure
+// detection fires). Must be safe for concurrent use by all ranks.
+type FaultInjector interface {
+	BeforeOp(rank int, op string, t *tensor.Tensor) error
+}
+
 // World is an in-process cluster of ranks numbered 0..Size()-1.
 type World struct {
 	size int
@@ -39,9 +52,124 @@ type World struct {
 	// use.
 	Recorder Recorder
 
+	// Fault, if non-nil, intercepts every communication op (fault
+	// injection). Set it while no ranks are running.
+	Fault FaultInjector
+
+	// Timeout, if positive, bounds every blocking communication wait: a
+	// rank stuck longer than this aborts the world with a *DeadlineError
+	// — the failure detector that turns a dead or stalled peer into a
+	// typed error on every surviving rank instead of a hang. Zero keeps
+	// waits unbounded (the pre-fault-tolerance behaviour).
+	Timeout time.Duration
+
+	abortOnce sync.Once
+	abort     chan struct{}
+	abortErr  atomic.Pointer[abortCause]
+
 	mu    sync.Mutex
 	mail  map[p2pKey]chan *tensor.Tensor
 	stats Stats
+}
+
+type abortCause struct{ err error }
+
+// AbortError is the panic payload delivered to ranks blocked in a
+// collective or P2P operation when the world aborts: the surviving ranks of
+// a failure observe it instead of waiting forever on a peer that will never
+// arrive. World.RunSPMD recovers these and returns the abort cause.
+type AbortError struct {
+	Rank int   // rank that observed the abort
+	Op   string // operation it was blocked in
+	Err  error  // the abort cause (e.g. *RankPanicError, *DeadlineError)
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("comm: rank %d aborted in %s: %v", e.Rank, e.Op, e.Err)
+}
+
+func (e *AbortError) Unwrap() error { return e.Err }
+
+// RankPanicError is the abort cause when a rank's goroutine dies (an
+// injected crash or a genuine bug): the root-cause rank is attributed, which
+// downstream fault handling (internal/ft) surfaces as a RankFailure.
+type RankPanicError struct {
+	Rank  int
+	Cause error
+}
+
+func (e *RankPanicError) Error() string {
+	return fmt.Sprintf("comm: rank %d died: %v", e.Rank, e.Cause)
+}
+
+func (e *RankPanicError) Unwrap() error { return e.Cause }
+
+// DeadlineError is the abort cause when the failure detector fires: a rank
+// waited longer than World.Timeout inside an op. The rank recorded is the
+// *observer* — with a stalled (not crashed) peer no rank ever dies, so the
+// detector cannot attribute the root cause, only the symptom.
+type DeadlineError struct {
+	Rank    int
+	Op      string
+	Timeout time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("comm: rank %d exceeded the %v failure-detection deadline in %s (dead or stalled peer)", e.Rank, e.Timeout, e.Op)
+}
+
+// Abort marks the world as failed with the given cause and releases every
+// rank blocked in a collective or P2P wait (they panic with *AbortError).
+// The first cause wins; later calls are no-ops. An aborted world is dead for
+// good — recovery rebuilds a fresh world (internal/ft's controller).
+func (w *World) Abort(err error) {
+	w.abortOnce.Do(func() {
+		w.abortErr.Store(&abortCause{err: err})
+		close(w.abort)
+	})
+}
+
+// Err returns the abort cause, or nil while the world is healthy.
+func (w *World) Err() error {
+	if c := w.abortErr.Load(); c != nil {
+		return c.err
+	}
+	return nil
+}
+
+// Done returns a channel closed when the world aborts — fault injectors use
+// it to make stalls interruptible.
+func (w *World) Done() <-chan struct{} { return w.abort }
+
+// beforeOp runs the fault hook for one op; an injected crash panics the
+// calling rank with the fault error (so the crash happens *inside* the op).
+func (w *World) beforeOp(rank int, op string, t *tensor.Tensor) {
+	if w.Fault == nil {
+		return
+	}
+	if err := w.Fault.BeforeOp(rank, op, t); err != nil {
+		panic(err)
+	}
+}
+
+// await blocks until ready is closed, the world aborts, or the failure
+// detector's deadline expires (aborting the world). It panics with
+// *AbortError in the two failure cases.
+func (w *World) await(rank int, op string, ready <-chan struct{}) {
+	var deadline <-chan time.Time
+	if w.Timeout > 0 {
+		tm := time.NewTimer(w.Timeout)
+		defer tm.Stop()
+		deadline = tm.C
+	}
+	select {
+	case <-ready:
+	case <-w.abort:
+		panic(&AbortError{Rank: rank, Op: op, Err: w.Err()})
+	case <-deadline:
+		w.Abort(&DeadlineError{Rank: rank, Op: op, Timeout: w.Timeout})
+		panic(&AbortError{Rank: rank, Op: op, Err: w.Err()})
+	}
 }
 
 type p2pKey struct {
@@ -67,7 +195,11 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("comm: world size %d", size))
 	}
-	return &World{size: size, mail: make(map[p2pKey]chan *tensor.Tensor)}
+	return &World{
+		size:  size,
+		mail:  make(map[p2pKey]chan *tensor.Tensor),
+		abort: make(chan struct{}),
+	}
 }
 
 // Size returns the number of ranks in the world.
@@ -95,16 +227,39 @@ func (w *World) mailbox(k p2pKey) chan *tensor.Tensor {
 func (w *World) Send(from, to, tag int, t *tensor.Tensor) {
 	w.checkRank(from)
 	w.checkRank(to)
+	msg := t.Clone()
+	w.beforeOp(from, "p2p.send", msg)
 	w.stats.P2POps.Add(1)
 	w.stats.P2PBytes.Add(int64(t.Len()) * 4)
-	w.mailbox(p2pKey{from, to, tag}) <- t.Clone()
+	select {
+	case w.mailbox(p2pKey{from, to, tag}) <- msg:
+	case <-w.abort:
+		panic(&AbortError{Rank: from, Op: "p2p.send", Err: w.Err()})
+	}
 }
 
-// Recv blocks until a tensor tagged `tag` from rank `from` arrives at `to`.
+// Recv blocks until a tensor tagged `tag` from rank `from` arrives at `to`,
+// the world aborts, or the failure-detection deadline expires.
 func (w *World) Recv(to, from, tag int) *tensor.Tensor {
 	w.checkRank(from)
 	w.checkRank(to)
-	return <-w.mailbox(p2pKey{from, to, tag})
+	w.beforeOp(to, "p2p.recv", nil)
+	ch := w.mailbox(p2pKey{from, to, tag})
+	var deadline <-chan time.Time
+	if w.Timeout > 0 {
+		tm := time.NewTimer(w.Timeout)
+		defer tm.Stop()
+		deadline = tm.C
+	}
+	select {
+	case t := <-ch:
+		return t
+	case <-w.abort:
+		panic(&AbortError{Rank: to, Op: "p2p.recv", Err: w.Err()})
+	case <-deadline:
+		w.Abort(&DeadlineError{Rank: to, Op: "p2p.recv", Timeout: w.Timeout})
+		panic(&AbortError{Rank: to, Op: "p2p.recv", Err: w.Err()})
+	}
 }
 
 func (w *World) checkRank(r int) {
@@ -113,9 +268,61 @@ func (w *World) checkRank(r int) {
 	}
 }
 
+// RunSPMD runs body once per rank, each on its own goroutine, waits for all
+// of them, and returns the failure (nil on success). A panicking rank aborts
+// the world, releasing peers blocked on its collectives or P2P transfers —
+// the deadlock class the package-level RunSPMD suffered from — so a dead or
+// stalled rank surfaces as a typed error instead of hanging the caller:
+// *RankPanicError when a rank's goroutine died, *DeadlineError when the
+// Timeout failure detector fired first. An already-aborted world refuses to
+// run and returns its standing error.
+func (w *World) RunSPMD(body func(rank int)) error {
+	if err := w.Err(); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	panics := make([]any, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				panics[rank] = p
+				if _, induced := p.(*AbortError); induced {
+					// Collateral of an abort elsewhere, not a root cause.
+					return
+				}
+				cause, ok := p.(error)
+				if !ok {
+					cause = fmt.Errorf("%v", p)
+				}
+				w.Abort(&RankPanicError{Rank: rank, Cause: cause})
+			}()
+			body(rank)
+		}(r)
+	}
+	wg.Wait()
+	if err := w.Err(); err != nil {
+		return err
+	}
+	for r, p := range panics {
+		if p != nil {
+			return fmt.Errorf("comm: rank %d panicked: %v", r, p)
+		}
+	}
+	return nil
+}
+
 // RunSPMD runs body once per rank, each on its own goroutine, and waits for
 // all of them. A panic in any rank is re-raised in the caller with the rank
-// attached, so test failures surface instead of deadlocking.
+// attached, so test failures surface instead of deadlocking. Note that a
+// rank panicking *mid-collective* leaves its peers blocked (there is no
+// world here to abort); code that must survive rank failures uses the
+// World.RunSPMD method instead.
 func RunSPMD(size int, body func(rank int)) {
 	var wg sync.WaitGroup
 	panics := make([]any, size)

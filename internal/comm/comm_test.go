@@ -1,10 +1,13 @@
 package comm
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"llama4d/internal/tensor"
 )
@@ -498,4 +501,109 @@ func (f *fakeRecorder) RecordComm(rank int, label string, dur float64) {
 		label string
 		dur   float64
 	}{rank, label, dur})
+}
+
+// --- fault tolerance: abort, failure detection, World.RunSPMD ---
+
+func TestWorldRunSPMDUnblocksPeersOnPanic(t *testing.T) {
+	// The latent deadlock class: one rank dies before entering a
+	// collective, leaving its peers blocked forever on the slot channel.
+	// World.RunSPMD aborts the world on the panic, so the survivors
+	// observe the failure and the call returns a typed error instead of
+	// hanging the test binary.
+	w := NewWorld(4)
+	g := w.NewGroup([]int{0, 1, 2, 3})
+	err := w.RunSPMD(func(rank int) {
+		if rank == 2 {
+			panic("injected death")
+		}
+		g.AllReduce(rank, tensor.FromSlice([]float32{1}, 1))
+	})
+	if err == nil {
+		t.Fatal("RunSPMD returned nil despite a dead rank")
+	}
+	var rp *RankPanicError
+	if !errors.As(err, &rp) || rp.Rank != 2 {
+		t.Fatalf("err = %v, want *RankPanicError{Rank: 2}", err)
+	}
+}
+
+func TestWorldRunSPMDUnblocksRecvOnPanic(t *testing.T) {
+	w := NewWorld(2)
+	err := w.RunSPMD(func(rank int) {
+		if rank == 0 {
+			panic("sender died before sending")
+		}
+		w.Recv(1, 0, 9)
+	})
+	var rp *RankPanicError
+	if !errors.As(err, &rp) || rp.Rank != 0 {
+		t.Fatalf("err = %v, want *RankPanicError{Rank: 0}", err)
+	}
+}
+
+func TestDeadlineDetectorFiresOnMissingPeer(t *testing.T) {
+	// A stalled peer never dies, so no panic aborts the world; the
+	// Timeout failure detector must catch the hang instead.
+	w := NewWorld(2)
+	w.Timeout = 100 * time.Millisecond
+	g := w.NewGroup([]int{0, 1})
+	start := time.Now()
+	err := w.RunSPMD(func(rank int) {
+		if rank == 1 {
+			return // never joins the collective
+		}
+		g.Barrier(rank)
+	})
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlineError", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("detection took %v", elapsed)
+	}
+}
+
+func TestAbortedWorldRefusesWork(t *testing.T) {
+	w := NewWorld(2)
+	w.Abort(errDead)
+	if err := w.RunSPMD(func(rank int) {}); !errors.Is(err, errDead) {
+		t.Fatalf("aborted world ran anyway: %v", err)
+	}
+	// Blocked ops on an aborted world panic with *AbortError rather than
+	// waiting forever.
+	defer func() {
+		if _, ok := recover().(*AbortError); !ok {
+			t.Fatal("Recv on aborted world must panic with *AbortError")
+		}
+	}()
+	w.Recv(1, 0, 1)
+}
+
+var errDead = errors.New("dead world")
+
+type flipInjector struct{ fired atomic.Bool }
+
+func (f *flipInjector) BeforeOp(rank int, op string, x *tensor.Tensor) error {
+	if rank == 0 && x != nil && x.Len() > 0 && !f.fired.Swap(true) {
+		x.Data[0] = 42
+	}
+	return nil
+}
+
+func TestFaultInjectorInterceptsCollectives(t *testing.T) {
+	w := NewWorld(2)
+	w.Fault = &flipInjector{}
+	g := w.NewGroup([]int{0, 1})
+	results := make([]*tensor.Tensor, 2)
+	if err := w.RunSPMD(func(rank int) {
+		results[rank] = g.AllReduce(rank, tensor.FromSlice([]float32{1}, 1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r, res := range results {
+		if res.Data[0] != 43 { // corrupted 42 + healthy 1
+			t.Fatalf("rank %d sum = %v, fault hook did not land inside the collective", r, res.Data[0])
+		}
+	}
 }

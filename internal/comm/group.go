@@ -88,6 +88,10 @@ func (g *Group) Contains(globalRank int) bool {
 // ordered by local rank; it must fill slot.result with one entry per member.
 func (g *Group) enter(globalRank int, op string, contrib *tensor.Tensor, combine func(contribs []*tensor.Tensor, results []*tensor.Tensor)) *tensor.Tensor {
 	lr := g.LocalRank(globalRank)
+	// Fault injection happens on entry, before the contribution registers:
+	// a crashing rank never arrives, so its peers block — exactly the
+	// production failure mode the world's detection machinery must catch.
+	g.world.beforeOp(globalRank, g.Label+"."+op, contrib)
 	if g.world.Recorder != nil {
 		start := time.Now()
 		defer func() {
@@ -122,7 +126,7 @@ func (g *Group) enter(globalRank int, op string, contrib *tensor.Tensor, combine
 		combine(slot.contribs, slot.result)
 		close(slot.done)
 	} else {
-		<-slot.done
+		g.world.await(globalRank, g.Label+"."+op, slot.done)
 	}
 
 	res := slot.result[lr]

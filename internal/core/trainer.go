@@ -242,10 +242,25 @@ func (r *Rank) stepRank(src data.Batcher, step int64) float64 {
 // Step runs one synchronous training step across the whole cluster and
 // returns the global mean loss (per-sample token-mean averaged over the
 // global batch), identical in semantics to the sequential reference's
-// StepLoss over the same global batch.
+// StepLoss over the same global batch. A rank failure mid-step panics in
+// the caller (it cannot hang — see TryStep for the error-returning path).
 func (cl *Cluster) Step(src data.Batcher, step int64) float64 {
+	loss, err := cl.TryStep(src, step)
+	if err != nil {
+		panic(err)
+	}
+	return loss
+}
+
+// TryStep is Step with failure detection: a rank that crashes or stalls
+// past the world's failure-detection deadline mid-step surfaces as a typed
+// error (*comm.RankPanicError or *comm.DeadlineError) on the caller instead
+// of deadlocking the surviving ranks — the substrate internal/ft's recovery
+// controller builds on. After a non-nil error the cluster's world is dead;
+// recovery means rebuilding the cluster and restoring a checkpoint.
+func (cl *Cluster) TryStep(src data.Batcher, step int64) (float64, error) {
 	losses := make([]float64, len(cl.Ranks))
-	comm.RunSPMD(cl.World.Size(), func(id int) {
+	err := cl.World.RunSPMD(func(id int) {
 		r := cl.Ranks[id]
 		local := r.stepRank(src, step)
 		// Aggregate the loss across the world: heads exist only on the last
@@ -254,15 +269,27 @@ func (cl *Cluster) Step(src data.Batcher, step int64) float64 {
 		total := r.Groups.World.AllReduce(id, contrib)
 		losses[id] = float64(total.Data[0]) / float64(cl.Cfg.Topo.TP) / float64(cl.Cfg.GBS)
 	})
-	return losses[0]
+	if err != nil {
+		return 0, err
+	}
+	return losses[0], nil
 }
 
 // EvalLoss runs a forward-only pass over the step's global batch and
 // returns the mean loss — validation without gradients, optimizer updates,
-// or activation retention.
+// or activation retention. Panics on rank failure; see TryEvalLoss.
 func (cl *Cluster) EvalLoss(src data.Batcher, step int64) float64 {
+	loss, err := cl.TryEvalLoss(src, step)
+	if err != nil {
+		panic(err)
+	}
+	return loss
+}
+
+// TryEvalLoss is EvalLoss with failure detection (see TryStep).
+func (cl *Cluster) TryEvalLoss(src data.Batcher, step int64) (float64, error) {
 	losses := make([]float64, len(cl.Ranks))
-	comm.RunSPMD(cl.World.Size(), func(id int) {
+	err := cl.World.RunSPMD(func(id int) {
 		r := cl.Ranks[id]
 		if cl.Cfg.ZeRO == fsdp.ZeRO3 {
 			r.Shard.GatherParams()
@@ -273,7 +300,10 @@ func (cl *Cluster) EvalLoss(src data.Batcher, step int64) float64 {
 		total := r.Groups.World.AllReduce(id, contrib)
 		losses[id] = float64(total.Data[0]) / float64(cl.Cfg.Topo.TP) / float64(cl.Cfg.GBS)
 	})
-	return losses[0]
+	if err != nil {
+		return 0, err
+	}
+	return losses[0], nil
 }
 
 // SaveTo checkpoints the cluster's weights: one parameter stream per
@@ -283,7 +313,9 @@ func (cl *Cluster) EvalLoss(src data.Batcher, step int64) float64 {
 // change, which is exactly how Llama 3 moved between pre-training phases
 // (§2.2: growing GPU counts, batch sizes, and sequence lengths).
 func (cl *Cluster) SaveTo(w io.Writer) error {
-	cl.MaterializeParams()
+	if err := cl.MaterializeParams(); err != nil {
+		return err
+	}
 	for _, r := range cl.Ranks {
 		if r.Coord.DP != 0 || r.Coord.CP != 0 {
 			continue
@@ -359,9 +391,9 @@ func (cl *Cluster) LoadFullState(read io.Reader) error {
 
 // MaterializeParams all-gathers ZeRO-3-released parameters back into the
 // full per-rank buffers (no-op for ZeRO-1/2). Call before inspecting
-// weights.
-func (cl *Cluster) MaterializeParams() {
-	comm.RunSPMD(cl.World.Size(), func(id int) {
+// weights. Returns a failure-detection error if a rank dies mid-gather.
+func (cl *Cluster) MaterializeParams() error {
+	return cl.World.RunSPMD(func(id int) {
 		cl.Ranks[id].Shard.GatherParams()
 	})
 }

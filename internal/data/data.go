@@ -11,6 +11,10 @@
 package data
 
 import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
 	"math/rand"
 
 	"llama4d/internal/attention"
@@ -102,6 +106,44 @@ func (g *Generator) Sample(index int64) *model.Sample {
 		DocIDs:  attention.DocIDsFromEOS(tokens, g.EOS()),
 		Targets: targets,
 	}
+}
+
+const generatorStateMagic = uint32(0x4C344447) // "L4DG"
+
+// SaveState serializes the generator. Because Sample(i) is a pure function
+// of (Seed, i), the configuration and seed *are* the complete RNG state of
+// the data pipeline: a coordinated checkpoint (internal/ft) that carries
+// this stream resumes with bitwise-identical batches on every future step.
+func (g *Generator) SaveState(w io.Writer) error {
+	for _, v := range []uint64{
+		uint64(generatorStateMagic),
+		uint64(g.Vocab), uint64(g.Seq), uint64(g.AvgDocLen),
+		uint64(g.Seed), math.Float64bits(g.LongDocFrac),
+	} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState restores a SaveState stream, replacing all generator fields.
+// Reads exactly one stream, so it composes with concatenated checkpoint
+// sections.
+func (g *Generator) LoadState(r io.Reader) error {
+	var vs [6]uint64
+	for i := range vs {
+		if err := binary.Read(r, binary.LittleEndian, &vs[i]); err != nil {
+			return err
+		}
+	}
+	if uint32(vs[0]) != generatorStateMagic {
+		return fmt.Errorf("data: bad generator state magic %#x", vs[0])
+	}
+	g.Vocab, g.Seq, g.AvgDocLen = int(vs[1]), int(vs[2]), int(vs[3])
+	g.Seed = int64(vs[4])
+	g.LongDocFrac = math.Float64frombits(vs[5])
+	return nil
 }
 
 // GlobalBatch returns the gbs samples of a training step in corpus order.

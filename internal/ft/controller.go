@@ -1,0 +1,158 @@
+package ft
+
+import (
+	"fmt"
+	"time"
+
+	"llama4d/internal/comm"
+	"llama4d/internal/core"
+	"llama4d/internal/data"
+	"llama4d/internal/trace"
+)
+
+// Controller drives fault-tolerant training: it owns the train →
+// coordinated checkpoint → (injected) fault → detect → rebuild cluster →
+// restore → resume loop. Because every ingredient is deterministic — the
+// data pipeline is a pure function of (seed, step), collectives reduce in
+// rank order, checkpoints restore bitwise — a recovered run finishes with
+// weights and optimizer state bitwise identical to a run that never failed.
+type Controller struct {
+	Cfg core.Config
+	Gen *data.Generator
+
+	// CheckpointEvery takes a coordinated checkpoint before every n-th
+	// step (default 1: every step). The initial state is always
+	// checkpointed, so recovery is possible from step 0.
+	CheckpointEvery int64
+
+	// Plan, if non-nil, injects faults (re-armed on the rebuilt world
+	// after each recovery; faults fire at most once, so a replayed step
+	// does not re-crash).
+	Plan *Plan
+
+	// Timeout configures the comm-layer failure detector. Zero relies on
+	// crash detection alone (a dead goroutine); set it to also catch
+	// stalls, where no rank dies but nothing progresses.
+	Timeout time.Duration
+
+	// Trace, if non-nil, collects live comm timings plus the controller's
+	// fault events (ft.checkpoint / ft.inject.* / ft.detect / ft.restore),
+	// feeding cmd/traceview and the §6.1 localisation workflow.
+	Trace *trace.Collector
+
+	// MaxRestarts bounds recovery attempts (default 8); exceeding it
+	// returns the last failure.
+	MaxRestarts int
+
+	// Cluster is the live cluster after a successful Run.
+	Cluster *core.Cluster
+	// Failures records every detected failure, in order.
+	Failures []*RankFailure
+	// Restarts counts successful recoveries; Checkpoints counts
+	// coordinated checkpoints taken.
+	Restarts, Checkpoints int
+
+	start time.Time
+}
+
+// event records one controller lifecycle event on the shared trace.
+func (c *Controller) event(rank int, name string) {
+	if c.Trace == nil {
+		return
+	}
+	c.Trace.RecordEvent(trace.Event{
+		Rank: rank, Kind: trace.Fault, Name: name, Group: "ft",
+		Start: time.Since(c.start).Seconds(),
+	})
+}
+
+// newCluster builds a cluster wired with the controller's failure detector,
+// trace collector, and fault plan.
+func (c *Controller) newCluster() (*core.Cluster, error) {
+	cl, err := core.NewCluster(c.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.attach(cl.World)
+	return cl, nil
+}
+
+func (c *Controller) attach(w *comm.World) {
+	w.Timeout = c.Timeout
+	if c.Trace != nil {
+		w.Recorder = c.Trace
+	}
+}
+
+// Run trains for the given number of steps, surviving every fault in the
+// plan, and returns the per-step global mean losses (steps replayed after a
+// rollback report the replayed loss — bitwise equal to the pre-crash value,
+// which is the whole point). The final cluster is left in c.Cluster.
+func (c *Controller) Run(steps int64) ([]float64, error) {
+	c.start = time.Now()
+	every := c.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	maxRestarts := c.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 8
+	}
+	if c.Plan != nil && c.Trace != nil {
+		c.Plan.Injected = func(f Fault) {
+			c.event(f.Rank, "ft.inject."+f.Kind.String())
+		}
+	}
+
+	cl, err := c.newCluster()
+	if err != nil {
+		return nil, err
+	}
+	gen := c.Gen
+
+	ckpt, err := Save(cl, gen, 0)
+	if err != nil {
+		return nil, err
+	}
+	c.Checkpoints++
+	c.event(-1, "ft.checkpoint")
+
+	losses := make([]float64, steps)
+	for step := int64(0); step < steps; {
+		if step%every == 0 && step != ckpt.Step {
+			if ckpt, err = Save(cl, gen, step); err != nil {
+				return nil, err
+			}
+			c.Checkpoints++
+			c.event(-1, "ft.checkpoint")
+		}
+		if c.Plan != nil {
+			c.Plan.Arm(cl.World, step)
+		}
+		loss, err := cl.TryStep(gen, step)
+		if err != nil {
+			rf := AsRankFailure(err, step)
+			c.Failures = append(c.Failures, rf)
+			c.event(rf.Rank, "ft.detect")
+			if len(c.Failures) > maxRestarts {
+				return nil, fmt.Errorf("ft: giving up after %d restarts: %w", c.Restarts, rf)
+			}
+			// Rebuild from the last coordinated checkpoint: the dead
+			// world is discarded wholesale, exactly as a production
+			// restart reschedules onto healthy hosts.
+			if cl, gen, err = ckpt.Restore(c.Cfg); err != nil {
+				return nil, err
+			}
+			c.attach(cl.World)
+			c.Restarts++
+			step = ckpt.Step
+			c.event(-1, "ft.restore")
+			continue
+		}
+		losses[step] = loss
+		step++
+	}
+	c.Cluster = cl
+	c.Gen = gen
+	return losses, nil
+}

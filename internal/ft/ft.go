@@ -1,0 +1,211 @@
+// Package ft is the fault-tolerance subsystem of the reproduction — the
+// paper's conclusion names fault tolerance "beyond 4D parallelism" as the
+// next scaling frontier, and at production scale (MegaScale, the Llama 3
+// 54-day run with 419 unexpected interruptions) failure handling, not
+// steady-state throughput, bounds effective training time.
+//
+// The package spans the repository's two layers:
+//
+//   - Functional: a fault-injection Plan that lands crashes, stalls, and
+//     silent bit flips inside real collectives and P2P transfers
+//     (comm.FaultInjector); failure detection that surfaces a dead rank as
+//     a typed RankFailure on the survivors instead of a hang; coordinated
+//     full-cluster checkpoints (weights + sharded optimizer moments +
+//     data-pipeline RNG + step); and a recovery Controller that drives
+//     train → checkpoint → fault → detect → rebuild → restore → resume,
+//     bitwise-identically to an uninterrupted run.
+//   - Performance: internal/sim/goodput models how the same failures erode
+//     the paper's 16K-GPU throughput numbers and computes the Young/Daly-
+//     optimal checkpoint interval.
+package ft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"llama4d/internal/comm"
+	"llama4d/internal/tensor"
+)
+
+// RankFailure is the typed error surviving ranks observe when a peer dies
+// or stalls mid-step: the training loop sees this instead of a deadlocked
+// cluster.
+type RankFailure struct {
+	Rank  int   // root-cause rank; -1 when detection could not attribute it
+	Step  int64 // training step during which the failure surfaced
+	Cause error // underlying comm-layer error
+}
+
+func (f *RankFailure) Error() string {
+	who := fmt.Sprintf("rank %d", f.Rank)
+	if f.Rank < 0 {
+		who = "unattributed rank"
+	}
+	return fmt.Sprintf("ft: %s failed at step %d: %v", who, f.Step, f.Cause)
+}
+
+func (f *RankFailure) Unwrap() error { return f.Cause }
+
+// AsRankFailure converts a comm-layer failure from Cluster.TryStep into a
+// RankFailure, attributing the root-cause rank when the detection path
+// knows it (a crashed goroutine) and leaving it -1 when it cannot (a stall
+// caught by the deadline detector, where no rank ever dies).
+func AsRankFailure(err error, step int64) *RankFailure {
+	var rp *comm.RankPanicError
+	if errors.As(err, &rp) {
+		return &RankFailure{Rank: rp.Rank, Step: step, Cause: err}
+	}
+	return &RankFailure{Rank: -1, Step: step, Cause: err}
+}
+
+// FaultKind selects the injected failure mode.
+type FaultKind int
+
+// The three fault classes of large-scale training postmortems: hard crashes
+// (GPU falls off the bus, host dies), stalls (a hung NCCL kernel, a
+// stuck NIC — the "no rank died, nothing progresses" mode), and silent data
+// corruption (bit flips that leave the cluster running but wrong).
+const (
+	Crash FaultKind = iota
+	Stall
+	BitFlip
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Stall:
+		return "stall"
+	case BitFlip:
+		return "bitflip"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault schedules one injected failure: on rank Rank, during training step
+// Step, as the rank enters its OpIndex-th communication operation of that
+// step — so the fault lands *inside* a real collective or P2P transfer, the
+// place production failures surface.
+type Fault struct {
+	Kind    FaultKind
+	Rank    int
+	Step    int64
+	OpIndex int // fire on the rank's OpIndex-th comm op of the step (0 = first)
+
+	// StallFor is the stall duration (Stall only). The sleep is
+	// interruptible: it ends early once the world aborts, so tests can
+	// stall "forever" and still finish as soon as detection fires.
+	StallFor time.Duration
+
+	// Bit and Elem select the flipped bit (0..31) of one float32 element
+	// (index modulo the message length) of the in-flight message (BitFlip
+	// only).
+	Bit  int
+	Elem int
+}
+
+// CrashError is the error a Crash fault kills its rank with; it surfaces
+// inside the comm-layer RankPanicError chain.
+type CrashError struct {
+	Rank int
+	Step int64
+	Op   string
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("ft: injected crash of rank %d at step %d in %s", e.Rank, e.Step, e.Op)
+}
+
+// Plan is a deterministic fault-injection schedule implementing
+// comm.FaultInjector. Arm it on a world before each training step; each
+// fault fires at most once across the whole run, surviving cluster rebuilds
+// (the Plan outlives the worlds it is installed on, so a crash injected at
+// step N does not re-fire when the recovered cluster replays step N).
+type Plan struct {
+	mu     sync.Mutex
+	faults []Fault
+	fired  []bool
+	step   int64
+	ops    map[int]int // per-rank comm-op count within the armed step
+	world  *comm.World
+
+	// Injected, if non-nil, is called (outside the lock) each time a fault
+	// fires — the controller records trace events through it.
+	Injected func(f Fault)
+}
+
+// NewPlan creates a fault plan over the given faults.
+func NewPlan(faults ...Fault) *Plan {
+	return &Plan{faults: faults, fired: make([]bool, len(faults)), ops: make(map[int]int)}
+}
+
+// Arm installs the plan on a world and arms it for one training step,
+// resetting the per-rank op counters. Call while no ranks are running.
+func (p *Plan) Arm(w *comm.World, step int64) {
+	p.mu.Lock()
+	p.step = step
+	p.ops = make(map[int]int)
+	p.world = w
+	p.mu.Unlock()
+	w.Fault = p
+}
+
+// Pending reports whether any fault has not fired yet.
+func (p *Plan) Pending() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fired := range p.fired {
+		if !fired {
+			return true
+		}
+	}
+	return false
+}
+
+// BeforeOp implements comm.FaultInjector: counts the rank's ops within the
+// armed step and fires any matching un-fired fault.
+func (p *Plan) BeforeOp(rank int, op string, t *tensor.Tensor) error {
+	p.mu.Lock()
+	seq := p.ops[rank]
+	p.ops[rank]++
+	var fire *Fault
+	for i := range p.faults {
+		f := &p.faults[i]
+		if p.fired[i] || f.Rank != rank || f.Step != p.step || seq < f.OpIndex {
+			continue
+		}
+		p.fired[i] = true
+		fire = f
+		break
+	}
+	world := p.world
+	p.mu.Unlock()
+	if fire == nil {
+		return nil
+	}
+	if p.Injected != nil {
+		p.Injected(*fire)
+	}
+	switch fire.Kind {
+	case Crash:
+		return &CrashError{Rank: rank, Step: fire.Step, Op: op}
+	case Stall:
+		// Interruptible stall: wake as soon as the failure detector
+		// aborts the world.
+		select {
+		case <-time.After(fire.StallFor):
+		case <-world.Done():
+		}
+	case BitFlip:
+		if t != nil && t.Len() > 0 {
+			i := fire.Elem % t.Len()
+			bits := math.Float32bits(t.Data[i]) ^ (1 << uint(fire.Bit%32))
+			t.Data[i] = math.Float32frombits(bits)
+		}
+	}
+	return nil
+}

@@ -122,6 +122,19 @@ func (m Model) AllReduce(ranks []int, bytes float64) float64 {
 	return m.ringCollectiveTime(ranks, bytes, 2)
 }
 
+// CheckpointWrite returns the time for every rank to persist bytesPerRank
+// of checkpoint state in parallel to the storage tier — the δ term of the
+// goodput model (internal/sim/goodput). Coordinated checkpoints write all
+// shards concurrently, so the cluster-level time is the per-rank time at
+// the per-GPU sustained storage bandwidth.
+func (m Model) CheckpointWrite(bytesPerRank float64) float64 {
+	bw := m.Cluster.Net.StorageGBs
+	if bw <= 0 {
+		bw = 0.4 // GrandTeton default; keeps hand-built models sane
+	}
+	return bytesPerRank / (bw * gb)
+}
+
 // P2P returns the time of a point-to-point transfer between two ranks.
 func (m Model) P2P(from, to int, bytes float64) float64 {
 	bw, lat := m.Cluster.GroupLink([]int{from, to})

@@ -1,0 +1,199 @@
+// Package goodput models effective training time at scale: the fraction of
+// wall-clock time a job spends making *new* forward progress once failures,
+// coordinated checkpoints, and restarts are accounted for.
+//
+// The paper's conclusion names reliability at 16K-GPU scale as an open
+// problem, and the Llama 3 report quantifies it: across a 54-day snapshot
+// the 16K-H100 run saw 419 unexpected interruptions — roughly one every
+// three hours, ~78% attributed to hardware (GPU and HBM dominant) — yet
+// sustained >90% effective training time. This package reproduces that
+// arithmetic: a per-component failure inventory yields the cluster MTBF, the
+// storage tier of sim/cluster plus the sharded-checkpoint size yield the
+// checkpoint write cost δ, and the classic first-order goodput model
+//
+//	E(τ) = τ/(τ+δ) · max(0, 1 − (R + (τ+δ)/2)/M)
+//
+// (τ = checkpoint interval, R = restart cost, M = cluster MTBF) gives the
+// effective-training-time ratio, maximised near the Young/Daly optimum
+// τ* ≈ √(2δM). internal/ft demonstrates the mechanism (inject → detect →
+// restore, bitwise); this package predicts its cost at production scale.
+package goodput
+
+import (
+	"fmt"
+	"math"
+
+	"llama4d/internal/model"
+	"llama4d/internal/sim/cost"
+	"llama4d/internal/sim/engine"
+)
+
+// Component is one failure-domain class: Count units, each failing
+// independently with the given per-unit MTBF. Rates add, so the cluster
+// failure rate is Σ Count/MTBFHours.
+type Component struct {
+	Name      string
+	MTBFHours float64 // per-unit mean time between failures
+	Count     int
+}
+
+// ProductionInventory returns a per-component failure inventory for a
+// cluster of the given GPU count (8 GPUs per host), calibrated so 16384
+// GPUs reproduce the Llama 3 54-day snapshot: 419 unexpected interruptions
+// (≈3.1 h cluster MTBF), with the Llama 3 attribution shares — faulty GPUs
+// incl. SDC ≈30%, HBM3 ≈17%, other host hardware ≈30%, software ≈13%,
+// network ≈9%.
+func ProductionInventory(gpus int) []Component {
+	hosts := (gpus + 7) / 8
+	return []Component{
+		{Name: "gpu (incl. SDC)", MTBFHours: 168000, Count: gpus},
+		{Name: "hbm3", MTBFHours: 294000, Count: gpus},
+		{Name: "host hw (cpu/psu/ssd/nic)", MTBFHours: 21000, Count: hosts},
+		{Name: "network switch/cable", MTBFHours: 34000, Count: hosts / 2},
+		{Name: "software/env", MTBFHours: 24, Count: 1}, // cluster-wide rate
+	}
+}
+
+// Config holds everything the goodput model needs: who fails (the
+// component inventory) and the three time constants of the
+// checkpoint/restart cycle.
+type Config struct {
+	Components []Component
+
+	// StepS is the training step time (seconds); checkpoint intervals are
+	// quantised to step boundaries only for reporting, the model itself is
+	// continuous.
+	StepS float64
+	// WriteS is δ: the coordinated-checkpoint write time (seconds), all
+	// ranks persisting their shard in parallel (cost.Model.CheckpointWrite).
+	WriteS float64
+	// RestartS is R: detect + reschedule + restore + rewarm (seconds).
+	RestartS float64
+}
+
+// FailureRatePerHour returns the summed cluster failure rate.
+func (c Config) FailureRatePerHour() float64 {
+	var rate float64
+	for _, comp := range c.Components {
+		if comp.MTBFHours > 0 {
+			rate += float64(comp.Count) / comp.MTBFHours
+		}
+	}
+	return rate
+}
+
+// ClusterMTBFHours returns the cluster mean time between failures in hours
+// (+Inf for an empty or failure-free inventory).
+func (c Config) ClusterMTBFHours() float64 {
+	rate := c.FailureRatePerHour()
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / rate
+}
+
+// ClusterMTBFS returns the cluster MTBF in seconds.
+func (c Config) ClusterMTBFS() float64 { return c.ClusterMTBFHours() * 3600 }
+
+// EffectiveRatio returns the effective-training-time ratio at checkpoint
+// interval tauS: the fraction of wall-clock time spent on useful new work.
+// The first factor is checkpoint overhead (τ useful seconds per τ+δ wall
+// seconds); the second is the expected loss rate from failures — each
+// failure, arriving at rate 1/M, costs the restart R plus on average half a
+// checkpoint period of rewound work.
+func (c Config) EffectiveRatio(tauS float64) float64 {
+	if tauS <= 0 {
+		return 0
+	}
+	m := c.ClusterMTBFS()
+	useful := tauS / (tauS + c.WriteS)
+	if math.IsInf(m, 1) {
+		return useful
+	}
+	lost := (c.RestartS + (tauS+c.WriteS)/2) / m
+	if lost >= 1 {
+		return 0
+	}
+	return useful * (1 - lost)
+}
+
+// YoungIntervalS returns Young's first-order optimal checkpoint interval
+// τ* = √(2δM).
+func (c Config) YoungIntervalS() float64 {
+	return math.Sqrt(2 * c.WriteS * c.ClusterMTBFS())
+}
+
+// DalyIntervalS returns Daly's higher-order refinement of Young's formula,
+// valid for δ < 2M:
+//
+//	τ* = √(2δM)·[1 + ⅓·√(δ/2M) + ⅑·(δ/2M)] − δ
+func (c Config) DalyIntervalS() float64 {
+	m := c.ClusterMTBFS()
+	if c.WriteS >= 2*m {
+		return m // degenerate regime: checkpointing costs more than it saves
+	}
+	x := c.WriteS / (2 * m)
+	return math.Sqrt(2*c.WriteS*m)*(1+math.Sqrt(x)/3+x/9) - c.WriteS
+}
+
+// OptimalIntervalS numerically maximises EffectiveRatio by golden-section
+// search over [δ, M] — the cross-check that the closed forms land on the
+// model's true optimum. EffectiveRatio is unimodal on this interval.
+func (c Config) OptimalIntervalS() float64 {
+	lo, hi := c.WriteS, c.ClusterMTBFS()
+	if math.IsInf(hi, 1) {
+		return hi // no failures: never checkpoint
+	}
+	if lo <= 0 {
+		lo = 1e-6
+	}
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := c.EffectiveRatio(x1), c.EffectiveRatio(x2)
+	for i := 0; i < 200 && b-a > 1e-6*(1+b); i++ {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = c.EffectiveRatio(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = c.EffectiveRatio(x1)
+		}
+	}
+	return (a + b) / 2
+}
+
+// CheckpointBytesPerRank returns the coordinated-checkpoint shard size for
+// a model of the given parameter count sharded over `world` ranks: FP32
+// master weights plus the two AdamW moment buffers — 12 bytes per parameter,
+// matching what internal/ft.Save actually serialises per rank.
+func CheckpointBytesPerRank(params int64, world int) float64 {
+	if world <= 0 {
+		world = 1
+	}
+	return float64(params) * 12 / float64(world)
+}
+
+// Production16K assembles the 16K-H100 production configuration: step time
+// from the §7.3 8K-sequence simulation (engine.Production8K), checkpoint
+// write cost from the calibrated cost model and the 405B sharded-checkpoint
+// size, failure inventory from ProductionInventory, and a 5-minute restart
+// (detect + reschedule + restore + rewarm).
+func Production16K() (Config, error) {
+	ts := engine.Production8K()
+	rep, err := ts.Simulate()
+	if err != nil {
+		return Config{}, fmt.Errorf("goodput: production step sim: %w", err)
+	}
+	world := ts.World()
+	bytesPerRank := CheckpointBytesPerRank(model.Llama3_405B().TotalParams(), world)
+	return Config{
+		Components: ProductionInventory(world),
+		StepS:      rep.StepTime,
+		WriteS:     cost.Default().CheckpointWrite(bytesPerRank),
+		RestartS:   300,
+	}, nil
+}

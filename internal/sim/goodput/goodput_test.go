@@ -1,0 +1,138 @@
+package goodput
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClusterMTBFCalibration: the production inventory reproduces the
+// Llama 3 54-day snapshot — 419 unexpected interruptions on 16384 GPUs,
+// i.e. a cluster MTBF of about three hours.
+func TestClusterMTBFCalibration(t *testing.T) {
+	c := Config{Components: ProductionInventory(16384)}
+	mtbf := c.ClusterMTBFHours()
+	if mtbf < 2.7 || mtbf > 3.5 {
+		t.Fatalf("cluster MTBF %.2f h, want ≈3.1 h (Llama 3: 419 interruptions / 54 days)", mtbf)
+	}
+	interruptions := 54 * 24 * c.FailureRatePerHour()
+	if interruptions < 380 || interruptions > 460 {
+		t.Fatalf("54-day interruptions %.0f, want ≈419", interruptions)
+	}
+}
+
+// TestMTBFScaling: failure rate grows with cluster size, so MTBF shrinks —
+// the reason fault tolerance is a *scaling* problem.
+func TestMTBFScaling(t *testing.T) {
+	small := Config{Components: ProductionInventory(2048)}
+	large := Config{Components: ProductionInventory(16384)}
+	if small.ClusterMTBFHours() <= large.ClusterMTBFHours() {
+		t.Fatalf("2048-GPU MTBF %.2f h should exceed 16384-GPU MTBF %.2f h",
+			small.ClusterMTBFHours(), large.ClusterMTBFHours())
+	}
+}
+
+func testConfig() Config {
+	return Config{
+		Components: ProductionInventory(16384),
+		StepS:      20,
+		WriteS:     0.75,
+		RestartS:   300,
+	}
+}
+
+// TestEffectiveRatioShape: the goodput curve is a peak — too-frequent
+// checkpointing pays overhead, too-rare checkpointing loses work to rewinds
+// — and its boundary behaviour is sane.
+func TestEffectiveRatioShape(t *testing.T) {
+	c := testConfig()
+	opt := c.YoungIntervalS()
+	peak := c.EffectiveRatio(opt)
+	if peak <= c.EffectiveRatio(opt/16) || peak <= c.EffectiveRatio(opt*16) {
+		t.Fatalf("ratio at Young interval %.0fs (%.4f) is not a peak: /16→%.4f ×16→%.4f",
+			opt, peak, c.EffectiveRatio(opt/16), c.EffectiveRatio(opt*16))
+	}
+	if peak <= 0.9 || peak >= 1 {
+		t.Fatalf("peak effective ratio %.4f outside (0.9, 1); Llama 3 reports >90%%", peak)
+	}
+	if got := c.EffectiveRatio(0); got != 0 {
+		t.Fatalf("ratio at τ=0 is %v, want 0", got)
+	}
+	// Without failures the only cost is checkpoint overhead.
+	noFail := Config{StepS: 20, WriteS: 0.75}
+	if got, want := noFail.EffectiveRatio(100), 100.0/100.75; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("failure-free ratio %v, want τ/(τ+δ) = %v", got, want)
+	}
+}
+
+// TestOptimaAgree: Young, Daly, and the numeric argmax land on the same
+// optimum — within a few percent in interval, within a fraction of a point
+// in achieved ratio (the curve is flat near its peak).
+func TestOptimaAgree(t *testing.T) {
+	c := testConfig()
+	young, daly, numeric := c.YoungIntervalS(), c.DalyIntervalS(), c.OptimalIntervalS()
+	if math.Abs(young-numeric)/numeric > 0.25 {
+		t.Fatalf("Young %.1fs vs numeric argmax %.1fs: disagree by >25%%", young, numeric)
+	}
+	if math.Abs(daly-numeric)/numeric > 0.15 {
+		t.Fatalf("Daly %.1fs vs numeric argmax %.1fs: disagree by >15%%", daly, numeric)
+	}
+	best := c.EffectiveRatio(numeric)
+	for _, tau := range []float64{young, daly} {
+		if best-c.EffectiveRatio(tau) > 0.002 {
+			t.Fatalf("ratio at closed-form interval %.1fs is %.4f, numeric best %.4f: gap too large",
+				tau, c.EffectiveRatio(tau), best)
+		}
+	}
+	if c.EffectiveRatio(numeric*1.2) > best || c.EffectiveRatio(numeric/1.2) > best {
+		t.Fatalf("numeric argmax %.1fs is not a local maximum", numeric)
+	}
+}
+
+// TestProduction16K: the fully wired 16K-H100 configuration — simulated
+// step time, calibrated checkpoint write cost, production failure inventory
+// — achieves the Llama 3 headline: >90% effective training time at the
+// optimal checkpoint interval.
+func TestProduction16K(t *testing.T) {
+	c, err := Production16K()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.StepS <= 0 {
+		t.Fatalf("production step time %.2fs not positive", c.StepS)
+	}
+	// 405B × 12 B/param over 16384 ranks ≈ 297 MB/rank at 0.4 GB/s ≈ 0.74 s.
+	if c.WriteS < 0.4 || c.WriteS > 1.5 {
+		t.Fatalf("checkpoint write δ=%.2fs outside [0.4, 1.5]", c.WriteS)
+	}
+	ratio := c.EffectiveRatio(c.OptimalIntervalS())
+	if ratio <= 0.90 {
+		t.Fatalf("effective training time %.1f%% at optimal interval; Llama 3 reports >90%%", 100*ratio)
+	}
+	if ratio >= 0.999 {
+		t.Fatalf("effective training time %.4f suspiciously lossless", ratio)
+	}
+}
+
+// TestCheckpointBytesPerRank matches the 405B production arithmetic.
+func TestCheckpointBytesPerRank(t *testing.T) {
+	got := CheckpointBytesPerRank(405e9, 16384)
+	want := 405e9 * 12 / 16384
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("bytes/rank %.0f, want %.0f", got, want)
+	}
+	if CheckpointBytesPerRank(100, 0) != 1200 {
+		t.Fatal("world=0 must degrade to a single rank, not divide by zero")
+	}
+}
+
+// TestNoFailuresNeverCheckpoint: with an empty inventory the MTBF is
+// infinite and the optimal policy degenerates to "never checkpoint".
+func TestNoFailuresNeverCheckpoint(t *testing.T) {
+	c := Config{StepS: 20, WriteS: 0.75, RestartS: 300}
+	if !math.IsInf(c.ClusterMTBFHours(), 1) {
+		t.Fatalf("empty inventory MTBF %v, want +Inf", c.ClusterMTBFHours())
+	}
+	if !math.IsInf(c.OptimalIntervalS(), 1) {
+		t.Fatalf("optimal interval %v, want +Inf", c.OptimalIntervalS())
+	}
+}

@@ -16,11 +16,15 @@ import (
 // Kind classifies a trace event.
 type Kind string
 
-// Event kinds mirroring the paper's profiling categories.
+// Event kinds mirroring the paper's profiling categories, plus the fault
+// events of the fault-tolerance subsystem (internal/ft): injected faults,
+// failure detection, and checkpoint/restore land on the timeline so the
+// §6.1 localisation workflow sees recovery alongside compute and comm.
 const (
 	Compute Kind = "compute"
 	Comm    Kind = "comm"
 	Idle    Kind = "idle"
+	Fault   Kind = "fault"
 )
 
 // Event is one interval on one rank's timeline.
@@ -115,6 +119,15 @@ func (c *Collector) RecordComm(rank int, label string, dur float64) {
 	c.mu.Unlock()
 }
 
+// RecordEvent appends an arbitrary event — the fault-tolerance controller
+// records fault injections, detections, and checkpoint/restore transitions
+// through this entry point.
+func (c *Collector) RecordEvent(e Event) {
+	c.mu.Lock()
+	c.T.Add(e)
+	c.mu.Unlock()
+}
+
 // Snapshot returns a copy of the collected trace.
 func (c *Collector) Snapshot() *Trace {
 	c.mu.Lock()
@@ -166,8 +179,11 @@ func (t *Trace) ASCIITimeline(rank, width int) string {
 			hi = width - 1
 		}
 		ch := byte('#')
-		if e.Kind == Comm {
+		switch e.Kind {
+		case Comm:
 			ch = '~'
+		case Fault:
+			ch = '!'
 		}
 		for i := lo; i <= hi; i++ {
 			row[i] = ch
