@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench check
+.PHONY: all build test vet race bench bench-all smoke-bench check
 
 all: check
 
@@ -16,10 +16,29 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Microbenchmark baseline: every optimised kernel head-to-head against its
+# frozen seed copy (impl=before/impl=after, pool=off/pool=on), written to
+# BENCH_kernels.json. The temp file keeps a go test failure from being
+# masked by the pipe.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench='^BenchmarkKernel' -benchmem -run='^$$' \
+		./internal/tensor ./internal/attention . > BENCH_kernels.txt \
+		&& $(GO) run ./cmd/benchjson -o BENCH_kernels.json < BENCH_kernels.txt \
+		&& rm BENCH_kernels.txt
+
+# The paper-reproduction benchmarks (one per table/figure) plus the kernel
+# suite.
+bench-all:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# One iteration of every kernel benchmark: exercises the before/after
+# bitwise correctness guards without waiting for stable timings.
+smoke-bench:
+	$(GO) test -bench='^BenchmarkKernel' -benchtime=1x -run='^$$' \
+		./internal/tensor ./internal/attention .
 
 # The full verification gate: compile everything, vet, run the suite with
 # the race detector (all collectives and the ft subsystem exercise real
-# cross-goroutine communication).
-check: build vet race
+# cross-goroutine communication), and smoke the kernel benchmarks'
+# correctness guards.
+check: build vet race smoke-bench

@@ -1,0 +1,162 @@
+// Command benchjson converts `go test -bench -benchmem` text output into the
+// machine-readable BENCH_kernels.json baseline. It reads benchmark lines from
+// stdin, records ns/op, B/op and allocs/op per benchmark, and pairs
+// before/after variants (impl=before vs impl=after, pool=off vs pool=on)
+// into comparisons with speedup and allocation-reduction ratios.
+//
+// Usage:
+//
+//	go test -bench '^BenchmarkKernel' -benchmem -run '^$' ./... | benchjson -o BENCH_kernels.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Comparison pairs a baseline variant with its optimised counterpart.
+type Comparison struct {
+	Name           string  `json:"name"`
+	Pkg            string  `json:"pkg,omitempty"`
+	Before         Result  `json:"before"`
+	After          Result  `json:"after"`
+	Speedup        float64 `json:"speedup"`
+	AllocReduction float64 `json:"alloc_reduction,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Cpu         string       `json:"cpu,omitempty"`
+	GoMaxProcs  int          `json:"go_max_procs"`
+	NumCPU      int          `json:"num_cpu"`
+	Benchmarks  []Result     `json:"benchmarks"`
+	Comparisons []Comparison `json:"comparisons"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkKernelMatMulT/impl=after-4  64  9050000 ns/op  1048660 B/op  3 allocs/op
+//
+// The -N GOMAXPROCS suffix is absent when GOMAXPROCS=1; the memory columns
+// are absent without -benchmem.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+// variantPairs maps a sub-benchmark label to its role in a comparison.
+var variantPairs = map[string]string{
+	"impl=before": "before",
+	"impl=after":  "after",
+	"pool=off":    "before",
+	"pool=on":     "after",
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := Report{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	pending := map[string]map[string]Result{} // pkg+base name -> role -> result
+
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.Cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		}
+		mm := benchLine.FindStringSubmatch(line)
+		if mm == nil {
+			continue
+		}
+		r := Result{Name: mm[1], Pkg: pkg}
+		r.Iterations, _ = strconv.ParseInt(mm[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(mm[3], 64)
+		if mm[4] != "" {
+			r.BPerOp, _ = strconv.ParseFloat(mm[4], 64)
+			r.AllocsPerOp, _ = strconv.ParseFloat(mm[5], 64)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+
+		if role, base, ok := splitVariant(r.Name); ok {
+			key := pkg + " " + base
+			if pending[key] == nil {
+				pending[key] = map[string]Result{}
+			}
+			pending[key][role] = r
+			if b, ok := pending[key]["before"]; ok {
+				if a, ok := pending[key]["after"]; ok {
+					c := Comparison{Name: base, Pkg: pkg, Before: b, After: a}
+					if a.NsPerOp > 0 {
+						c.Speedup = round3(b.NsPerOp / a.NsPerOp)
+					}
+					if a.AllocsPerOp > 0 {
+						c.AllocReduction = round3(b.AllocsPerOp / a.AllocsPerOp)
+					}
+					rep.Comparisons = append(rep.Comparisons, c)
+					delete(pending, key)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// splitVariant recognises names like Base/impl=before and returns the
+// comparison role plus the base name; ok is false for unpaired benchmarks.
+func splitVariant(name string) (role, base string, ok bool) {
+	i := strings.LastIndexByte(name, '/')
+	if i < 0 {
+		return "", "", false
+	}
+	role, ok = variantPairs[name[i+1:]]
+	return role, name[:i], ok
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

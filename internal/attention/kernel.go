@@ -17,6 +17,10 @@ type Output struct {
 // oracle against which the flash-style kernel, CP attention, and ring
 // attention are property-tested. qPos gives the global position of each
 // query row; keys occupy global positions kOff..kOff+sk-1.
+//
+// The mask/softmax sweep is row-parallel above the tensor package's FLOP
+// threshold: each query row is masked and normalised independently, so the
+// split is bitwise invisible (the §6.2 determinism contract).
 func Forward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Output {
 	sq, d := q.Rows(), q.Cols()
 	sk := k.Rows()
@@ -28,19 +32,35 @@ func Forward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Output {
 	}
 	scale := float32(1 / math.Sqrt(float64(d)))
 	s := tensor.MatMulT(q, k)
+	if workers := tensor.Workers(sq, sq*sk*d); workers <= 1 {
+		maskedSoftmaxRows(s, m, qPos, kOff, scale, 0, sq)
+	} else {
+		tensor.ParallelRows(sq, workers, func(lo, hi int) {
+			maskedSoftmaxRows(s, m, qPos, kOff, scale, lo, hi)
+		})
+	}
+	return &Output{O: tensor.MatMul(s, v), P: s}
+}
+
+// maskedSoftmaxRows scales and softmaxes score rows [lo, hi) in place,
+// sending disallowed positions to -Inf. Each worker hoists the mask into
+// one reusable per-row []bool instead of an Allowed call per element.
+func maskedSoftmaxRows(s *tensor.Tensor, m Mask, qPos []int, kOff int, scale float32, lo, hi int) {
+	sk := s.Cols()
+	allowed := make([]bool, sk)
 	neg := float32(math.Inf(-1))
-	for i := 0; i < sq; i++ {
+	for i := lo; i < hi; i++ {
+		RowMask(m, qPos[i], kOff, allowed)
 		row := s.Row(i)
 		for j := 0; j < sk; j++ {
-			if m.Allowed(qPos[i], kOff+j) {
+			if allowed[j] {
 				row[j] *= scale
 			} else {
 				row[j] = neg
 			}
 		}
+		tensor.SoftmaxRow(row)
 	}
-	tensor.SoftmaxRows(s)
-	return &Output{O: tensor.MatMul(s, v), P: s}
 }
 
 // Backward computes gradients for Forward given the saved probabilities.
@@ -54,8 +74,25 @@ func Backward(q, k, v, p, dO *tensor.Tensor) (dQ, dK, dV *tensor.Tensor) {
 	dP := tensor.MatMulT(dO, v) // [sq, sk]
 	// dS = P ∘ (dP − rowsum(dP ∘ P))
 	sq, sk := p.Rows(), p.Cols()
-	dS := tensor.New(sq, sk)
-	for i := 0; i < sq; i++ {
+	dS := tensor.GetUninit(sq, sk)
+	if workers := tensor.Workers(sq, 2*sq*sk); workers <= 1 {
+		softmaxBackwardRows(dS, p, dP, 0, sq)
+	} else {
+		tensor.ParallelRows(sq, workers, func(lo, hi int) {
+			softmaxBackwardRows(dS, p, dP, lo, hi)
+		})
+	}
+	tensor.Put(dP)
+	dQ = tensor.MatMul(dS, k).Scale(scale)
+	dK = tensor.TMatMul(dS, q).Scale(scale)
+	tensor.Put(dS)
+	return dQ, dK, dV
+}
+
+// softmaxBackwardRows writes dS = P ∘ (dP − rowsum(dP ∘ P)) for rows
+// [lo, hi). Row-independent, so any ParallelRows split is bitwise invisible.
+func softmaxBackwardRows(dS, p, dP *tensor.Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		pi, dpi, dsi := p.Row(i), dP.Row(i), dS.Row(i)
 		var dot float32
 		for j := range pi {
@@ -65,9 +102,6 @@ func Backward(q, k, v, p, dO *tensor.Tensor) (dQ, dK, dV *tensor.Tensor) {
 			dsi[j] = pi[j] * (dpi[j] - dot)
 		}
 	}
-	dQ = tensor.MatMul(dS, k).Scale(scale)
-	dK = tensor.TMatMul(dS, q).Scale(scale)
-	return dQ, dK, dV
 }
 
 // Partial is the result of attending a block of keys: an unnormalised output
@@ -84,32 +118,83 @@ type Partial struct {
 // Rows with no allowed keys get M = -Inf, L = 0, O = 0 and merge as neutral
 // elements.
 func PartialForward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Partial {
+	return PartialForwardInto(nil, q, k, v, m, qPos, kOff)
+}
+
+// PartialForwardInto is the buffer-reusing variant of PartialForward: a
+// non-nil out (of matching query count and head dim) is overwritten and
+// returned, recycling its O tensor and M/L slices — one key block after
+// another can stream through the same scratch Partial (FlashForward, ring
+// attention). A nil out allocates a fresh Partial from the tensor pool.
+//
+// The per-row online-softmax sweep is row-parallel above the FLOP
+// threshold; rows are independent, so the worker split never changes bits.
+func PartialForwardInto(out *Partial, q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Partial {
 	sq, d := q.Rows(), q.Cols()
 	sk := k.Rows()
+	if len(qPos) != sq {
+		panic(fmt.Sprintf("attention: %d qPos for %d query rows", len(qPos), sq))
+	}
+	if k.Cols() != d || v.Rows() != sk {
+		panic(fmt.Sprintf("attention: shape mismatch q%v k%v v%v", q.Shape, k.Shape, v.Shape))
+	}
 	scale := float32(1 / math.Sqrt(float64(d)))
 	s := tensor.MatMulT(q, k)
-	out := &Partial{O: tensor.New(sq, d), M: make([]float32, sq), L: make([]float32, sq)}
-	for i := 0; i < sq; i++ {
+	if out == nil {
+		out = &Partial{O: tensor.Get(sq, d), M: make([]float32, sq), L: make([]float32, sq)}
+	} else {
+		if out.O == nil || out.O.Rows() != sq || out.O.Cols() != d {
+			tensor.Put(out.O)
+			out.O = tensor.Get(sq, d)
+		} else {
+			out.O.Zero()
+		}
+		if cap(out.M) < sq {
+			out.M = make([]float32, sq)
+			out.L = make([]float32, sq)
+		}
+		out.M = out.M[:sq]
+		out.L = out.L[:sq]
+	}
+	if workers := tensor.Workers(sq, sq*sk*d); workers <= 1 {
+		partialSweepRows(out, s, v, m, qPos, kOff, scale, 0, sq)
+	} else {
+		tensor.ParallelRows(sq, workers, func(lo, hi int) {
+			partialSweepRows(out, s, v, m, qPos, kOff, scale, lo, hi)
+		})
+	}
+	tensor.Put(s)
+	return out
+}
+
+// partialSweepRows runs the online-softmax accumulation for query rows
+// [lo, hi): mask, scale, row max, exp-weights into out.O with per-row M/L
+// statistics. Rows are independent, so worker splits never change bits.
+func partialSweepRows(out *Partial, s, v *tensor.Tensor, m Mask, qPos []int, kOff int, scale float32, lo, hi int) {
+	sk, d := s.Cols(), v.Cols()
+	allowed := make([]bool, sk)
+	negInf := float32(math.Inf(-1))
+	for i := lo; i < hi; i++ {
+		RowMask(m, qPos[i], kOff, allowed)
 		row := s.Row(i)
-		maxv := float32(math.Inf(-1))
+		maxv := negInf
 		for j := 0; j < sk; j++ {
-			if m.Allowed(qPos[i], kOff+j) {
+			if allowed[j] {
 				row[j] *= scale
 				if row[j] > maxv {
 					maxv = row[j]
 				}
-			} else {
-				row[j] = float32(math.Inf(-1))
 			}
 		}
 		out.M[i] = maxv
+		out.L[i] = 0
 		if math.IsInf(float64(maxv), -1) {
 			continue
 		}
 		oi := out.O.Row(i)
 		var l float32
 		for j := 0; j < sk; j++ {
-			if math.IsInf(float64(row[j]), -1) {
+			if !allowed[j] {
 				continue
 			}
 			e := float32(math.Exp(float64(row[j] - maxv)))
@@ -121,7 +206,16 @@ func PartialForward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Parti
 		}
 		out.L[i] = l
 	}
-	return out
+}
+
+// ReleasePartial retires p's output buffer into the tensor pool. The caller
+// must hold no references to p.O afterwards.
+func ReleasePartial(p *Partial) {
+	if p == nil {
+		return
+	}
+	tensor.Put(p.O)
+	p.O = nil
 }
 
 // Merge combines two partials over disjoint key blocks into one partial over
@@ -129,7 +223,21 @@ func PartialForward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Parti
 // commutative up to floating-point rounding.
 func Merge(a, b *Partial) *Partial {
 	sq, d := a.O.Rows(), a.O.Cols()
-	out := &Partial{O: tensor.New(sq, d), M: make([]float32, sq), L: make([]float32, sq)}
+	out := &Partial{O: tensor.Get(sq, d), M: make([]float32, sq), L: make([]float32, sq)}
+	mergeRows(out, a, b)
+	return out
+}
+
+// MergeInPlace merges b into acc (acc ← Merge(acc, b)) without allocating:
+// the in-place variant block-streaming merges use so every block merge stops
+// costing one [sq, d] tensor. Bitwise identical to Merge because each output
+// row depends only on the same row of the two inputs.
+func MergeInPlace(acc, b *Partial) {
+	mergeRows(acc, acc, b)
+}
+
+func mergeRows(out, a, b *Partial) {
+	sq, d := a.O.Rows(), a.O.Cols()
 	for i := 0; i < sq; i++ {
 		ma, mb := a.M[i], b.M[i]
 		m := ma
@@ -138,6 +246,13 @@ func Merge(a, b *Partial) *Partial {
 		}
 		out.M[i] = m
 		if math.IsInf(float64(m), -1) {
+			out.L[i] = 0
+			if out != a {
+				oi := out.O.Row(i)
+				for c := 0; c < d; c++ {
+					oi[c] = 0
+				}
+			}
 			continue
 		}
 		wa, wb := float32(0), float32(0)
@@ -153,51 +268,69 @@ func Merge(a, b *Partial) *Partial {
 			oo[c] = wa*oa[c] + wb*ob[c]
 		}
 	}
+}
+
+// Finalize normalises a partial into a FRESH attention output: O[i] /= L[i].
+// Rows with L == 0 (no allowed keys) stay zero. The partial is unchanged;
+// use FinalizeInPlace when the partial's buffer can be consumed.
+func Finalize(p *Partial) *tensor.Tensor {
+	out := p.O.Clone()
+	finalizeRows(out, p.L)
 	return out
 }
 
-// Finalize normalises a partial into the attention output: O[i] /= L[i].
-// Rows with L == 0 (no allowed keys) stay zero.
-func Finalize(p *Partial) *tensor.Tensor {
-	out := p.O.Clone()
+// FinalizeInPlace normalises the partial's own output buffer and returns it,
+// consuming the partial: p.O aliases the result and the partial must not be
+// merged afterwards. This removes the [sq, d] clone per block merge that
+// Finalize pays.
+func FinalizeInPlace(p *Partial) *tensor.Tensor {
+	out := p.O
+	p.O = nil
+	finalizeRows(out, p.L)
+	return out
+}
+
+func finalizeRows(out *tensor.Tensor, l []float32) {
 	for i := 0; i < out.Rows(); i++ {
-		l := p.L[i]
-		if l == 0 {
+		if l[i] == 0 {
 			continue
 		}
-		inv := 1 / l
+		inv := 1 / l[i]
 		oi := out.Row(i)
 		for c := range oi {
 			oi[c] *= inv
 		}
 	}
-	return out
 }
 
 // FlashForward computes attention by streaming key blocks of size blockSize
-// through PartialForward/Merge — numerically equivalent to Forward but with
-// O(sq·d) working memory, the structure of Flash-Attention V2 that serves as
-// the paper's single-GPU baseline (§7.2).
+// through PartialForwardInto/MergeInPlace — numerically equivalent to
+// Forward but with O(sq·d) working memory, the structure of Flash-Attention
+// V2 that serves as the paper's single-GPU baseline (§7.2). One scratch
+// Partial is recycled across blocks and the accumulator is finalised in
+// place, so the streaming costs two [sq, d] buffers total regardless of the
+// block count.
 func FlashForward(q, k, v *tensor.Tensor, m Mask, qPos []int, blockSize int) *tensor.Tensor {
 	sk := k.Rows()
 	if blockSize <= 0 {
 		blockSize = sk
 	}
-	var acc *Partial
+	var acc, scratch *Partial
 	for off := 0; off < sk; off += blockSize {
 		end := off + blockSize
 		if end > sk {
 			end = sk
 		}
-		p := PartialForward(q, k.RowSlice(off, end), v.RowSlice(off, end), m, qPos, off)
 		if acc == nil {
-			acc = p
-		} else {
-			acc = Merge(acc, p)
+			acc = PartialForward(q, k.RowSlice(off, end), v.RowSlice(off, end), m, qPos, off)
+			continue
 		}
+		scratch = PartialForwardInto(scratch, q, k.RowSlice(off, end), v.RowSlice(off, end), m, qPos, off)
+		MergeInPlace(acc, scratch)
 	}
+	ReleasePartial(scratch)
 	if acc == nil {
 		return tensor.New(q.Rows(), q.Cols())
 	}
-	return Finalize(acc)
+	return FinalizeInPlace(acc)
 }

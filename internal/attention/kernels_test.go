@@ -1,0 +1,226 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"llama4d/internal/tensor"
+)
+
+// oddMask is a Mask the RowMask type switch does not know, forcing the
+// per-element fallback path.
+type oddMask struct{}
+
+func (oddMask) Allowed(q, k int) bool { return (q+k)%2 == 0 }
+
+// TestRowMaskMatchesAllowed checks every RowMask fast path against the
+// per-element Allowed oracle, including negative query positions (ring
+// attention probes rows that own no keys) and nonzero key offsets.
+func TestRowMaskMatchesAllowed(t *testing.T) {
+	doc := Document{DocID: DocIDsFromLengths([]int{3, 5, 2, 6}, 16)}
+	masks := map[string]Mask{
+		"full":     Full{},
+		"causal":   Causal{},
+		"document": doc,
+		"custom":   oddMask{},
+	}
+	for name, m := range masks {
+		for _, kOff := range []int{0, 3, 8, 15} {
+			for q := -2; q < 16; q++ {
+				if name == "document" && q < 0 {
+					// Document.Allowed would index DocID[q]; RowMask's guard
+					// handles the all-masked row without touching DocID.
+					sk := 16 - kOff
+					dst := make([]bool, sk)
+					for j := range dst {
+						dst[j] = true // ensure RowMask actually clears
+					}
+					RowMask(m, q, kOff, dst)
+					for j, v := range dst {
+						if v {
+							t.Fatalf("%s q=%d kOff=%d: key %d allowed for negative query", name, q, kOff, j)
+						}
+					}
+					continue
+				}
+				sk := 16 - kOff
+				dst := make([]bool, sk)
+				RowMask(m, q, kOff, dst)
+				for j := 0; j < sk; j++ {
+					if want := m.Allowed(q, kOff+j); dst[j] != want {
+						t.Fatalf("%s q=%d kOff=%d j=%d: RowMask=%v Allowed=%v", name, q, kOff, j, dst[j], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardRowSliceBitwise proves the row-parallel Forward split never
+// changes bits: with GOMAXPROCS raised and a shape above the FLOP threshold
+// the full call runs parallel, while per-slice calls on a few query rows run
+// serial — and every row must agree bit for bit, because rows are computed
+// independently of the chunking.
+func TestForwardRowSliceBitwise(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const sq, sk, d = 320, 256, 64 // 320·256·64 > 2^22: parallel dispatch
+	q, k, v := randQKV(101, sq, sk, d)
+	docs := Document{DocID: DocIDsFromLengths([]int{100, 77, 200}, 512)}
+	for name, m := range map[string]Mask{"causal": Causal{}, "document": docs} {
+		qPos := Iota(sq)
+		full := Forward(q, k, v, m, qPos, 0)
+		for lo := 0; lo < sq; lo += 63 { // uneven slices straddle chunk bounds
+			hi := lo + 63
+			if hi > sq {
+				hi = sq
+			}
+			part := Forward(q.RowSlice(lo, hi), k, v, m, qPos[lo:hi], 0)
+			if !tensor.BitwiseEqual(part.O, full.O.RowSlice(lo, hi)) {
+				t.Fatalf("%s rows [%d,%d): parallel O differs from serial slice", name, lo, hi)
+			}
+			if !tensor.BitwiseEqual(part.P, full.P.RowSlice(lo, hi)) {
+				t.Fatalf("%s rows [%d,%d): parallel P differs from serial slice", name, lo, hi)
+			}
+		}
+	}
+}
+
+// TestPartialForwardRowSliceBitwise is the same split-invariance property for
+// the online-softmax partial kernel.
+func TestPartialForwardRowSliceBitwise(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const sq, sk, d = 320, 256, 64
+	q, k, v := randQKV(202, sq, sk, d)
+	m := Causal{}
+	qPos := Iota(sq)
+	full := PartialForward(q, k, v, m, qPos, 0)
+	for lo := 0; lo < sq; lo += 63 {
+		hi := lo + 63
+		if hi > sq {
+			hi = sq
+		}
+		part := PartialForward(q.RowSlice(lo, hi), k, v, m, qPos[lo:hi], 0)
+		if !tensor.BitwiseEqual(part.O, full.O.RowSlice(lo, hi)) {
+			t.Fatalf("rows [%d,%d): parallel partial O differs from serial slice", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			if part.M[i-lo] != full.M[i] || part.L[i-lo] != full.L[i] {
+				t.Fatalf("row %d: stats (M,L)=(%v,%v) vs serial (%v,%v)",
+					i, full.M[i], full.L[i], part.M[i-lo], part.L[i-lo])
+			}
+		}
+	}
+}
+
+// TestPartialForwardIntoReuseBitwise streams mismatched-then-matching shapes
+// through one scratch Partial and checks the reuse path is indistinguishable
+// from fresh allocations.
+func TestPartialForwardIntoReuseBitwise(t *testing.T) {
+	m := Causal{}
+	q1, k1, v1 := randQKV(303, 24, 16, 8)
+	q2, k2, v2 := randQKV(304, 10, 12, 8) // different sq and sk
+
+	want1 := PartialForward(q1, k1, v1, m, Iota(24), 0)
+	want2 := PartialForward(q2, k2, v2, m, Iota(10), 0)
+
+	scratch := PartialForwardInto(nil, q1, k1, v1, m, Iota(24), 0)
+	checkPartialEqual(t, "fresh", scratch, want1)
+	scratch = PartialForwardInto(scratch, q2, k2, v2, m, Iota(10), 0) // shrink
+	checkPartialEqual(t, "shrunk reuse", scratch, want2)
+	scratch = PartialForwardInto(scratch, q1, k1, v1, m, Iota(24), 0) // regrow
+	checkPartialEqual(t, "regrown reuse", scratch, want1)
+	ReleasePartial(scratch)
+}
+
+func checkPartialEqual(t *testing.T, label string, got, want *Partial) {
+	t.Helper()
+	if !tensor.BitwiseEqual(got.O, want.O) {
+		t.Fatalf("%s: O differs", label)
+	}
+	for i := range want.M {
+		if got.M[i] != want.M[i] || got.L[i] != want.L[i] {
+			t.Fatalf("%s: stats differ at row %d", label, i)
+		}
+	}
+}
+
+// TestMergeInPlaceMatchesMerge covers the allocation-free merge against the
+// fresh-output version, including rows that are fully masked (-Inf max) in
+// one or both inputs — the case whose zero-write MergeInPlace elides.
+func TestMergeInPlaceMatchesMerge(t *testing.T) {
+	const sq, d = 16, 8
+	rng := rand.New(rand.NewSource(404))
+	mkPartial := func(maskedRows ...int) *Partial {
+		p := &Partial{
+			O: tensor.RandN(rng, 1, sq, d),
+			M: make([]float32, sq),
+			L: make([]float32, sq),
+		}
+		for i := 0; i < sq; i++ {
+			p.M[i] = rng.Float32() * 3
+			p.L[i] = rng.Float32() + 0.5
+		}
+		for _, i := range maskedRows {
+			p.M[i] = float32(math.Inf(-1))
+			p.L[i] = 0
+			row := p.O.Row(i)
+			for c := range row {
+				row[c] = 0 // PartialForward leaves masked rows zero
+			}
+		}
+		return p
+	}
+	a := mkPartial(2, 5, 9)
+	b := mkPartial(5, 11)
+
+	want := Merge(a, b)
+	acc := &Partial{O: a.O.Clone(), M: append([]float32(nil), a.M...), L: append([]float32(nil), a.L...)}
+	MergeInPlace(acc, b)
+	checkPartialEqual(t, "MergeInPlace", acc, want)
+}
+
+func TestFinalizeInPlaceMatchesFinalize(t *testing.T) {
+	q, k, v := randQKV(505, 12, 12, 8)
+	m := Causal{}
+	p1 := PartialForward(q, k, v, m, Iota(12), 0)
+	want := Finalize(p1)
+	got := FinalizeInPlace(p1)
+	if !tensor.BitwiseEqual(got, want) {
+		t.Fatal("FinalizeInPlace differs from Finalize")
+	}
+	if p1.O != nil {
+		t.Fatal("FinalizeInPlace must consume the partial's buffer")
+	}
+}
+
+// TestFlashForwardParallelBitwise checks the full streamed kernel stays
+// deterministic when its inner kernels dispatch to goroutines: the same
+// inputs at serial (GOMAXPROCS=1) and parallel (GOMAXPROCS=4) settings must
+// produce identical bits for every block size.
+func TestFlashForwardParallelBitwise(t *testing.T) {
+	const sq, sk, d = 320, 320, 64
+	q, k, v := randQKV(606, sq, sk, d)
+	m := Document{DocID: DocIDsFromLengths([]int{130, 90, 100}, sk)}
+	qPos := Iota(sq)
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := FlashForward(q, k, v, m, qPos, 0)
+	serialBlocked := FlashForward(q, k, v, m, qPos, 80)
+	runtime.GOMAXPROCS(4)
+	parallel := FlashForward(q, k, v, m, qPos, 0)
+	parallelBlocked := FlashForward(q, k, v, m, qPos, 80)
+	runtime.GOMAXPROCS(prev)
+
+	if !tensor.BitwiseEqual(serial, parallel) {
+		t.Fatal("FlashForward (single block) differs across GOMAXPROCS")
+	}
+	if !tensor.BitwiseEqual(serialBlocked, parallelBlocked) {
+		t.Fatal("FlashForward (blocked) differs across GOMAXPROCS")
+	}
+}

@@ -81,6 +81,62 @@ func DocIDsFromEOS(tokens []int, eosID int) []int {
 	return ids
 }
 
+// RowMask fills dst[j] = m.Allowed(q, kOff+j) for one query row against the
+// key block at kOff..kOff+len(dst)-1, hoisting the mask out of the score
+// kernels' inner loops. The built-in mask types get direct loops — no
+// interface dispatch per element, and the causal cut-off turns the tail into
+// a straight fill — which is what stops document masks from dominating the
+// attention score loop. Unknown mask implementations fall back to the
+// per-element interface call, so the semantics are identical by
+// construction.
+func RowMask(m Mask, q, kOff int, dst []bool) {
+	switch mm := m.(type) {
+	case Full:
+		for j := range dst {
+			dst[j] = true
+		}
+	case Causal:
+		cut := causalCut(q, kOff, len(dst))
+		for j := 0; j < cut; j++ {
+			dst[j] = true
+		}
+		for j := cut; j < len(dst); j++ {
+			dst[j] = false
+		}
+	case Document:
+		cut := causalCut(q, kOff, len(dst))
+		for j := cut; j < len(dst); j++ {
+			dst[j] = false
+		}
+		if cut == 0 {
+			return
+		}
+		// q is a valid index here: cut > 0 implies some k ≤ q exists, and
+		// Document.Allowed would have indexed DocID[q] for it too.
+		qd := mm.DocID[q]
+		ids := mm.DocID[kOff : kOff+cut]
+		for j, id := range ids {
+			dst[j] = id == qd
+		}
+	default:
+		for j := range dst {
+			dst[j] = m.Allowed(q, kOff+j)
+		}
+	}
+}
+
+// causalCut returns the count of key slots j in [0, sk) with kOff+j <= q.
+func causalCut(q, kOff, sk int) int {
+	cut := q - kOff + 1
+	if cut < 0 {
+		return 0
+	}
+	if cut > sk {
+		return sk
+	}
+	return cut
+}
+
 // AllowedPairs counts mask-allowed (query, key) pairs for queries at the
 // given global positions against keys 0..sk-1. Attention FLOPs are
 // proportional to this count, which is how the cost model scales document

@@ -143,14 +143,41 @@ func (g *Group) enter(globalRank int, op string, contrib *tensor.Tensor, combine
 // AllGatherParts exchanges each member's tensor; every member receives deep
 // copies of all contributions in local-rank order, each with the shape of
 // its own contribution. All contributions must share one shape.
+//
+// Each part is cloned once out of the shared concatenation (the combine op
+// matches AllGather's), instead of cloning the full buffer and then cloning
+// every part out of the private copy — half the copy traffic of the naive
+// AllGather-then-slice formulation.
 func (g *Group) AllGatherParts(globalRank int, x *tensor.Tensor) []*tensor.Tensor {
+	g.world.stats.AllGatherOps.Add(1)
+	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1))
 	rows := x.Rows()
-	full := g.AllGather(globalRank, x.Reshape(append([]int(nil), x.Shape...)...))
+	full := g.enter(globalRank, "allgather", x, func(contribs, results []*tensor.Tensor) {
+		shared := tensor.ConcatRows(contribs...)
+		for i := range results {
+			results[i] = shared
+		}
+	})
 	parts := make([]*tensor.Tensor, len(g.ranks))
 	for i := range parts {
 		parts[i] = full.RowSlice(i*rows, (i+1)*rows).Clone().Reshape(x.Shape...)
 	}
 	return parts
+}
+
+// AllGatherCols concatenates the members' tensors along columns in local-rank
+// order — the output assembly of a gather-output column-parallel linear. One
+// shared concatenation plus one clone per rank replaces the per-part clones
+// and second concatenation copy that AllGatherParts+ConcatCols would cost.
+func (g *Group) AllGatherCols(globalRank int, x *tensor.Tensor) *tensor.Tensor {
+	g.world.stats.AllGatherOps.Add(1)
+	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1))
+	return g.enter(globalRank, "allgathercols", x, func(contribs, results []*tensor.Tensor) {
+		shared := tensor.ConcatCols(contribs...)
+		for i := range results {
+			results[i] = shared
+		}
+	}).Clone()
 }
 
 // AllGather concatenates the members' tensors along dimension 0 (rows) in

@@ -60,7 +60,7 @@ func (s Sharding) LocalPositions(localRank int) []int {
 // LocalRows returns this rank's rows of a full-sequence tensor (copy).
 func (s Sharding) LocalRows(full *tensor.Tensor, localRank int) *tensor.Tensor {
 	pos := s.LocalPositions(localRank)
-	out := tensor.New(len(pos), full.Cols())
+	out := tensor.GetUninit(len(pos), full.Cols())
 	for i, p := range pos {
 		copy(out.Row(i), full.Row(p))
 	}
@@ -115,14 +115,19 @@ func (kv *KV) GatherKV(k, v *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
 }
 
 func (kv *KV) gatherGlobal(local *tensor.Tensor) *tensor.Tensor {
-	parts := kv.Group.AllGatherParts(kv.Rank, local)
-	full := tensor.New(kv.Sharding.Seq, local.Cols())
-	for lr, part := range parts {
+	// AllGather concatenates by local rank: rank lr's rows sit at
+	// [lr·rows, (lr+1)·rows). Permute them straight into global position
+	// order — no per-part intermediate clones.
+	rows := local.Rows()
+	gathered := kv.Group.AllGather(kv.Rank, local)
+	full := tensor.GetUninit(kv.Sharding.Seq, local.Cols())
+	for lr := 0; lr < kv.Group.Size(); lr++ {
 		pos := kv.Sharding.LocalPositions(lr)
 		for i, p := range pos {
-			copy(full.Row(p), part.Row(i))
+			copy(full.Row(p), gathered.Row(lr*rows+i))
 		}
 	}
+	tensor.Put(gathered)
 	return full
 }
 
@@ -135,7 +140,9 @@ func (kv *KV) ReduceKVGrad(dK, dV *tensor.Tensor) (*tensor.Tensor, *tensor.Tenso
 	rk := kv.Group.AllReduce(kv.Rank, dK)
 	rv := kv.Group.AllReduce(kv.Rank, dV)
 	lr := kv.Group.LocalRank(kv.Rank)
-	return kv.Sharding.LocalRows(rk, lr), kv.Sharding.LocalRows(rv, lr)
+	localDK, localDV := kv.Sharding.LocalRows(rk, lr), kv.Sharding.LocalRows(rv, lr)
+	tensor.Put(rk, rv)
+	return localDK, localDV
 }
 
 // Env builds the model environment for a CP rank: the full-sequence mask

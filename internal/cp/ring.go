@@ -55,20 +55,24 @@ func (r *RingAttention) ForwardWithStats(q, k, v *tensor.Tensor, mask attention.
 		if acc == nil {
 			acc = p
 		} else {
-			acc = attention.Merge(acc, p)
+			attention.MergeInPlace(acc, p)
+			attention.ReleasePartial(p)
 		}
 		if step == cp-1 {
 			break
 		}
 		// Pass the block to the next rank in the ring; receive from previous.
+		// Send clones, so the outgoing buffers retire to the pool here.
 		next := r.Group.GlobalRank((lr + 1) % cp)
 		r.World.Send(r.Rank, next, ringTagBase+2*step, curK)
 		r.World.Send(r.Rank, next, ringTagBase+2*step+1, curV)
+		tensor.Put(curK, curV)
 		prev := r.Group.GlobalRank((lr - 1 + cp) % cp)
 		curK = r.World.Recv(r.Rank, prev, ringTagBase+2*step)
 		curV = r.World.Recv(r.Rank, prev, ringTagBase+2*step+1)
 		curOwner = (curOwner - 1 + cp) % cp
 	}
+	tensor.Put(curK, curV)
 	lse := make([]float64, len(acc.M))
 	for i := range lse {
 		if acc.L[i] == 0 {
@@ -77,7 +81,7 @@ func (r *RingAttention) ForwardWithStats(q, k, v *tensor.Tensor, mask attention.
 		}
 		lse[i] = float64(acc.M[i]) + math.Log(float64(acc.L[i]))
 	}
-	return attention.Finalize(acc), lse
+	return attention.FinalizeInPlace(acc), lse
 }
 
 const ringBwdTagBase = ringTagBase + (1 << 18)
@@ -108,9 +112,9 @@ func (r *RingAttention) Backward(q, k, v, o *tensor.Tensor, lse []float64, dO *t
 	}
 
 	curK, curV := k.Clone(), v.Clone()
-	curDK, curDV := tensor.New(k.Rows(), d), tensor.New(v.Rows(), d)
+	curDK, curDV := tensor.Get(k.Rows(), d), tensor.Get(v.Rows(), d)
 	curOwner := lr
-	dQ = tensor.New(sq, d)
+	dQ = tensor.Get(sq, d)
 
 	for step := 0; step < cp; step++ {
 		kPos := r.Sharding.LocalPositions(curOwner)
@@ -131,25 +135,30 @@ func (r *RingAttention) Backward(q, k, v, o *tensor.Tensor, lse []float64, dO *t
 		// dQ += dS K_block·scale.
 		tensor.TMatMulAcc(curDV, p, dO)
 		dP := tensor.MatMulT(dO, curV)
-		dS := tensor.New(sq, sk)
+		dS := tensor.GetUninit(sq, sk)
 		for i := 0; i < sq; i++ {
 			pi, dpi, dsi := p.Row(i), dP.Row(i), dS.Row(i)
 			for j := range pi {
 				dsi[j] = pi[j] * (dpi[j] - bigD[i])
 			}
 		}
-		dQ.Add(tensor.MatMul(dS, curK).Scale(scale))
+		tensor.Put(p, dP)
+		dqContrib := tensor.MatMul(dS, curK).Scale(scale)
+		dQ.Add(dqContrib)
 		dkContrib := tensor.TMatMul(dS, q).Scale(scale)
 		curDK.Add(dkContrib)
+		tensor.Put(dS, dqContrib, dkContrib)
 
 		// Circulate the block and its gradient accumulators; after cp−1
 		// passes each block (with its accumulated gradients) is back home.
+		// Send clones, so the outgoing buffers retire to the pool.
 		next := r.Group.GlobalRank((lr + 1) % cp)
 		prev := r.Group.GlobalRank((lr - 1 + cp) % cp)
 		r.World.Send(r.Rank, next, ringBwdTagBase+4*step, curK)
 		r.World.Send(r.Rank, next, ringBwdTagBase+4*step+1, curV)
 		r.World.Send(r.Rank, next, ringBwdTagBase+4*step+2, curDK)
 		r.World.Send(r.Rank, next, ringBwdTagBase+4*step+3, curDV)
+		tensor.Put(curK, curV, curDK, curDV)
 		curK = r.World.Recv(r.Rank, prev, ringBwdTagBase+4*step)
 		curV = r.World.Recv(r.Rank, prev, ringBwdTagBase+4*step+1)
 		curDK = r.World.Recv(r.Rank, prev, ringBwdTagBase+4*step+2)
@@ -168,7 +177,9 @@ func (r *RingAttention) partial(q, k, v *tensor.Tensor, mask attention.Mask, qPo
 	c := r.Sharding.ChunkLen()
 	first := attention.PartialForward(q, k.RowSlice(0, c), v.RowSlice(0, c), mask, qPos, kPos[0])
 	second := attention.PartialForward(q, k.RowSlice(c, 2*c), v.RowSlice(c, 2*c), mask, qPos, kPos[c])
-	return attention.Merge(first, second)
+	attention.MergeInPlace(first, second)
+	attention.ReleasePartial(second)
+	return first
 }
 
 // AllGatherAttention computes the same output with the paper's approach:

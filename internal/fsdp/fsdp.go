@@ -96,9 +96,10 @@ func (s *Shard) Params() []*model.Param { return s.params }
 // ShardLen returns the per-rank flat shard length (including padding).
 func (s *Shard) ShardLen() int { return s.shardLen }
 
-// flattenWeights copies all parameter values into a padded flat tensor.
+// flattenWeights copies all parameter values into a padded flat tensor drawn
+// from the tensor pool (zeroed Get: the padding tail must read as zero).
 func (s *Shard) flattenWeights() *tensor.Tensor {
-	flat := tensor.New(s.flatLen)
+	flat := tensor.Get(s.flatLen)
 	off := 0
 	for _, p := range s.params {
 		copy(flat.Data[off:], p.W.Data)
@@ -110,7 +111,7 @@ func (s *Shard) flattenWeights() *tensor.Tensor {
 // flattenGrads copies all gradient values into a padded flat tensor and
 // zeroes the per-parameter accumulators.
 func (s *Shard) flattenGrads() *tensor.Tensor {
-	flat := tensor.New(s.flatLen)
+	flat := tensor.Get(s.flatLen)
 	off := 0
 	for _, p := range s.params {
 		copy(flat.Data[off:], p.G.Data)
@@ -145,9 +146,11 @@ func (s *Shard) localShard(flat *tensor.Tensor) []float32 {
 func (s *Shard) ReduceScatterGrads() {
 	flat := s.flattenGrads()
 	reduced := s.Group.ReduceScatter(s.Rank, flat.Reshape(s.Group.Size(), s.shardLen))
+	tensor.Put(flat)
 	for i, v := range reduced.Data {
 		s.gradShard[i] += v
 	}
+	tensor.Put(reduced)
 }
 
 // GatherParams materialises the full parameters (ZeRO-3 pre-forward /
@@ -160,6 +163,7 @@ func (s *Shard) GatherParams() {
 	shard := tensor.FromSlice(s.ownedWeights(), s.shardLen)
 	full := s.Group.AllGather(s.Rank, shard)
 	s.unflattenWeights(full)
+	tensor.Put(full)
 	s.gathered = true
 }
 
@@ -168,7 +172,9 @@ func (s *Shard) GatherParams() {
 // their own shard region valid.
 func (s *Shard) ownedWeights() []float32 {
 	flat := s.flattenWeights()
-	return s.localShard(flat)
+	owned := append([]float32(nil), s.localShard(flat)...)
+	tensor.Put(flat)
+	return owned
 }
 
 // ReleaseParams drops the full parameter materialisation (ZeRO-3 post-use
@@ -178,13 +184,14 @@ func (s *Shard) ReleaseParams() {
 	if s.Mode != ZeRO3 {
 		return
 	}
-	owned := append([]float32(nil), s.ownedWeights()...)
+	owned := s.ownedWeights() // already an independent copy
 	for _, p := range s.params {
 		p.W.Zero()
 	}
-	flat := tensor.New(s.flatLen)
+	flat := tensor.Get(s.flatLen)
 	copy(s.localShard(flat), owned)
 	s.unflattenWeights(flat)
+	tensor.Put(flat)
 	s.gathered = false
 }
 
@@ -207,7 +214,9 @@ func (s *Shard) Step() {
 	}
 
 	updated := s.Group.AllGather(s.Rank, tensor.FromSlice(local, s.shardLen))
+	tensor.Put(flatW)
 	s.unflattenWeights(updated)
+	tensor.Put(updated)
 	s.gathered = true
 	if s.Mode == ZeRO3 {
 		s.ReleaseParams()

@@ -47,13 +47,18 @@ type attnCtx struct {
 
 // headCols copies the column block of head h (width hd) out of t.
 func headCols(t *tensor.Tensor, h, hd int) *tensor.Tensor {
+	out := tensor.GetUninit(t.Rows(), hd)
+	headColsInto(out, t, h, hd)
+	return out
+}
+
+// headColsInto copies the column block of head h (width hd) of t into dst.
+func headColsInto(dst, t *tensor.Tensor, h, hd int) {
 	rows := t.Rows()
-	out := tensor.New(rows, hd)
 	w := t.Cols()
 	for i := 0; i < rows; i++ {
-		copy(out.Row(i), t.Data[i*w+h*hd:i*w+h*hd+hd])
+		copy(dst.Row(i), t.Data[i*w+h*hd:i*w+h*hd+hd])
 	}
-	return out
 }
 
 // addHeadCols accumulates src into the column block of head h of dst.
@@ -79,34 +84,43 @@ func (a *Attention) Forward(x *tensor.Tensor, env *Env) (*tensor.Tensor, any) {
 	}
 	ctx := &attnCtx{env: env}
 
-	var q, k, v *tensor.Tensor
-	q, ctx.qCtx = a.Wq.Forward(x, env)
-	k, ctx.kCtx = a.Wk.Forward(x, env)
+	var q0, k0, q, k, v *tensor.Tensor
+	q0, ctx.qCtx = a.Wq.Forward(x, env)
+	k0, ctx.kCtx = a.Wk.Forward(x, env)
 	v, ctx.vCtx = a.Wv.Forward(x, env)
 
-	q = a.Rope.Apply(q, env.QPos)
-	k = a.Rope.Apply(k, env.QPos)
+	q = a.Rope.Apply(q0, env.QPos)
+	k = a.Rope.Apply(k0, env.QPos)
+	tensor.Put(q0, k0) // pre-RoPE projections are dead once rotated
 	ctx.qRot = q
 
 	if env.KV != nil {
 		// Context parallelism: all-gather the full-sequence K/V (§4).
 		ctx.kFull, ctx.vFull = env.KV.GatherKV(k, v)
+		tensor.Put(k, v) // local chunks are dead once gathered
 	} else {
 		ctx.kFull, ctx.vFull = k, v
 	}
 
 	group := a.NHeads / a.NKVHeads
 	ctx.probs = make([]*tensor.Tensor, a.NHeads)
-	concat := tensor.New(x.Rows(), a.NHeads*a.HeadDim)
+	// Zeroed Get + addHeadCols (rather than a copy) keeps the accumulate
+	// semantics of the unpooled version, signed zeros included.
+	concat := tensor.Get(x.Rows(), a.NHeads*a.HeadDim)
+	qh := tensor.GetUninit(x.Rows(), a.HeadDim)
+	kh := tensor.GetUninit(ctx.kFull.Rows(), a.HeadDim)
+	vh := tensor.GetUninit(ctx.vFull.Rows(), a.HeadDim)
 	for h := 0; h < a.NHeads; h++ {
-		qh := headCols(q, h, a.HeadDim)
+		headColsInto(qh, q, h, a.HeadDim)
 		kv := h / group
-		kh := headCols(ctx.kFull, kv, a.HeadDim)
-		vh := headCols(ctx.vFull, kv, a.HeadDim)
+		headColsInto(kh, ctx.kFull, kv, a.HeadDim)
+		headColsInto(vh, ctx.vFull, kv, a.HeadDim)
 		out := attention.Forward(qh, kh, vh, env.Mask, env.QPos, 0)
 		ctx.probs[h] = out.P
 		addHeadCols(concat, out.O, h, a.HeadDim)
+		tensor.Put(out.O)
 	}
+	tensor.Put(qh, kh, vh)
 
 	y, oCtx := a.Wo.Forward(concat, env)
 	ctx.oCtx = oCtx
@@ -121,35 +135,51 @@ func (a *Attention) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
 	dConcat := a.Wo.Backward(ctx.oCtx, dy)
 
 	group := a.NHeads / a.NKVHeads
-	dq := tensor.New(ctx.qRot.Rows(), a.NHeads*a.HeadDim)
-	dKFull := tensor.New(ctx.kFull.Rows(), a.NKVHeads*a.HeadDim)
-	dVFull := tensor.New(ctx.vFull.Rows(), a.NKVHeads*a.HeadDim)
+	rows := ctx.qRot.Rows()
+	kvRows := ctx.kFull.Rows()
+	dq := tensor.Get(rows, a.NHeads*a.HeadDim)
+	dKFull := tensor.Get(kvRows, a.NKVHeads*a.HeadDim)
+	dVFull := tensor.Get(kvRows, a.NKVHeads*a.HeadDim)
+	qh := tensor.GetUninit(rows, a.HeadDim)
+	kh := tensor.GetUninit(kvRows, a.HeadDim)
+	vh := tensor.GetUninit(kvRows, a.HeadDim)
+	dOh := tensor.GetUninit(rows, a.HeadDim)
 	for h := 0; h < a.NHeads; h++ {
-		qh := headCols(ctx.qRot, h, a.HeadDim)
+		headColsInto(qh, ctx.qRot, h, a.HeadDim)
 		kv := h / group
-		kh := headCols(ctx.kFull, kv, a.HeadDim)
-		vh := headCols(ctx.vFull, kv, a.HeadDim)
-		dOh := headCols(dConcat, h, a.HeadDim)
+		headColsInto(kh, ctx.kFull, kv, a.HeadDim)
+		headColsInto(vh, ctx.vFull, kv, a.HeadDim)
+		headColsInto(dOh, dConcat, h, a.HeadDim)
 		dqh, dkh, dvh := attention.Backward(qh, kh, vh, ctx.probs[h], dOh)
 		addHeadCols(dq, dqh, h, a.HeadDim)
 		addHeadCols(dKFull, dkh, kv, a.HeadDim)
 		addHeadCols(dVFull, dvh, kv, a.HeadDim)
+		tensor.Put(dqh, dkh, dvh, ctx.probs[h])
+		ctx.probs[h] = nil
 	}
+	tensor.Put(qh, kh, vh, dOh, dConcat)
 
 	var dk, dv *tensor.Tensor
 	if env.KV != nil {
 		// Reduce-scatter the full-sequence KV gradients back to local chunks.
 		dk, dv = env.KV.ReduceKVGrad(dKFull, dVFull)
+		tensor.Put(dKFull, dVFull)
 	} else {
 		dk, dv = dKFull, dVFull
 	}
 
-	dq = a.Rope.ApplyGrad(dq, env.QPos)
-	dk = a.Rope.ApplyGrad(dk, env.QPos)
+	dqRot := a.Rope.ApplyGrad(dq, env.QPos)
+	dkRot := a.Rope.ApplyGrad(dk, env.QPos)
+	tensor.Put(dq, dk)
 
-	dx := a.Wq.Backward(ctx.qCtx, dq)
-	dx.Add(a.Wk.Backward(ctx.kCtx, dk))
-	dx.Add(a.Wv.Backward(ctx.vCtx, dv))
+	dx := a.Wq.Backward(ctx.qCtx, dqRot)
+	tk := a.Wk.Backward(ctx.kCtx, dkRot)
+	dx.Add(tk)
+	tv := a.Wv.Backward(ctx.vCtx, dv)
+	dx.Add(tv)
+	tensor.Put(dqRot, dkRot, dv, tk, tv)
+	tensor.Put(ctx.qRot, ctx.kFull, ctx.vFull)
+	ctx.qRot, ctx.kFull, ctx.vFull = nil, nil, nil
 	return dx
 }
 

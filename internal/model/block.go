@@ -64,11 +64,14 @@ func (b *Block) forwardFull(x *tensor.Tensor, env *Env) (*tensor.Tensor, *blockC
 	ao, ca := b.Attn.Forward(n1, env)
 	ctx.at = ca
 	h := x.Clone().Add(ao)
+	tensor.Put(ao)
 	n2, c2 := b.Norm2.Forward(h, env)
 	ctx.n2 = c2
 	fo, cf := b.FFN.Forward(n2, env)
 	ctx.ff = cf
-	return h.Add(fo), ctx
+	h.Add(fo)
+	tensor.Put(fo)
+	return h, ctx
 }
 
 // Forward implements Layer.
@@ -94,10 +97,13 @@ func (b *Block) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
 		// determinism makes the rebuilt activations bitwise identical to
 		// the discarded ones.
 		if ctx.n2 == nil {
+			// The rebuilt output is NOT released: it is the same tensor the
+			// rebuilt Norm2 context saved as its input (h aliases both).
 			_, ctx = b.forwardFull(ctx.x, ctx.env)
 		} else {
 			n1, c1 := b.Norm1.Forward(ctx.x, ctx.env)
-			_, ca := b.Attn.Forward(n1, ctx.env)
+			ao, ca := b.Attn.Forward(n1, ctx.env)
+			tensor.Put(ao)
 			ctx.n1, ctx.at = c1, ca
 		}
 	}
@@ -109,14 +115,20 @@ func (b *Block) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
 			saved = append(saved, p.G.Clone())
 		}
 	}
-	dh := b.Norm2.Backward(ctx.n2, b.FFN.Backward(ctx.ff, dy))
+	tf := b.FFN.Backward(ctx.ff, dy)
+	dh := b.Norm2.Backward(ctx.n2, tf)
+	tensor.Put(tf)
 	dh.Add(dy) // residual
-	dx := b.Norm1.Backward(ctx.n1, b.Attn.Backward(ctx.at, dh))
+	ta := b.Attn.Backward(ctx.at, dh)
+	dx := b.Norm1.Backward(ctx.n1, ta)
+	tensor.Put(ta)
 	dx.Add(dh) // residual
+	tensor.Put(dh)
 	if b.Frozen {
 		for i, p := range b.Params() {
 			copy(p.G.Data, saved[i].Data)
 		}
+		tensor.Put(saved...)
 	}
 	return dx
 }

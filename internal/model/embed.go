@@ -39,7 +39,7 @@ func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
 // Forward gathers the rows of the embedding table for each token.
 func (e *Embedding) Forward(tokens []int) (*tensor.Tensor, any) {
 	dim := e.P.W.Cols()
-	out := tensor.New(len(tokens), dim)
+	out := tensor.GetUninit(len(tokens), dim)
 	for i, t := range tokens {
 		copy(out.Row(i), e.P.W.Row(t))
 	}
@@ -129,7 +129,12 @@ func (h *Head) BackwardLoss(ctxAny any) *tensor.Tensor {
 			row[j] *= ctx.scale
 		}
 	}
-	return h.Norm.Backward(ctx.nCtx, h.Proj.Backward(ctx.pCtx, dLogits))
+	dn := h.Proj.Backward(ctx.pCtx, dLogits)
+	tensor.Put(dLogits, ctx.probs)
+	ctx.probs = nil
+	dx := h.Norm.Backward(ctx.nCtx, dn)
+	tensor.Put(dn)
+	return dx
 }
 
 // Params returns the head's parameters.

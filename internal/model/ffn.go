@@ -26,7 +26,7 @@ func NewFFN(name string, dim, hidden int, rng *rand.Rand) *FFN {
 }
 
 type ffnCtx struct {
-	a, b       *tensor.Tensor // gate pre-activation, up projection
+	a, b, h    *tensor.Tensor // gate pre-activation, up projection, silu(a)∘b
 	c1, c3, c2 any
 }
 
@@ -41,10 +41,11 @@ func (f *FFN) Forward(x *tensor.Tensor, env *Env) (*tensor.Tensor, any) {
 	a, ctx.c1 = f.W1.Forward(x, env)
 	b, ctx.c3 = f.W3.Forward(x, env)
 	ctx.a, ctx.b = a, b
-	h := tensor.New(a.Rows(), a.Cols())
+	h := tensor.GetUninit(a.Rows(), a.Cols())
 	for i, av := range a.Data {
 		h.Data[i] = av * sigmoid(av) * b.Data[i]
 	}
+	ctx.h = h // retained: W2's backward reads it through c2
 	y, c2 := f.W2.Forward(h, env)
 	ctx.c2 = c2
 	return y, ctx
@@ -54,8 +55,8 @@ func (f *FFN) Forward(x *tensor.Tensor, env *Env) (*tensor.Tensor, any) {
 func (f *FFN) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
 	ctx := ctxAny.(*ffnCtx)
 	dh := f.W2.Backward(ctx.c2, dy)
-	da := tensor.New(dh.Rows(), dh.Cols())
-	db := tensor.New(dh.Rows(), dh.Cols())
+	da := tensor.GetUninit(dh.Rows(), dh.Cols())
+	db := tensor.GetUninit(dh.Rows(), dh.Cols())
 	for i := range dh.Data {
 		a := ctx.a.Data[i]
 		s := sigmoid(a)
@@ -64,8 +65,12 @@ func (f *FFN) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
 		da.Data[i] = dh.Data[i] * ctx.b.Data[i] * dSilu
 		db.Data[i] = dh.Data[i] * silu
 	}
+	tensor.Put(dh)
 	dx := f.W1.Backward(ctx.c1, da)
-	dx.Add(f.W3.Backward(ctx.c3, db))
+	t3 := f.W3.Backward(ctx.c3, db)
+	dx.Add(t3)
+	tensor.Put(t3, da, db, ctx.a, ctx.b, ctx.h)
+	ctx.a, ctx.b, ctx.h = nil, nil, nil
 	return dx
 }
 

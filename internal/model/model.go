@@ -70,9 +70,12 @@ func (m *Model) Backward(ctxAny any) {
 	ctx := ctxAny.(*fwdCtx)
 	dx := m.Head.BackwardLoss(ctx.headCtx)
 	for i := len(m.Blocks) - 1; i >= 0; i-- {
-		dx = m.Blocks[i].Backward(ctx.blockCtx[i], dx)
+		ndx := m.Blocks[i].Backward(ctx.blockCtx[i], dx)
+		tensor.Put(dx) // the incoming gradient is consumed, not retained
+		dx = ndx
 	}
 	m.Embed.Backward(ctx.embCtx, dx)
+	tensor.Put(dx)
 }
 
 // Sample is one training example: input tokens, per-position document ids

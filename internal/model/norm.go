@@ -28,7 +28,7 @@ type rmsCtx struct {
 // Forward implements Layer.
 func (n *RMSNorm) Forward(x *tensor.Tensor, _ *Env) (*tensor.Tensor, any) {
 	rows, dim := x.Rows(), x.Cols()
-	out := tensor.New(rows, dim)
+	out := tensor.GetUninit(rows, dim)
 	ctx := &rmsCtx{x: x, inv: make([]float32, rows)}
 	g := n.P.W.Data
 	for i := 0; i < rows; i++ {
@@ -54,7 +54,7 @@ func (n *RMSNorm) Forward(x *tensor.Tensor, _ *Env) (*tensor.Tensor, any) {
 func (n *RMSNorm) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
 	ctx := ctxAny.(*rmsCtx)
 	rows, dim := ctx.x.Rows(), ctx.x.Cols()
-	dx := tensor.New(rows, dim)
+	dx := tensor.GetUninit(rows, dim)
 	g := n.P.W.Data
 	dg := n.P.G.Data
 	for i := 0; i < rows; i++ {

@@ -1,0 +1,94 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/tensor"
+)
+
+// stepGrads runs `steps` training steps on a freshly seeded model with the
+// given pooling setting and returns the per-step losses and the final
+// gradient vector.
+func stepGrads(recompute RecomputeMode, pooled bool, steps int) ([]float64, *tensor.Tensor) {
+	prev := tensor.SetPooling(pooled)
+	defer tensor.SetPooling(prev)
+	tensor.ResetDefaultPool()
+
+	m := New(TinyConfig(), rand.New(rand.NewSource(42)))
+	for _, b := range m.Blocks {
+		b.Recompute = recompute
+	}
+	samples := []*Sample{
+		{Tokens: []int{1, 2, 3, 4, 5, 6, 7, 8}, Targets: []int{2, 3, 4, 5, 6, 7, 8, 9}},
+		{Tokens: []int{9, 10, 11, 12, 13, 14, 15, 16}, Targets: []int{10, 11, 12, 13, 14, 15, 16, 17}},
+	}
+	envFn := func(s *Sample) *Env { return SeqEnv(len(s.Tokens), attention.Causal{}) }
+	losses := make([]float64, steps)
+	for i := range losses {
+		if i > 0 {
+			m.ZeroGrads() // keep each step's gradients comparable in isolation
+		}
+		losses[i] = m.StepLoss(samples, envFn)
+	}
+	return losses, GradientVector(m.Params())
+}
+
+// TestPooledStepBitwiseMatchesUnpooled is the end-to-end guarantee behind the
+// tensor arena: pooling buffers through the full train step — forward,
+// backward, every recompute policy — changes allocation counts only, never
+// bits. Running several steps makes the pooled variant actually reuse
+// retired buffers rather than always allocating fresh ones.
+func TestPooledStepBitwiseMatchesUnpooled(t *testing.T) {
+	for _, rc := range []struct {
+		name string
+		mode RecomputeMode
+	}{
+		{"none", RecomputeNone},
+		{"selective", RecomputeSelective},
+		{"full", RecomputeFull},
+	} {
+		lossOff, gradOff := stepGrads(rc.mode, false, 3)
+		lossOn, gradOn := stepGrads(rc.mode, true, 3)
+		for i := range lossOff {
+			if lossOff[i] != lossOn[i] {
+				t.Fatalf("recompute=%s step %d: pooled loss %v != unpooled %v",
+					rc.name, i, lossOn[i], lossOff[i])
+			}
+		}
+		if !tensor.BitwiseEqual(gradOff, gradOn) {
+			t.Fatalf("recompute=%s: pooled gradients differ from unpooled", rc.name)
+		}
+	}
+}
+
+// TestPooledStepReusesBuffers pins that the train step actually goes through
+// the arena: after a warm-up step the pool must serve a substantial share of
+// Gets from its free list instead of the allocator.
+func TestPooledStepReusesBuffers(t *testing.T) {
+	prev := tensor.SetPooling(true)
+	defer tensor.SetPooling(prev)
+	tensor.ResetDefaultPool()
+
+	m := New(TinyConfig(), rand.New(rand.NewSource(7)))
+	samples := []*Sample{{Tokens: []int{1, 2, 3, 4}, Targets: []int{2, 3, 4, 5}}}
+	envFn := func(s *Sample) *Env { return SeqEnv(len(s.Tokens), attention.Causal{}) }
+
+	m.StepLoss(samples, envFn) // warm the pool
+	warm := tensor.DefaultPoolStats()
+	m.StepLoss(samples, envFn)
+	st := tensor.DefaultPoolStats()
+
+	gets := st.Gets - warm.Gets
+	hits := st.Hits - warm.Hits
+	if gets == 0 {
+		t.Fatal("train step performed no pool Gets")
+	}
+	if float64(hits) < 0.5*float64(gets) {
+		t.Fatalf("second step hit rate %d/%d: pool is not being reused", hits, gets)
+	}
+	if st.Rejects != 0 {
+		t.Fatalf("train step Put %d views into the pool", st.Rejects)
+	}
+}

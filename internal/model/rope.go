@@ -26,15 +26,21 @@ func (r RoPE) invFreq(i int) float64 {
 func (r RoPE) rotate(x *tensor.Tensor, pos []int, sign float64) *tensor.Tensor {
 	rows, width := x.Rows(), x.Cols()
 	nHeads := width / r.HeadDim
-	out := tensor.New(rows, width)
+	out := tensor.GetUninit(rows, width)
 	half := r.HeadDim / 2
+	// invFreq costs a math.Pow; hoist it out of the per-row loop. The cached
+	// values are the identical float64s, so the rotation bits don't change.
+	freqs := make([]float64, half)
+	for j := range freqs {
+		freqs[j] = r.invFreq(j)
+	}
 	for i := 0; i < rows; i++ {
 		xi, oi := x.Row(i), out.Row(i)
 		p := float64(pos[i])
 		for h := 0; h < nHeads; h++ {
 			base := h * r.HeadDim
 			for j := 0; j < half; j++ {
-				theta := sign * p * r.invFreq(j)
+				theta := sign * p * freqs[j]
 				c := float32(math.Cos(theta))
 				s := float32(math.Sin(theta))
 				a := xi[base+2*j]

@@ -1,0 +1,152 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The BenchmarkKernel* suite is the microbenchmark baseline behind
+// BENCH_kernels.json (make bench): every optimised kernel runs head-to-head
+// against a frozen copy of the pre-overhaul seed implementation (impl=before
+// vs impl=after), at the transformer shapes the train step actually hits —
+// attention scores q·kᵀ, weight gradients xᵀ·dy, and projection matmuls.
+
+// seedMatMul is the seed's serial kernel: untiled i-k-j, fresh allocation.
+func seedMatMul(a, b *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	n := b.Cols()
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		oi := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b.Data[p*n : (p+1)*n]
+			for j := range bp {
+				oi[j] += av * bp[j]
+			}
+		}
+	}
+	return out
+}
+
+// seedMatMulT is the seed's serial kernel: one scalar accumulator per output
+// element (a single dependent FP add chain).
+func seedMatMulT(a, b *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	n := b.Rows()
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		oi := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p := range ai {
+				s += ai[p] * bj[p]
+			}
+			oi[j] = s
+		}
+	}
+	return out
+}
+
+// seedTMatMul is the seed's serial kernel: p-outer over all output rows, so
+// the whole output streams through cache once per reduction index.
+func seedTMatMul(a, b *Tensor) *Tensor {
+	k, m := a.Rows(), a.Cols()
+	n := b.Cols()
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			oi := out.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				oi[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// seedTranspose is the seed's kernel: row-major reads, strided writes.
+func seedTranspose(a *Tensor) *Tensor {
+	m, n := a.Rows(), a.Cols()
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+func benchPair(b *testing.B, before, after func() *Tensor) {
+	b.Helper()
+	// Correctness guard: every kernel rewrite preserves accumulation order,
+	// so the frozen seed copy and the live kernel must agree bitwise.
+	if !BitwiseEqual(before(), after()) {
+		b.Fatal("impl=before and impl=after disagree")
+	}
+	b.Run("impl=before", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			before()
+		}
+	})
+	b.Run("impl=after", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			after()
+		}
+	})
+}
+
+// BenchmarkKernelMatMulT is the attention-score shape: q [512,128] · kᵀ.
+func BenchmarkKernelMatMulT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := RandN(rng, 1, 512, 128)
+	k := RandN(rng, 1, 512, 128)
+	benchPair(b,
+		func() *Tensor { return seedMatMulT(q, k) },
+		func() *Tensor { return MatMulT(q, k) },
+	)
+}
+
+// BenchmarkKernelTMatMul is the weight-gradient shape: xᵀ [512,256] · dy
+// [512,512] (dW for a 256→512 projection at sequence length 512).
+func BenchmarkKernelTMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := RandN(rng, 1, 512, 256)
+	dy := RandN(rng, 1, 512, 512)
+	benchPair(b,
+		func() *Tensor { return seedTMatMul(x, dy) },
+		func() *Tensor { return TMatMul(x, dy) },
+	)
+}
+
+// BenchmarkKernelMatMul is the forward-projection shape: x [512,256] · W
+// [256,512].
+func BenchmarkKernelMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := RandN(rng, 1, 512, 256)
+	w := RandN(rng, 1, 256, 512)
+	benchPair(b,
+		func() *Tensor { return seedMatMul(x, w) },
+		func() *Tensor { return MatMul(x, w) },
+	)
+}
+
+func BenchmarkKernelTranspose(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := RandN(rng, 1, 1024, 1024)
+	benchPair(b,
+		func() *Tensor { return seedTranspose(a) },
+		func() *Tensor { return Transpose(a) },
+	)
+}

@@ -1,0 +1,348 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// forcedWorkers exercises chunk boundaries that divide the rows evenly,
+// unevenly, and not at all (workers > rows).
+var forcedWorkers = []int{1, 2, 3, 4, 7}
+
+func randMat(seed int64, r, c int) *Tensor {
+	return RandN(rand.New(rand.NewSource(seed)), 1, r, c)
+}
+
+// kernelShapes covers divisible and non-divisible row counts around the
+// chunking boundaries, including single-row and prime dimensions.
+var kernelShapes = []struct{ m, k, n int }{
+	{1, 3, 2},
+	{7, 5, 9},
+	{63, 17, 31},
+	{64, 64, 64},
+	{65, 33, 127},
+	{127, 128, 65},
+	{256, 64, 50},
+}
+
+// TestMatMulForcedWorkersBitwise pins the §6.2 determinism contract for the
+// row-parallel MatMul split: any worker count produces bitwise-identical
+// output, because each output element's reduction order is independent of the
+// chunk boundaries. Worker counts are forced on the internal kernel so the
+// parallel code paths run even where GOMAXPROCS would choose 1.
+func TestMatMulForcedWorkersBitwise(t *testing.T) {
+	for _, sh := range kernelShapes {
+		a := randMat(int64(sh.m*1000+sh.n), sh.m, sh.k)
+		b := randMat(int64(sh.k*1000+sh.m), sh.k, sh.n)
+		ref := New(sh.m, sh.n)
+		matMulRows(ref, a, b, 1)
+
+		// The serial tiled kernel must also match the textbook i-j-k triple
+		// loop exactly: per element, both sum a[i][p]·b[p][j] in increasing p.
+		naive := New(sh.m, sh.n)
+		for i := 0; i < sh.m; i++ {
+			for p := 0; p < sh.k; p++ {
+				av := a.At(i, p)
+				for j := 0; j < sh.n; j++ {
+					naive.Data[i*sh.n+j] += av * b.At(p, j)
+				}
+			}
+		}
+		if !BitwiseEqual(ref, naive) {
+			t.Fatalf("m=%d k=%d n=%d: tiled serial MatMul differs from naive", sh.m, sh.k, sh.n)
+		}
+
+		for _, w := range forcedWorkers[1:] {
+			out := New(sh.m, sh.n)
+			matMulRows(out, a, b, w)
+			if !BitwiseEqual(ref, out) {
+				t.Fatalf("m=%d k=%d n=%d workers=%d: MatMul not bitwise equal to serial", sh.m, sh.k, sh.n, w)
+			}
+		}
+	}
+}
+
+func TestMatMulTForcedWorkersBitwise(t *testing.T) {
+	for _, sh := range kernelShapes {
+		// a [m,k] @ b[n,k]ᵀ -> [m,n]
+		a := randMat(int64(sh.m+7), sh.m, sh.k)
+		b := randMat(int64(sh.n+13), sh.n, sh.k)
+		ref := New(sh.m, sh.n)
+		matMulTRows(ref, a, b, 1)
+		for _, w := range forcedWorkers[1:] {
+			out := New(sh.m, sh.n)
+			matMulTRows(out, a, b, w)
+			if !BitwiseEqual(ref, out) {
+				t.Fatalf("m=%d k=%d n=%d workers=%d: MatMulT not bitwise equal to serial", sh.m, sh.k, sh.n, w)
+			}
+		}
+	}
+}
+
+// TestTMatMulAccForcedWorkersBitwise starts from a nonzero accumulator — the
+// gradient-accumulation use — so the test also proves the += path is split-
+// invariant, not just the zeroed overwrite.
+func TestTMatMulAccForcedWorkersBitwise(t *testing.T) {
+	for _, sh := range kernelShapes {
+		// a [k,m]ᵀ @ b [k,n] -> [m,n]
+		a := randMat(int64(sh.k+29), sh.k, sh.m)
+		b := randMat(int64(sh.k+31), sh.k, sh.n)
+		init := randMat(int64(sh.m+37), sh.m, sh.n)
+		ref := init.Clone()
+		tMatMulRows(ref, a, b, 1)
+		for _, w := range forcedWorkers[1:] {
+			out := init.Clone()
+			tMatMulRows(out, a, b, w)
+			if !BitwiseEqual(ref, out) {
+				t.Fatalf("m=%d k=%d n=%d workers=%d: TMatMulAcc not bitwise equal to serial", sh.m, sh.k, sh.n, w)
+			}
+		}
+	}
+}
+
+func TestTransposeForcedWorkersBitwise(t *testing.T) {
+	for _, sh := range []struct{ m, n int }{{1, 5}, {7, 3}, {63, 65}, {128, 127}, {200, 77}} {
+		a := randMat(int64(sh.m*sh.n), sh.m, sh.n)
+		ref := New(sh.n, sh.m)
+		// Pass elems = copyThreshold so the size clamp does not silently
+		// force the serial path for these small test shapes.
+		transposeRows(ref, a, 1, copyThreshold)
+		for _, w := range forcedWorkers[1:] {
+			out := New(sh.n, sh.m)
+			transposeRows(out, a, w, copyThreshold)
+			if !BitwiseEqual(ref, out) {
+				t.Fatalf("m=%d n=%d workers=%d: Transpose not bitwise equal to serial", sh.m, sh.n, w)
+			}
+		}
+		// The clamp itself: below copyThreshold a multi-worker request runs
+		// serial and must (trivially) still produce the same permutation.
+		clamped := New(sh.n, sh.m)
+		transposeRows(clamped, a, 8, a.Len())
+		if !BitwiseEqual(ref, clamped) {
+			t.Fatalf("m=%d n=%d: clamped Transpose differs", sh.m, sh.n)
+		}
+	}
+}
+
+// TestWorkersThresholdBoundary pins the dispatch boundary: 63·256·256 FLOPs
+// sits just under parallelThreshold (2^22) and must stay serial; 64·256·256
+// equals it exactly and must go parallel (capped by GOMAXPROCS and rows).
+func TestWorkersThresholdBoundary(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	if w := Workers(63, 63*256*256); w != 1 {
+		t.Fatalf("Workers(63, just-below-threshold) = %d, want 1", w)
+	}
+	if w := Workers(64, 64*256*256); w != 4 {
+		t.Fatalf("Workers(64, at-threshold) = %d, want 4 (GOMAXPROCS)", w)
+	}
+	if w := Workers(1, 1<<30); w != 1 {
+		t.Fatalf("Workers(1, huge) = %d, want 1 (single row)", w)
+	}
+	if w := Workers(2, 1<<30); w != 2 {
+		t.Fatalf("Workers(2, huge) = %d, want 2 (capped by rows)", w)
+	}
+}
+
+// TestPublicOpsParallelBitwise drives the public entry points above the FLOP
+// threshold with GOMAXPROCS raised, so the goroutine dispatch genuinely runs,
+// and checks the result against the forced-serial kernel bit for bit.
+func TestPublicOpsParallelBitwise(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const s = 170 // 170³ ≈ 4.9M FLOPs > 2^22: all matmul variants go parallel
+	a := randMat(1, s, s)
+	b := randMat(2, s, s)
+
+	ref := New(s, s)
+	matMulRows(ref, a, b, 1)
+	if got := MatMul(a, b); !BitwiseEqual(ref, got) {
+		t.Fatal("parallel MatMul differs from serial")
+	}
+
+	ref = New(s, s)
+	matMulTRows(ref, a, b, 1)
+	if got := MatMulT(a, b); !BitwiseEqual(ref, got) {
+		t.Fatal("parallel MatMulT differs from serial")
+	}
+
+	ref = New(s, s)
+	tMatMulRows(ref, a, b, 1)
+	if got := TMatMul(a, b); !BitwiseEqual(ref, got) {
+		t.Fatal("parallel TMatMul differs from serial")
+	}
+
+	big := randMat(3, 1024, 1024) // 2^20 elements: at copyThreshold exactly
+	ref = New(1024, 1024)
+	transposeRows(ref, big, 1, copyThreshold)
+	if got := Transpose(big); !BitwiseEqual(ref, got) {
+		t.Fatal("parallel Transpose differs from serial")
+	}
+}
+
+func TestParallelRowsCoversEachRowOnce(t *testing.T) {
+	for _, rows := range []int{1, 2, 5, 10, 31} {
+		for _, w := range []int{1, 2, 3, 4, 7, 31, 40} {
+			var mu sync.Mutex
+			seen := make([]int, rows)
+			ParallelRows(rows, w, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("rows=%d workers=%d: row %d covered %d times", rows, w, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolGetZeroesReusedBuffer(t *testing.T) {
+	p := NewPool()
+	a := p.Get(3, 4)
+	for i := range a.Data {
+		a.Data[i] = 42
+	}
+	p.Put(a)
+	b := p.Get(3, 4)
+	if &b.Data[0] != &a.Data[0] {
+		t.Fatal("Get did not reuse the retired buffer")
+	}
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("reused Get buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	st := p.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want Gets=2 Hits=1 Puts=1", st)
+	}
+}
+
+func TestPoolGetUninitReshapesAcrossShapes(t *testing.T) {
+	p := NewPool()
+	a := p.GetUninit(6, 4)
+	a.Data[0] = 7
+	p.Put(a)
+	b := p.GetUninit(3, 8) // same element count, different shape
+	if &b.Data[0] != &a.Data[0] {
+		t.Fatal("GetUninit did not reuse the same-size buffer")
+	}
+	if b.Rows() != 3 || b.Cols() != 8 {
+		t.Fatalf("reused tensor shape = %v, want [3 8]", b.Shape)
+	}
+	if b.Data[0] != 7 {
+		t.Fatal("GetUninit must not zero the reused buffer")
+	}
+}
+
+func TestPoolPutRejectsViews(t *testing.T) {
+	p := NewPool()
+	parent := New(4, 3)
+	view := parent.RowSlice(0, 2) // len 6, cap 12: not the full backing array
+	p.Put(view)
+	st := p.Stats()
+	if st.Puts != 0 || st.Rejects != 1 {
+		t.Fatalf("stats = %+v, want the view rejected", st)
+	}
+	if got := p.Get(2, 3); &got.Data[0] == &parent.Data[0] {
+		t.Fatal("rejected view was handed back out")
+	}
+}
+
+func TestPoolPutSkipsNilAndEmpty(t *testing.T) {
+	p := NewPool()
+	p.Put(nil, New(0, 5))
+	if st := p.Stats(); st.Puts != 0 || st.Rejects != 0 {
+		t.Fatalf("stats = %+v, want nil/empty silently skipped", st)
+	}
+}
+
+func TestSetPoolingDisablesDefaultPool(t *testing.T) {
+	prev := SetPooling(false)
+	defer SetPooling(prev)
+	ResetDefaultPool()
+
+	a := Get(4, 4)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	Put(a)
+	if st := DefaultPoolStats(); st.Gets != 0 || st.Puts != 0 {
+		t.Fatalf("stats = %+v, want untouched pool while disabled", st)
+	}
+	b := Get(4, 4)
+	if &b.Data[0] == &a.Data[0] {
+		t.Fatal("Get reused a buffer while pooling was disabled")
+	}
+}
+
+func TestGetCloneIsIndependentCopy(t *testing.T) {
+	src := randMat(5, 3, 3)
+	c := GetClone(src)
+	if !BitwiseEqual(src, c) {
+		t.Fatal("GetClone differs from source")
+	}
+	c.Data[0]++
+	if src.Data[0] == c.Data[0] {
+		t.Fatal("GetClone aliases its source")
+	}
+}
+
+func TestPoolConcurrentGetPut(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				t1 := p.Get(8, 8)
+				t2 := p.GetUninit(64)
+				p.Put(t1, t2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Gets != 8*200*2 || st.Puts != 8*200*2 {
+		t.Fatalf("stats = %+v, want %d gets and puts", st, 8*200*2)
+	}
+}
+
+// TestSplitRowsViewsAliasParent pins the documented aliasing contract:
+// SplitRows returns views (mutations are visible in the parent), SplitCols
+// returns copies (mutations are not).
+func TestSplitRowsViewsAliasParent(t *testing.T) {
+	parent := randMat(11, 4, 3)
+	rows := SplitRows(parent, 2)
+	rows[1].Data[0] = 99
+	if parent.At(2, 0) != 99 {
+		t.Fatal("SplitRows view mutation not visible in parent")
+	}
+
+	before := parent.At(0, 1)
+	cols := SplitCols(parent, 3)
+	cols[1].Data[0] = -before
+	if parent.At(0, 1) != before {
+		t.Fatal("SplitCols must copy, but parent changed")
+	}
+}
+
+func TestColBlockMatchesSplitCols(t *testing.T) {
+	a := randMat(17, 6, 8)
+	parts := SplitCols(a, 4)
+	for i := range parts {
+		if got := ColBlock(a, 4, i); !BitwiseEqual(got, parts[i]) {
+			t.Fatalf("ColBlock(a, 4, %d) differs from SplitCols part", i)
+		}
+	}
+}

@@ -7,11 +7,70 @@ import (
 	"sync"
 )
 
-// parallelThreshold is the FLOP count above which MatMul splits its output
-// rows across goroutines. Row-parallel splitting preserves bitwise results:
-// every output element is computed by exactly one goroutine in the same
-// accumulation order as the serial kernel.
+// parallelThreshold is the FLOP count above which the matmul kernels split
+// their output rows across goroutines. Row-parallel splitting preserves
+// bitwise results: every output element is computed by exactly one goroutine
+// in the same accumulation order as the serial kernel, so the split is
+// invisible to the paper's §6.2 bitwise-match debugging methodology.
 const parallelThreshold = 1 << 22
+
+// copyThreshold is the element count above which memory-bound kernels
+// (Transpose) split their output rows across goroutines.
+const copyThreshold = 1 << 20
+
+// Cache-blocking tile sizes for the serial kernels. Tiles keep the streamed
+// operand slab resident in L1/L2 while the other operand is swept past it.
+// Tiling never reorders the per-element accumulation: for every output
+// element the reduction index still increases monotonically, which is what
+// keeps tiled, untiled, and row-parallel runs bitwise identical.
+const (
+	tileK = 128 // reduction-dim tile of the i-k-j MatMul kernel
+	tileJ = 64  // output-column tile of the dot-product MatMulT/TMatMul kernels
+	tileT = 32  // square tile edge of the blocked Transpose kernel
+)
+
+// Workers returns the number of row-parallel workers a kernel producing
+// `rows` output rows at `work` scalar operations should use: 1 below the
+// FLOP threshold, else up to GOMAXPROCS capped by the row count.
+func Workers(rows, work int) int {
+	if rows <= 1 || work < parallelThreshold {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > rows {
+		w = rows
+	}
+	return w
+}
+
+// ParallelRows partitions [0, rows) into `workers` contiguous chunks and
+// runs body once per chunk, on separate goroutines when workers > 1. Chunk
+// boundaries carry no numeric meaning: callers must ensure body computes
+// each row independently of the split (row-parallel kernels do), which makes
+// the result bitwise independent of the worker count.
+func ParallelRows(rows, workers int, body func(lo, hi int)) {
+	if workers <= 1 || rows <= 1 {
+		body(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // MatMul returns a @ b for 2-D tensors a [m,k] and b [k,n].
 func MatMul(a, b *Tensor) *Tensor {
@@ -20,69 +79,184 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul %v @ %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
-	workers := runtime.GOMAXPROCS(0)
-	if m > 1 && workers > 1 && m*k*n >= parallelThreshold {
-		var wg sync.WaitGroup
-		chunk := (m + workers - 1) / workers
-		for lo := 0; lo < m; lo += chunk {
-			hi := lo + chunk
-			if hi > m {
-				hi = m
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				matmulInto(out.Data[lo*n:hi*n], a.Data[lo*k:hi*k], b.Data, hi-lo, k, n)
-			}(lo, hi)
-		}
-		wg.Wait()
-		return out
-	}
-	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+	out := Get(m, n)
+	matMulRows(out, a, b, Workers(m, m*k*n))
 	return out
 }
 
-// matmulInto computes out[m,n] = a[m,k] @ b[k,n] with an i-k-j loop order so
-// the inner loop streams both b and out rows.
+// MatMulInto computes dst = a @ b, overwriting dst ([m,n]). The
+// destination-passing variant of MatMul for callers that recycle buffers.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 || dst.Rows() != m || dst.Cols() != n {
+		panic(fmt.Sprintf("tensor: MatMulInto %v @ %v -> %v", a.Shape, b.Shape, dst.Shape))
+	}
+	dst.Zero()
+	matMulRows(dst, a, b, Workers(m, m*k*n))
+}
+
+// matMulRows runs the serial MatMul kernel over row chunks. out must be
+// zeroed: the kernel accumulates.
+func matMulRows(out, a, b *Tensor, workers int) {
+	m, k := a.Rows(), a.Cols()
+	n := b.Cols()
+	if workers <= 1 { // skip the closure: it heap-allocates even when unused
+		matmulInto(out.Data, a.Data, b.Data, m, k, n)
+		return
+	}
+	ParallelRows(m, workers, func(lo, hi int) {
+		matmulInto(out.Data[lo*n:hi*n], a.Data[lo*k:hi*k], b.Data, hi-lo, k, n)
+	})
+}
+
+// matmulInto accumulates out[m,n] += a[m,k] @ b[k,n] with an i-k-j loop
+// order, blocked over k so a tileK-row slab of b stays cache-resident while
+// each output row sweeps it. Four reduction indices are fused per output-row
+// sweep, quartering the out load/store traffic; within a fused group the
+// adds still land in increasing-p order as four separately rounded +=, and
+// a term is skipped exactly when its a value is zero, so the result is
+// bitwise identical to the one-p-at-a-time kernel.
 func matmulInto(out, a, b []float32, m, k, n int) {
-	for i := 0; i < m; i++ {
-		ai := a[i*k : (i+1)*k]
-		oi := out[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
+	for pt := 0; pt < k; pt += tileK {
+		pHi := pt + tileK
+		if pHi > k {
+			pHi = k
+		}
+		for i := 0; i < m; i++ {
+			ai := a[i*k : (i+1)*k]
+			oi := out[i*n : (i+1)*n]
+			p := pt
+			for ; p+3 < pHi; p += 4 {
+				a0, a1, a2, a3 := ai[p], ai[p+1], ai[p+2], ai[p+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := b[p*n : (p+1)*n]
+				b1 := b[(p+1)*n : (p+2)*n]
+				b2 := b[(p+2)*n : (p+3)*n]
+				b3 := b[(p+3)*n : (p+4)*n]
+				if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+					for j := range oi {
+						v := oi[j]
+						v += a0 * b0[j]
+						v += a1 * b1[j]
+						v += a2 * b2[j]
+						v += a3 * b3[j]
+						oi[j] = v
+					}
+					continue
+				}
+				// Mixed zero/nonzero group: keep the per-term skip. The
+				// branch conditions are loop-invariant, so prediction is
+				// perfect.
+				for j := range oi {
+					v := oi[j]
+					if a0 != 0 {
+						v += a0 * b0[j]
+					}
+					if a1 != 0 {
+						v += a1 * b1[j]
+					}
+					if a2 != 0 {
+						v += a2 * b2[j]
+					}
+					if a3 != 0 {
+						v += a3 * b3[j]
+					}
+					oi[j] = v
+				}
 			}
-			bp := b[p*n : (p+1)*n]
-			for j := range bp {
-				oi[j] += av * bp[j]
+			for ; p < pHi; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j := range bp {
+					oi[j] += av * bp[j]
+				}
 			}
 		}
 	}
 }
 
-// MatMulT returns a @ bᵀ for a [m,k] and b [n,k].
+// MatMulT returns a @ bᵀ for a [m,k] and b [n,k] — the attention-score path
+// (S = Q @ Kᵀ).
 func MatMulT(a, b *Tensor) *Tensor {
 	m, k := a.Rows(), a.Cols()
 	n, k2 := b.Rows(), b.Cols()
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulT %v @ %vᵀ", a.Shape, b.Shape))
 	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		oi := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.Data[j*k : (j+1)*k]
-			var s float32
-			for p := range ai {
-				s += ai[p] * bj[p]
+	out := GetUninit(m, n)
+	matMulTRows(out, a, b, Workers(m, m*k*n))
+	return out
+}
+
+// MatMulTInto computes dst = a @ bᵀ, overwriting dst ([m,n]).
+func MatMulTInto(dst, a, b *Tensor) {
+	m, k := a.Rows(), a.Cols()
+	n, k2 := b.Rows(), b.Cols()
+	if k != k2 || dst.Rows() != m || dst.Cols() != n {
+		panic(fmt.Sprintf("tensor: MatMulTInto %v @ %vᵀ -> %v", a.Shape, b.Shape, dst.Shape))
+	}
+	matMulTRows(dst, a, b, Workers(m, m*k*n))
+}
+
+func matMulTRows(out, a, b *Tensor, workers int) {
+	m, k := a.Rows(), a.Cols()
+	n := b.Rows()
+	if workers <= 1 {
+		matmulTInto(out.Data, a.Data, b.Data, m, k, n)
+		return
+	}
+	ParallelRows(m, workers, func(lo, hi int) {
+		matmulTInto(out.Data[lo*n:hi*n], a.Data[lo*k:hi*k], b.Data, hi-lo, k, n)
+	})
+}
+
+// matmulTInto overwrites out[m,n] = a[m,k] @ b[n,k]ᵀ. The j loop is blocked
+// so a tileJ-row slab of b stays cache-resident across the i sweep, and four
+// b rows are walked together per a row — one pass of ai feeds four
+// accumulators, quartering the ai load traffic that dominates the dot
+// kernel. Every element is still a single running sum over p in increasing
+// order, so blocking, the 4-way grouping, and row splits are all bitwise
+// invisible.
+func matmulTInto(out, a, b []float32, m, k, n int) {
+	for jt := 0; jt < n; jt += tileJ {
+		jHi := jt + tileJ
+		if jHi > n {
+			jHi = n
+		}
+		for i := 0; i < m; i++ {
+			ai := a[i*k : (i+1)*k]
+			oi := out[i*n : (i+1)*n]
+			j := jt
+			for ; j+3 < jHi; j += 4 {
+				b0 := b[j*k : (j+1)*k]
+				b1 := b[(j+1)*k : (j+2)*k]
+				b2 := b[(j+2)*k : (j+3)*k]
+				b3 := b[(j+3)*k : (j+4)*k]
+				var s0, s1, s2, s3 float32
+				for p, av := range ai {
+					s0 += av * b0[p]
+					s1 += av * b1[p]
+					s2 += av * b2[p]
+					s3 += av * b3[p]
+				}
+				oi[j], oi[j+1], oi[j+2], oi[j+3] = s0, s1, s2, s3
 			}
-			oi[j] = s
+			for ; j < jHi; j++ {
+				bj := b[j*k : (j+1)*k]
+				var s float32
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				oi[j] = s
+			}
 		}
 	}
-	return out
 }
 
 // TMatMul returns aᵀ @ b for a [k,m] and b [k,n] — the shape needed for
@@ -93,41 +267,124 @@ func TMatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: TMatMul %vᵀ @ %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
-	for p := 0; p < k; p++ {
-		ap := a.Data[p*m : (p+1)*m]
-		bp := b.Data[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
-			}
-			oi := out.Data[i*n : (i+1)*n]
-			for j, bv := range bp {
-				oi[j] += av * bv
-			}
-		}
-	}
+	out := Get(m, n)
+	tMatMulRows(out, a, b, Workers(m, m*k*n))
 	return out
+}
+
+// TMatMulInto computes dst = aᵀ @ b, overwriting dst ([m,n]).
+func TMatMulInto(dst, a, b *Tensor) {
+	checkTMatMul(dst, a, b, "TMatMulInto")
+	dst.Zero()
+	tMatMulRows(dst, a, b, Workers(a.Cols(), a.Rows()*a.Cols()*b.Cols()))
 }
 
 // TMatMulAcc accumulates aᵀ @ b into out, used for gradient accumulation
 // across micro-batches (FP32 accumulation per §6.2).
 func TMatMulAcc(out, a, b *Tensor) {
+	checkTMatMul(out, a, b, "TMatMulAcc")
+	tMatMulRows(out, a, b, Workers(a.Cols(), a.Rows()*a.Cols()*b.Cols()))
+}
+
+func checkTMatMul(out, a, b *Tensor, op string) {
 	k, m := a.Rows(), a.Cols()
 	k2, n := b.Rows(), b.Cols()
 	if k != k2 || out.Rows() != m || out.Cols() != n {
-		panic(fmt.Sprintf("tensor: TMatMulAcc %vᵀ @ %v -> %v", a.Shape, b.Shape, out.Shape))
+		panic(fmt.Sprintf("tensor: %s %vᵀ @ %v -> %v", op, a.Shape, b.Shape, out.Shape))
 	}
-	for p := 0; p < k; p++ {
-		ap := a.Data[p*m : (p+1)*m]
-		bp := b.Data[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
+}
+
+// tMatMulRows runs the TMatMul kernel over output-row chunks. out
+// accumulates (callers zero it for the overwrite semantics). Both operands
+// are transposed up front (pure data movement, pooled buffers) so the
+// reduction walks contiguous rows instead of strided columns; every output
+// element (i,j) then sums a[p,i]·b[p,j] over p in increasing order with the
+// same per-term zero-skip as the column-order kernel, so the rewrite — and
+// any row split across workers — is bitwise identical to the original
+// p-outer loop.
+func tMatMulRows(out, a, b *Tensor, workers int) {
+	k, m := a.Rows(), a.Cols()
+	n := b.Cols()
+	aT := GetUninit(m, k)
+	bT := GetUninit(n, k)
+	TransposeInto(aT, a)
+	TransposeInto(bT, b)
+	if workers <= 1 {
+		tmatmulAcc(out.Data, aT.Data, bT.Data, k, m, n, 0, m)
+	} else {
+		ParallelRows(m, workers, func(lo, hi int) {
+			tmatmulAcc(out.Data, aT.Data, bT.Data, k, m, n, lo, hi)
+		})
+	}
+	Put(aT, bT)
+}
+
+// tmatmulAcc accumulates out[lo:hi,:] += (aTᵀᵀ @ bTᵀ)[lo:hi,:] given the
+// TRANSPOSED operands aT [m,k] and bT [n,k]. Each output element is a
+// register dot seeded from the existing out value, summing aT[i,p]·bT[j,p]
+// in increasing p; four bT rows share one aT-row pass, and the j loop is
+// blocked so the bT slab stays cache-resident across the i sweep. A term is
+// skipped exactly when its aT value is zero (one branch guards all four
+// chains), matching the column-order kernel's skip — accumulating in a
+// register instead of memory performs the identical sequence of float32
+// rounding steps, so the result is bitwise unchanged.
+func tmatmulAcc(out, aT, bT []float32, k, m, n, lo, hi int) {
+	for jt := 0; jt < n; jt += tileJ {
+		jHi := jt + tileJ
+		if jHi > n {
+			jHi = n
+		}
+		for i := lo; i < hi; i++ {
+			ai := aT[i*k : (i+1)*k]
+			oi := out[i*n : (i+1)*n]
+			// One scan decides the inner loop: dense rows take the
+			// branch-free path (the skip would never fire, so both paths
+			// perform the same rounding sequence); rows with zeros — e.g.
+			// masked attention probabilities — keep the exact per-term skip.
+			dense := true
+			for _, av := range ai {
+				if av == 0 {
+					dense = false
+					break
+				}
 			}
-			oi := out.Data[i*n : (i+1)*n]
-			for j, bv := range bp {
-				oi[j] += av * bv
+			j := jt
+			for ; j+3 < jHi; j += 4 {
+				b0 := bT[j*k : (j+1)*k]
+				b1 := bT[(j+1)*k : (j+2)*k]
+				b2 := bT[(j+2)*k : (j+3)*k]
+				b3 := bT[(j+3)*k : (j+4)*k]
+				s0, s1, s2, s3 := oi[j], oi[j+1], oi[j+2], oi[j+3]
+				if dense {
+					for p, av := range ai {
+						s0 += av * b0[p]
+						s1 += av * b1[p]
+						s2 += av * b2[p]
+						s3 += av * b3[p]
+					}
+				} else {
+					for p, av := range ai {
+						if av == 0 {
+							continue
+						}
+						s0 += av * b0[p]
+						s1 += av * b1[p]
+						s2 += av * b2[p]
+						s3 += av * b3[p]
+					}
+				}
+				oi[j], oi[j+1], oi[j+2], oi[j+3] = s0, s1, s2, s3
+			}
+			for ; j < jHi; j++ {
+				bj := bT[j*k : (j+1)*k]
+				s := oi[j]
+				for p, av := range ai {
+					if av == 0 {
+						continue
+					}
+					s += av * bj[p]
+				}
+				oi[j] = s
 			}
 		}
 	}
@@ -135,14 +392,58 @@ func TMatMulAcc(out, a, b *Tensor) {
 
 // Transpose returns the transpose of a 2-D tensor.
 func Transpose(a *Tensor) *Tensor {
+	out := GetUninit(a.Cols(), a.Rows())
+	transposeRows(out, a, runtime.GOMAXPROCS(0), a.Len())
+	return out
+}
+
+// TransposeInto computes dst = aᵀ, overwriting dst ([cols(a), rows(a)]).
+func TransposeInto(dst, a *Tensor) {
+	if dst.Rows() != a.Cols() || dst.Cols() != a.Rows() {
+		panic(fmt.Sprintf("tensor: TransposeInto %v -> %v", a.Shape, dst.Shape))
+	}
+	transposeRows(dst, a, runtime.GOMAXPROCS(0), a.Len())
+}
+
+// transposeRows splits the output rows (input columns) across goroutines
+// when the element count warrants it; each chunk runs the blocked serial
+// kernel. A pure permutation: trivially bitwise under any split.
+func transposeRows(out, a *Tensor, workers, elems int) {
 	m, n := a.Rows(), a.Cols()
-	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.Data[j*m+i] = a.Data[i*n+j]
+	if workers > 1 && elems < copyThreshold {
+		workers = 1
+	}
+	if workers <= 1 {
+		transposeBlock(out.Data, a.Data, m, n, 0, n)
+		return
+	}
+	ParallelRows(n, workers, func(lo, hi int) {
+		transposeBlock(out.Data, a.Data, m, n, lo, hi)
+	})
+}
+
+// transposeBlock writes out[j,i] = a[i,j] for j in [lo,hi), in tileT×tileT
+// blocks so both the strided reads and the sequential writes hit cache lines
+// that are still resident.
+func transposeBlock(out, a []float32, m, n, lo, hi int) {
+	for jt := lo; jt < hi; jt += tileT {
+		jHi := jt + tileT
+		if jHi > hi {
+			jHi = hi
+		}
+		for it := 0; it < m; it += tileT {
+			iHi := it + tileT
+			if iHi > m {
+				iHi = m
+			}
+			for j := jt; j < jHi; j++ {
+				oj := out[j*m : (j+1)*m]
+				for i := it; i < iHi; i++ {
+					oj[i] = a[i*n+j]
+				}
+			}
 		}
 	}
-	return out
 }
 
 // SoftmaxRow computes a numerically stable softmax of xs in place.
@@ -183,6 +484,7 @@ func SoftmaxRows(a *Tensor) *Tensor {
 }
 
 // ConcatRows stacks tensors with identical column counts along dimension 0.
+// The result is a fresh tensor; inputs are copied, never aliased.
 func ConcatRows(parts ...*Tensor) *Tensor {
 	if len(parts) == 0 {
 		return New(0)
@@ -195,7 +497,7 @@ func ConcatRows(parts ...*Tensor) *Tensor {
 		}
 		rows += p.Rows()
 	}
-	out := New(rows, cols)
+	out := GetUninit(rows, cols)
 	off := 0
 	for _, p := range parts {
 		copy(out.Data[off:], p.Data)
@@ -206,6 +508,7 @@ func ConcatRows(parts ...*Tensor) *Tensor {
 
 // ConcatCols concatenates 2-D tensors with identical row counts along
 // dimension 1 — the reassembly step after column-parallel linear layers.
+// The result is a fresh tensor; inputs are copied, never aliased.
 func ConcatCols(parts ...*Tensor) *Tensor {
 	if len(parts) == 0 {
 		return New(0)
@@ -218,37 +521,73 @@ func ConcatCols(parts ...*Tensor) *Tensor {
 		}
 		cols += p.Cols()
 	}
-	out := New(rows, cols)
+	out := GetUninit(rows, cols)
+	ConcatColsInto(out, parts...)
+	return out
+}
+
+// ConcatColsInto assembles parts column-wise into dst ([rows, Σcols]),
+// overwriting it. The destination-passing variant of ConcatCols.
+func ConcatColsInto(dst *Tensor, parts ...*Tensor) {
+	rows, cols := dst.Rows(), dst.Cols()
 	off := 0
 	for _, p := range parts {
 		pc := p.Cols()
+		if p.Rows() != rows {
+			panic(fmt.Sprintf("tensor: ConcatColsInto row mismatch %d vs %d", p.Rows(), rows))
+		}
 		for i := 0; i < rows; i++ {
-			copy(out.Data[i*cols+off:i*cols+off+pc], p.Row(i))
+			copy(dst.Data[i*cols+off:i*cols+off+pc], p.Row(i))
 		}
 		off += pc
 	}
-	return out
+	if off != cols {
+		panic(fmt.Sprintf("tensor: ConcatColsInto wants %d columns, parts have %d", cols, off))
+	}
 }
 
-// SplitCols splits a 2-D tensor into n equal column blocks (copies).
+// SplitCols splits a 2-D tensor into n equal column blocks.
+//
+// Aliasing contract: the blocks are COPIES — mutating a block never affects
+// a, unlike SplitRows whose results alias a. Callers needing a single block
+// should use ColBlock, which copies only that block.
 func SplitCols(a *Tensor, n int) []*Tensor {
-	rows, cols := a.Rows(), a.Cols()
+	cols := a.Cols()
 	if cols%n != 0 {
 		panic(fmt.Sprintf("tensor: SplitCols %d %% %d != 0", cols, n))
 	}
-	w := cols / n
 	out := make([]*Tensor, n)
 	for s := 0; s < n; s++ {
-		t := New(rows, w)
-		for i := 0; i < rows; i++ {
-			copy(t.Row(i), a.Data[i*cols+s*w:i*cols+(s+1)*w])
-		}
-		out[s] = t
+		out[s] = ColBlock(a, n, s)
 	}
 	return out
 }
 
-// SplitRows splits a 2-D tensor into n equal row blocks (views).
+// ColBlock returns a copy of column block i of a split into n equal blocks —
+// what a TP rank extracts from a full tensor without materialising the other
+// n−1 blocks (the copy-heavy path SplitCols forces).
+func ColBlock(a *Tensor, n, i int) *Tensor {
+	rows, cols := a.Rows(), a.Cols()
+	if cols%n != 0 {
+		panic(fmt.Sprintf("tensor: ColBlock %d %% %d != 0", cols, n))
+	}
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("tensor: ColBlock %d of %d", i, n))
+	}
+	w := cols / n
+	t := GetUninit(rows, w)
+	for r := 0; r < rows; r++ {
+		copy(t.Row(r), a.Data[r*cols+i*w:r*cols+(i+1)*w])
+	}
+	return t
+}
+
+// SplitRows splits a 2-D tensor into n equal row blocks.
+//
+// Aliasing contract: the blocks are VIEWS sharing a's storage — mutating a
+// block is visible in a and vice versa (the zero-copy row sharding the
+// collectives rely on). This is the opposite of SplitCols, which must copy
+// because column blocks are not contiguous.
 func SplitRows(a *Tensor, n int) []*Tensor {
 	rows := a.Rows()
 	if rows%n != 0 {

@@ -1,0 +1,201 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a size-keyed free list of tensors: an arena for the functional
+// layer's hot loops, where every op otherwise allocates a fresh output and
+// GC churn dominates larger configs. Get reuses a retired tensor of the
+// exact element count when one is available; Put retires a tensor for reuse.
+//
+// Ownership rules (see DESIGN.md "Performance of the functional layer"):
+//
+//   - Put transfers ownership to the pool: the caller must hold no live
+//     references — including views made with Row, RowSlice, or Reshape —
+//     to the tensor afterwards.
+//   - Get returns a zeroed tensor (like New); GetUninit skips the zeroing
+//     for destinations that are fully overwritten.
+//   - Putting is always optional: an un-Put tensor is simply garbage
+//     collected, so pooling never changes results, only allocation counts.
+//
+// A Pool is safe for concurrent use; reductions in the comm package and
+// row-parallel kernels may Get/Put from many rank goroutines at once.
+type Pool struct {
+	mu   sync.Mutex
+	free map[int][]*Tensor
+
+	gets, hits, puts, rejects int64 // guarded by mu
+}
+
+// PoolStats reports pool traffic: Gets (and how many were served from the
+// free list), Puts, and Puts rejected by the safety checks.
+type PoolStats struct {
+	Gets, Hits, Puts, Rejects int64
+}
+
+// NewPool creates an empty pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[int][]*Tensor)}
+}
+
+// Get returns a zeroed tensor of the given shape, reusing a retired tensor
+// of the same element count when possible. A nil pool degrades to New.
+func (p *Pool) Get(shape ...int) *Tensor {
+	t := p.GetUninit(shape...)
+	if t != nil {
+		t.Zero()
+	}
+	return t
+}
+
+// GetUninit returns a tensor of the given shape with UNDEFINED contents —
+// for destinations the caller fully overwrites (MatMulTInto, Transpose,
+// Clone). A nil pool degrades to New (which zeroes).
+func (p *Pool) GetUninit(shape ...int) *Tensor {
+	if p == nil {
+		return New(shape...)
+	}
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			return New(shape...) // let New produce the canonical panic
+		}
+		n *= s
+	}
+	p.mu.Lock()
+	p.gets++
+	l := p.free[n]
+	if len(l) == 0 {
+		p.mu.Unlock()
+		return New(shape...)
+	}
+	t := l[len(l)-1]
+	l[len(l)-1] = nil
+	p.free[n] = l[:len(l)-1]
+	p.hits++
+	p.mu.Unlock()
+	t.setShape(shape)
+	return t
+}
+
+// Put retires tensors into the pool for reuse. Nil tensors are skipped, as
+// are tensors whose data slice does not own its full backing array
+// (len != cap) — the cheap guard against retiring a view whose parent is
+// still live. A nil pool discards everything.
+func (p *Pool) Put(ts ...*Tensor) {
+	if p == nil {
+		return
+	}
+	for _, t := range ts {
+		if t == nil || len(t.Data) == 0 {
+			continue
+		}
+		if len(t.Data) != cap(t.Data) {
+			p.mu.Lock()
+			p.rejects++
+			p.mu.Unlock()
+			continue
+		}
+		n := len(t.Data)
+		p.mu.Lock()
+		p.puts++
+		p.free[n] = append(p.free[n], t)
+		p.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Gets: p.gets, Hits: p.hits, Puts: p.puts, Rejects: p.rejects}
+}
+
+// Reset drops every retired tensor (releasing the memory to the GC) and
+// clears the counters.
+func (p *Pool) Reset() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = make(map[int][]*Tensor)
+	p.gets, p.hits, p.puts, p.rejects = 0, 0, 0, 0
+}
+
+// setShape points t at a (possibly different) shape with the same element
+// count, reusing the Shape slice when capacity allows.
+func (t *Tensor) setShape(shape []int) {
+	if cap(t.Shape) >= len(shape) {
+		t.Shape = t.Shape[:len(shape)]
+		copy(t.Shape, shape)
+		return
+	}
+	t.Shape = append([]int(nil), shape...)
+}
+
+// defaultPool is the arena behind the package-level Get/GetUninit/Put used
+// by the kernels and the model hot paths. poolingOn gates it so benchmarks
+// and bisection runs can measure the unpooled baseline.
+var (
+	defaultPool = NewPool()
+	poolingOn   atomic.Bool
+)
+
+func init() { poolingOn.Store(true) }
+
+// SetPooling enables or disables the default pool, returning the previous
+// setting. With pooling disabled Get degrades to New and Put discards —
+// the pre-arena allocation behaviour, kept reachable so the benchmark suite
+// can report before/after allocation counts from one binary.
+func SetPooling(on bool) bool {
+	return poolingOn.Swap(on)
+}
+
+// PoolingEnabled reports whether the default pool is active.
+func PoolingEnabled() bool { return poolingOn.Load() }
+
+// Get returns a zeroed tensor from the default pool (or New when pooling is
+// disabled).
+func Get(shape ...int) *Tensor {
+	if !poolingOn.Load() {
+		return New(shape...)
+	}
+	return defaultPool.Get(shape...)
+}
+
+// GetUninit returns a tensor with undefined contents from the default pool
+// (or a zeroed New when pooling is disabled). Callers must fully overwrite.
+func GetUninit(shape ...int) *Tensor {
+	if !poolingOn.Load() {
+		return New(shape...)
+	}
+	return defaultPool.GetUninit(shape...)
+}
+
+// GetClone returns a deep copy of t backed by the default pool.
+func GetClone(t *Tensor) *Tensor {
+	out := GetUninit(t.Shape...)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Put retires tensors into the default pool (a no-op when pooling is
+// disabled). See Pool.Put for the ownership rules.
+func Put(ts ...*Tensor) {
+	if !poolingOn.Load() {
+		return
+	}
+	defaultPool.Put(ts...)
+}
+
+// DefaultPoolStats returns the default pool's counters.
+func DefaultPoolStats() PoolStats { return defaultPool.Stats() }
+
+// ResetDefaultPool drops the default pool's retired tensors and counters.
+func ResetDefaultPool() { defaultPool.Reset() }

@@ -25,15 +25,20 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, s := range shape {
 		if s < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in %v", s, shape))
+			// Format a copy: handing shape itself to Sprintf would make the
+			// parameter escape, heap-allocating every caller's shape literal.
+			panic(fmt.Sprintf("tensor: negative dimension %d in %v", s, append([]int(nil), shape...)))
 		}
 		n *= s
 	}
 	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
 }
 
-// FromSlice wraps data in a tensor of the given shape. The data is not
-// copied; the tensor aliases the slice.
+// FromSlice wraps data in a tensor of the given shape.
+//
+// Aliasing contract: the data is NOT copied — the tensor aliases the slice,
+// so mutations through either are visible through both. Callers that need
+// an independent tensor must Clone the result.
 func FromSlice(data []float32, shape ...int) *Tensor {
 	n := 1
 	for _, s := range shape {
@@ -97,11 +102,10 @@ func (t *Tensor) RowSlice(lo, hi int) *Tensor {
 	return &Tensor{Shape: shape, Data: t.Data[lo*c : hi*c]}
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The copy is drawn from the default pool, so
+// cloning inside hot loops recycles retired buffers instead of allocating.
 func (t *Tensor) Clone() *Tensor {
-	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
-	copy(out.Data, t.Data)
-	return out
+	return GetClone(t)
 }
 
 // Reshape returns a view with a new shape covering the same data.

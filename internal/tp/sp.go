@@ -25,7 +25,7 @@ type SPColParallelLinear struct {
 
 // NewSPColParallelFromFull shards a full weight by columns for SP use.
 func NewSPColParallelFromFull(name string, full *tensor.Tensor, ctx *Ctx) *SPColParallelLinear {
-	shard := tensor.SplitCols(full, ctx.Size())[ctx.Local()]
+	shard := tensor.ColBlock(full, ctx.Size(), ctx.Local())
 	return &SPColParallelLinear{P: model.NewParam(name, shard), Ctx: ctx}
 }
 
@@ -42,7 +42,10 @@ func (l *SPColParallelLinear) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Te
 	ctx := ctxAny.(*spColCtx)
 	tensor.TMatMulAcc(l.P.G, ctx.xFull, dy)
 	dxFull := tensor.MatMulT(dy, l.P.W)
-	return l.Ctx.Group.ReduceScatter(l.Ctx.Rank, dxFull)
+	dx := l.Ctx.Group.ReduceScatter(l.Ctx.Rank, dxFull)
+	tensor.Put(dxFull, ctx.xFull)
+	ctx.xFull = nil
+	return dx
 }
 
 // Params implements model.Layer.
@@ -66,7 +69,9 @@ type spRowCtx struct{ x *tensor.Tensor }
 // Forward implements model.Layer: returns this rank's sequence shard of y.
 func (l *SPRowParallelLinear) Forward(x *tensor.Tensor, _ *model.Env) (*tensor.Tensor, any) {
 	partial := tensor.MatMul(x, l.P.W)
-	return l.Ctx.Group.ReduceScatter(l.Ctx.Rank, partial), &spRowCtx{x: x}
+	y := l.Ctx.Group.ReduceScatter(l.Ctx.Rank, partial)
+	tensor.Put(partial)
+	return y, &spRowCtx{x: x}
 }
 
 // Backward implements model.Layer: dy is sequence-sharded.
@@ -74,7 +79,9 @@ func (l *SPRowParallelLinear) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Te
 	ctx := ctxAny.(*spRowCtx)
 	dyFull := l.Ctx.Group.AllGather(l.Ctx.Rank, dy)
 	tensor.TMatMulAcc(l.P.G, ctx.x, dyFull)
-	return tensor.MatMulT(dyFull, l.P.W)
+	dx := tensor.MatMulT(dyFull, l.P.W)
+	tensor.Put(dyFull)
+	return dx
 }
 
 // Params implements model.Layer.

@@ -52,7 +52,7 @@ func NewColParallelFromFull(name string, full *tensor.Tensor, ctx *Ctx, gatherOu
 	if out%tpSize != 0 {
 		panic(fmt.Sprintf("tp: output dim %d not divisible by tp=%d", out, tpSize))
 	}
-	shard := tensor.SplitCols(full, tpSize)[ctx.Local()]
+	shard := tensor.ColBlock(full, tpSize, ctx.Local())
 	return &ColParallelLinear{P: model.NewParam(name, shard), Ctx: ctx, GatherOutput: gatherOutput}
 }
 
@@ -64,8 +64,9 @@ type colCtx struct {
 func (l *ColParallelLinear) Forward(x *tensor.Tensor, _ *model.Env) (*tensor.Tensor, any) {
 	y := tensor.MatMul(x, l.P.W)
 	if l.GatherOutput {
-		parts := l.Ctx.Group.AllGatherParts(l.Ctx.Rank, y)
-		y = tensor.ConcatCols(parts...)
+		full := l.Ctx.Group.AllGatherCols(l.Ctx.Rank, y)
+		tensor.Put(y)
+		y = full
 	}
 	return y, &colCtx{x: x}
 }
@@ -73,14 +74,19 @@ func (l *ColParallelLinear) Forward(x *tensor.Tensor, _ *model.Env) (*tensor.Ten
 // Backward implements model.Layer.
 func (l *ColParallelLinear) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
 	ctx := ctxAny.(*colCtx)
+	var dyLocal *tensor.Tensor
 	if l.GatherOutput {
-		dy = tensor.SplitCols(dy, l.Ctx.Size())[l.Ctx.Local()]
+		dyLocal = tensor.ColBlock(dy, l.Ctx.Size(), l.Ctx.Local())
+		dy = dyLocal
 	}
 	tensor.TMatMulAcc(l.P.G, ctx.x, dy)
 	dxPartial := tensor.MatMulT(dy, l.P.W)
+	tensor.Put(dyLocal)
 	// The input was replicated across TP ranks: its gradient is the sum of
 	// every rank's partial contribution.
-	return l.Ctx.Group.AllReduce(l.Ctx.Rank, dxPartial)
+	dx := l.Ctx.Group.AllReduce(l.Ctx.Rank, dxPartial)
+	tensor.Put(dxPartial)
+	return dx
 }
 
 // Params implements model.Layer.
@@ -115,7 +121,9 @@ type rowCtx struct {
 // Forward implements model.Layer.
 func (l *RowParallelLinear) Forward(x *tensor.Tensor, _ *model.Env) (*tensor.Tensor, any) {
 	partial := tensor.MatMul(x, l.P.W)
-	return l.Ctx.Group.AllReduce(l.Ctx.Rank, partial), &rowCtx{x: x}
+	y := l.Ctx.Group.AllReduce(l.Ctx.Rank, partial)
+	tensor.Put(partial)
+	return y, &rowCtx{x: x}
 }
 
 // Backward implements model.Layer.
@@ -190,5 +198,6 @@ func ReplicatedGradAllReduce(ctx *Ctx, params []*model.Param) {
 		red := ctx.Group.AllReduce(ctx.Rank, p.G)
 		red.Scale(1 / float32(ctx.Size()))
 		copy(p.G.Data, red.Data)
+		tensor.Put(red)
 	}
 }

@@ -39,13 +39,15 @@ func NewVocabParallelEmbeddingFromFull(name string, full *tensor.Tensor, ctx *Ct
 // Forward implements model.TokenEmbedder.
 func (e *VocabParallelEmbedding) Forward(tokens []int) (*tensor.Tensor, any) {
 	dim := e.P.W.Cols()
-	out := tensor.New(len(tokens), dim)
+	local := tensor.Get(len(tokens), dim)
 	for i, t := range tokens {
 		if t >= e.lo && t < e.hi {
-			copy(out.Row(i), e.P.W.Row(t-e.lo))
+			copy(local.Row(i), e.P.W.Row(t-e.lo))
 		}
 	}
-	return e.Ctx.Group.AllReduce(e.Ctx.Rank, out), tokens
+	out := e.Ctx.Group.AllReduce(e.Ctx.Rank, local)
+	tensor.Put(local)
+	return out, tokens
 }
 
 // Backward implements model.TokenEmbedder: each rank accumulates gradients
@@ -88,7 +90,7 @@ func NewVocabParallelHeadFromFull(h *model.Head, ctx *Ctx) *VocabParallelHead {
 	}
 	norm := model.NewRMSNorm(h.Norm.P.Name, h.Norm.P.W.Len())
 	copy(norm.P.W.Data, h.Norm.P.W.Data)
-	shard := tensor.SplitCols(h.Proj.P.W, tpSize)[ctx.Local()]
+	shard := tensor.ColBlock(h.Proj.P.W, tpSize, ctx.Local())
 	return &VocabParallelHead{
 		Norm: norm,
 		Proj: model.NewParam(h.Proj.P.Name, shard),
@@ -112,7 +114,7 @@ func (h *VocabParallelHead) ForwardLoss(x *tensor.Tensor, targets []int, scale f
 	rows := logits.Rows()
 
 	// Distributed softmax: global max, then global exp-sum.
-	localMax := tensor.New(rows)
+	localMax := tensor.GetUninit(rows)
 	for i := 0; i < rows; i++ {
 		m := float32(math.Inf(-1))
 		for _, v := range logits.Row(i) {
@@ -123,8 +125,9 @@ func (h *VocabParallelHead) ForwardLoss(x *tensor.Tensor, targets []int, scale f
 		localMax.Data[i] = m
 	}
 	globalMax := h.Ctx.Group.AllReduceMax(h.Ctx.Rank, localMax)
+	tensor.Put(localMax)
 
-	sumExp := tensor.New(rows)
+	sumExp := tensor.GetUninit(rows)
 	for i := 0; i < rows; i++ {
 		row := logits.Row(i)
 		var s float32
@@ -136,10 +139,11 @@ func (h *VocabParallelHead) ForwardLoss(x *tensor.Tensor, targets []int, scale f
 		sumExp.Data[i] = s
 	}
 	globalSum := h.Ctx.Group.AllReduce(h.Ctx.Rank, sumExp)
+	tensor.Put(sumExp, globalMax)
 
 	// Normalise into local probabilities; fetch the target's probability
 	// from whichever rank owns it.
-	targetProb := tensor.New(rows)
+	localProb := tensor.Get(rows)
 	vocabLocal := h.Proj.W.Cols()
 	for i := 0; i < rows; i++ {
 		inv := 1 / globalSum.Data[i]
@@ -149,10 +153,11 @@ func (h *VocabParallelHead) ForwardLoss(x *tensor.Tensor, targets []int, scale f
 		}
 		t := targets[i]
 		if t >= h.lo && t < h.lo+vocabLocal {
-			targetProb.Data[i] = row[t-h.lo]
+			localProb.Data[i] = row[t-h.lo]
 		}
 	}
-	targetProb = h.Ctx.Group.AllReduce(h.Ctx.Rank, targetProb)
+	targetProb := h.Ctx.Group.AllReduce(h.Ctx.Rank, localProb)
+	tensor.Put(localProb, globalSum)
 
 	var loss float64
 	count := 0
@@ -170,6 +175,7 @@ func (h *VocabParallelHead) ForwardLoss(x *tensor.Tensor, targets []int, scale f
 	if count > 0 {
 		loss /= float64(count)
 	}
+	tensor.Put(targetProb)
 	if count == 0 {
 		count = 1
 	}
@@ -201,10 +207,15 @@ func (h *VocabParallelHead) BackwardLoss(ctxAny any) *tensor.Tensor {
 		}
 	}
 	tensor.TMatMulAcc(h.Proj.G, ctx.normed, dLogits)
-	dn := tensor.MatMulT(dLogits, h.Proj.W)
+	dnPartial := tensor.MatMulT(dLogits, h.Proj.W)
+	tensor.Put(dLogits, ctx.probs, ctx.normed)
+	ctx.probs, ctx.normed = nil, nil
 	// The input was replicated across the TP group: sum the partial dx.
-	dn = h.Ctx.Group.AllReduce(h.Ctx.Rank, dn)
-	return h.Norm.Backward(ctx.nCtx, dn)
+	dn := h.Ctx.Group.AllReduce(h.Ctx.Rank, dnPartial)
+	tensor.Put(dnPartial)
+	dx := h.Norm.Backward(ctx.nCtx, dn)
+	tensor.Put(dn)
+	return dx
 }
 
 // Params implements model.LossHead.

@@ -1,0 +1,46 @@
+package llama4d_test
+
+// BenchmarkKernelTrainStep is the allocation half of the microbenchmark
+// baseline (BENCH_kernels.json): a full forward+backward train step on the
+// tiny model, with the tensor arena off vs on. The pool=on variant must cut
+// allocs/op by at least 5× — allocation volume, not kernel speed, is what it
+// measures, and the bitwise property tests in internal/model guarantee the
+// two variants produce identical losses and gradients.
+
+import (
+	"math/rand"
+	"testing"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/model"
+	"llama4d/internal/tensor"
+)
+
+func BenchmarkKernelTrainStep(b *testing.B) {
+	samples := []*model.Sample{
+		{Tokens: []int{1, 2, 3, 4, 5, 6, 7, 8}, Targets: []int{2, 3, 4, 5, 6, 7, 8, 9}},
+		{Tokens: []int{9, 10, 11, 12, 13, 14, 15, 16}, Targets: []int{10, 11, 12, 13, 14, 15, 16, 17}},
+	}
+	envFn := func(s *model.Sample) *model.Env {
+		return model.SeqEnv(len(s.Tokens), attention.Causal{})
+	}
+	for _, pooled := range []bool{false, true} {
+		name := "pool=off"
+		if pooled {
+			name = "pool=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := tensor.SetPooling(pooled)
+			defer tensor.SetPooling(prev)
+			tensor.ResetDefaultPool()
+			m := model.New(model.TinyConfig(), rand.New(rand.NewSource(42)))
+			m.StepLoss(samples, envFn) // warm the pool and any lazy state
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.ZeroGrads()
+				m.StepLoss(samples, envFn)
+			}
+		})
+	}
+}
