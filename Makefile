@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-all smoke-bench check
+.PHONY: all build test vet race bench bench-all smoke-bench test-metrics cover check
 
 all: check
 
@@ -37,8 +37,22 @@ smoke-bench:
 	$(GO) test -bench='^BenchmarkKernel' -benchtime=1x -run='^$$' \
 		./internal/tensor ./internal/attention .
 
+# The measured-vs-modeled gate: the xval conformance sweep (measured comm
+# bytes, FLOPs, activation peaks, and schedules against the analytic models
+# across 16 4D configurations) plus every examples/ program's smoke test.
+test-metrics:
+	$(GO) test ./internal/metrics/... ./examples/...
+
+# Per-package coverage summary plus the total (the number quoted in
+# README.md). cover.out is left behind for `go tool cover -html`.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+	@echo "per-package:"
+	@$(GO) test -cover ./... 2>/dev/null | grep -v 'no test files' | awk '{print "  " $$2 "\t" $$5}'
+
 # The full verification gate: compile everything, vet, run the suite with
 # the race detector (all collectives and the ft subsystem exercise real
-# cross-goroutine communication), and smoke the kernel benchmarks'
-# correctness guards.
-check: build vet race smoke-bench
+# cross-goroutine communication), run the measured-vs-modeled gate, and
+# smoke the kernel benchmarks' correctness guards.
+check: build vet race test-metrics smoke-bench

@@ -7,10 +7,15 @@
 //	traceview [-pp N] [-v N] [-nmb N] [-nc N] [-sched 1f1b|allfallb|flexible]
 //	          [-p2p F] [-json FILE] [-slow RANK] [-slowdown F]
 //	traceview -ft [-json FILE]
+//	traceview -metrics [-json FILE]
 //
 // With -ft it instead runs a live fault-tolerant training demo
 // (internal/ft): a rank crash mid-collective, detection, checkpoint
 // restore — fault lifecycle events render as '!' on the timelines.
+//
+// With -metrics it runs a live measured training step with the per-rank
+// metrics registry attached (internal/metrics) and renders the measured
+// timelines alongside the step's comm/compute/activation panel.
 package main
 
 import (
@@ -23,10 +28,53 @@ import (
 	"llama4d/internal/data"
 	"llama4d/internal/fsdp"
 	"llama4d/internal/ft"
+	"llama4d/internal/metrics"
 	"llama4d/internal/model"
 	"llama4d/internal/pp"
 	"llama4d/internal/trace"
 )
+
+// metricsDemo runs two measured training steps on a small 4D cluster and
+// renders the registry's view: the steady-state step report panel plus the
+// per-rank measured timelines ('#' compute, '~' comm, '.' idle).
+func metricsDemo(jsonPath string) {
+	cfg := core.Config{
+		Model: model.Config{Vocab: 64, Dim: 32, Hidden: 64, NHeads: 4, NKVHeads: 2,
+			NLayers: 4, MaxSeq: 32, RopeBase: 10000},
+		Topo: core.Topology{TP: 2, CP: 1, PP: 2, DP: 2},
+		V:    2, NMB: 2, NC: 2,
+		ZeRO: fsdp.ZeRO1, Seq: 32, GBS: 4, LR: 3e-3,
+		UseDocMask: true, Seed: 31,
+	}
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+	reg := metrics.NewRegistry(cfg.Topo.World())
+	cl.Attach(reg)
+	gen := &data.Generator{Vocab: cfg.Model.Vocab, Seq: cfg.Seq, AvgDocLen: 8, Seed: 32}
+	var rep *metrics.StepReport
+	for step := int64(0); step < 2; step++ {
+		reg.BeginStep(step)
+		cl.Step(gen, step)
+		rep = reg.EndStep()
+	}
+	fmt.Printf("measured run: %d ranks (tp=%d cp=%d pp=%d dp=%d), steady-state step below\n\n",
+		cfg.Topo.World(), cfg.Topo.TP, cfg.Topo.CP, cfg.Topo.PP, cfg.Topo.DP)
+	fmt.Print(rep.Table())
+
+	tr := reg.Trace()
+	fmt.Println("\nmeasured timelines ('#' compute, '~' comm, '.' idle):")
+	for r := 0; r < cfg.Topo.World(); r++ {
+		if line := tr.ASCIITimeline(r, 100); line != "" {
+			fmt.Println(line)
+		}
+	}
+	if jsonPath != "" {
+		writeJSON(tr, jsonPath)
+	}
+}
 
 // ftDemo runs a small 8-rank training job under the recovery controller
 // with a crash injected at step 3, and renders the collected live trace:
@@ -103,10 +151,15 @@ func main() {
 	slow := flag.Int("slow", -1, "inject a slow rank")
 	slowdown := flag.Float64("slowdown", 1.5, "slow-rank compute multiplier")
 	ftMode := flag.Bool("ft", false, "run the live fault-tolerance demo instead of a PP schedule")
+	metricsMode := flag.Bool("metrics", false, "run a live measured step and render the metrics panel")
 	flag.Parse()
 
 	if *ftMode {
 		ftDemo(*jsonPath)
+		return
+	}
+	if *metricsMode {
+		metricsDemo(*jsonPath)
 		return
 	}
 

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"llama4d/internal/testutil"
+)
+
+// TestDebuggingSmoke runs the example's real main: the top-down localiser
+// must find the injected straggler, and the accumulation study must show
+// BF16 strictly worse than FP32.
+func TestDebuggingSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(main)
+	if !strings.Contains(out, "top-down localisation found the injected straggler ✓") {
+		t.Errorf("localiser missed the injected slow rank:\n%s", out)
+	}
+	grab := func(pat string) float64 {
+		m := regexp.MustCompile(pat).FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("no match for %q:\n%s", pat, out)
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", m[1], err)
+		}
+		return v
+	}
+	fp32 := grab(`FP32 accumulation rel\. error: ([\d.e+-]+)`)
+	bf16 := grab(`BF16 accumulation rel\. error: ([\d.e+-]+)`)
+	if !(fp32 > 0 && bf16 > 100*fp32) {
+		t.Errorf("BF16 error %.2e should dwarf FP32 error %.2e", bf16, fp32)
+	}
+	if n := strings.Count(out, "rel. error"); n < 3 {
+		t.Errorf("want ≥3 sensitive-buffer lines, got %d:\n%s", n, out)
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"llama4d/internal/testutil"
+)
+
+// TestFaulttoleranceSmoke runs the example's real main: the injected crash
+// must be detected, exactly one restart must recover from the coordinated
+// checkpoint, and the finished run must match the uninterrupted reference
+// bitwise — every per-step loss included.
+func TestFaulttoleranceSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(main)
+	losses := regexp.MustCompile(`step \d+ loss [\d.]+ (.*)`).FindAllStringSubmatch(out, -1)
+	if len(losses) != 8 {
+		t.Fatalf("got %d loss lines, want 8:\n%s", len(losses), out)
+	}
+	for i, m := range losses {
+		if !strings.Contains(m[1], "= reference") {
+			t.Errorf("step %d loss diverged from the uninterrupted reference", i)
+		}
+	}
+	for _, want := range []string{
+		"detected crash of rank 5 at step 5",
+		"1 restart(s)",
+		"ft.inject.crash",
+		"ft.restore",
+		"recovered run matches the uninterrupted run bitwise ✓",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"llama4d/internal/testutil"
+)
+
+// TestLongcontextSmoke runs the example's real main: the 2×cp sharding must
+// balance causal attention exactly, the document mask must break that
+// balance, and the tp=2 × cp=4 training loop must make progress.
+func TestLongcontextSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(main)
+	if !strings.Contains(out, "rank 0 owns chunks 0 and 7") {
+		t.Errorf("2×cp sharding pairing wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "causal attention pairs per rank (balanced by construction): [520 520 520 520]") {
+		t.Errorf("causal work not balanced at seq=64 cp=4:\n%s", out)
+	}
+	doc := regexp.MustCompile(`document-mask pairs per rank: ((?:\d+ )+)`).FindStringSubmatch(out)
+	if doc == nil {
+		t.Fatalf("no document-mask pairs line:\n%s", out)
+	}
+	fields := strings.Fields(doc[1])
+	if len(fields) != 4 {
+		t.Fatalf("want 4 per-rank counts, got %v", fields)
+	}
+	if fields[0] == fields[1] && fields[1] == fields[2] && fields[2] == fields[3] {
+		t.Errorf("document-mask work should be imbalanced, got %v", fields)
+	}
+	losses := regexp.MustCompile(`step \d+  loss ([\d.]+)`).FindAllStringSubmatch(out, -1)
+	if len(losses) != 6 {
+		t.Fatalf("got %d training steps, want 6:\n%s", len(losses), out)
+	}
+	first, _ := strconv.ParseFloat(losses[0][1], 64)
+	last, _ := strconv.ParseFloat(losses[5][1], 64)
+	if first <= 0 || last <= 0 || last >= first {
+		t.Errorf("loss did not fall: step 0 %.4f → step 5 %.4f", first, last)
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"llama4d/internal/testutil"
+)
+
+// TestMultimodalSmoke runs the example's real main: the image-conditioned
+// task is learnable only through the trainable cross-attention path, so the
+// loss must drop substantially, and the Fig 6 evaluation must rank the
+// replicated-encoder option (option 3) cheapest.
+func TestMultimodalSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(main)
+	losses := regexp.MustCompile(`step\s+(\d+)\s+loss ([\d.]+)`).FindAllStringSubmatch(out, -1)
+	if len(losses) < 2 {
+		t.Fatalf("want ≥2 loss lines, got %d:\n%s", len(losses), out)
+	}
+	first, _ := strconv.ParseFloat(losses[0][2], 64)
+	last, _ := strconv.ParseFloat(losses[len(losses)-1][2], 64)
+	if last >= first-0.3 {
+		t.Errorf("cross-attention path did not learn: step 0 %.4f → final %.4f", first, last)
+	}
+	shares := regexp.MustCompile(`encoder share ([\d.]+)%`).FindAllStringSubmatch(out, -1)
+	if len(shares) != 3 {
+		t.Fatalf("want 3 sharding options, got %d:\n%s", len(shares), out)
+	}
+	opt1, _ := strconv.ParseFloat(shares[0][1], 64)
+	opt2, _ := strconv.ParseFloat(shares[1][1], 64)
+	opt3, _ := strconv.ParseFloat(shares[2][1], 64)
+	if !(opt3 < opt2 && opt3 < opt1) {
+		t.Errorf("replicated encoder should have the smallest share: %.1f%% / %.1f%% / %.1f%%", opt1, opt2, opt3)
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"llama4d/internal/testutil"
+)
+
+var lossLine = regexp.MustCompile(`step\s+(\d+)\s+loss\s+([\d.]+)`)
+
+// TestQuickstartSmoke runs the example's real main and asserts the numbers
+// it prints: ten decreasing-ish training steps and a sequential-reference
+// step-0 loss identical to the cluster's.
+func TestQuickstartSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(main)
+	matches := lossLine.FindAllStringSubmatch(out, -1)
+	if len(matches) != 10 {
+		t.Fatalf("got %d loss lines, want 10:\n%s", len(matches), out)
+	}
+	first, _ := strconv.ParseFloat(matches[0][2], 64)
+	last, _ := strconv.ParseFloat(matches[9][2], 64)
+	if first <= 0 || last <= 0 || last >= first {
+		t.Errorf("loss did not fall over 10 steps: step 0 %.4f → step 9 %.4f", first, last)
+	}
+	ref := regexp.MustCompile(`sequential reference, step 0 loss: ([\d.]+)`).FindStringSubmatch(out)
+	if ref == nil {
+		t.Fatalf("no sequential-reference line:\n%s", out)
+	}
+	if ref[1] != matches[0][2] {
+		t.Errorf("cluster step-0 loss %s != sequential reference %s", matches[0][2], ref[1])
+	}
+}

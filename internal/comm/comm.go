@@ -31,6 +31,16 @@ type Recorder interface {
 	RecordComm(rank int, label string, dur float64)
 }
 
+// Meter observes per-rank communication accounting: rank r issued one
+// collective (or P2P) operation `op` on the group labelled `group`, moving
+// `bytes` bytes. The byte value is the same closed-form volume the world's
+// Stats counters accumulate (ring algorithm volumes, §7.2), so a Meter sees
+// exactly the per-rank decomposition of Stats. Implementations must be safe
+// for concurrent use by all ranks. Set it while no ranks are running.
+type Meter interface {
+	RecordOp(rank int, group, op string, bytes int64)
+}
+
 // FaultInjector intercepts every communication operation of the world —
 // collectives as ranks enter them, P2P sends and receives — so injected
 // faults land inside real communication, exactly where production failures
@@ -55,6 +65,10 @@ type World struct {
 	// Fault, if non-nil, intercepts every communication op (fault
 	// injection). Set it while no ranks are running.
 	Fault FaultInjector
+
+	// Meter, if non-nil, receives per-rank, per-op communication
+	// accounting. Set it while no ranks are running.
+	Meter Meter
 
 	// Timeout, if positive, bounds every blocking communication wait: a
 	// rank stuck longer than this aborts the world with a *DeadlineError
@@ -152,6 +166,15 @@ func (w *World) beforeOp(rank int, op string, t *tensor.Tensor) {
 	}
 }
 
+// account folds one per-rank operation into the fine-grained Stats
+// breakdown and forwards it to the Meter hook, if any.
+func (w *World) account(rank int, group, op string, bytes int64) {
+	w.stats.recordOp(group, op, bytes)
+	if w.Meter != nil {
+		w.Meter.RecordOp(rank, group, op, bytes)
+	}
+}
+
 // await blocks until ready is closed, the world aborts, or the failure
 // detector's deadline expires (aborting the world). It panics with
 // *AbortError in the two failure cases.
@@ -188,6 +211,50 @@ type Stats struct {
 	AllReduceOps       atomic.Int64
 	BroadcastOps       atomic.Int64
 	P2POps             atomic.Int64
+
+	mu    sync.Mutex
+	perOp map[OpKey]OpStats
+}
+
+// OpKey identifies one (parallelism dimension, collective op) pair in the
+// fine-grained communication breakdown — e.g. {"tp", "allreduce"} or
+// {"p2p", "send"}.
+type OpKey struct {
+	Group string // group label: "tp", "cp", "pp", "dp", "world", "p2p", ...
+	Op    string // collective op: "allgather", "allreduce", "send", ...
+}
+
+// OpStats is the accumulated volume of one (group, op) pair.
+type OpStats struct {
+	Bytes int64 // closed-form collective volume (ring algorithms), summed over calls
+	Msgs  int64 // number of per-rank operation issues
+}
+
+// recordOp folds one per-rank operation into the fine-grained breakdown.
+func (s *Stats) recordOp(group, op string, bytes int64) {
+	k := OpKey{Group: group, Op: op}
+	s.mu.Lock()
+	if s.perOp == nil {
+		s.perOp = make(map[OpKey]OpStats)
+	}
+	e := s.perOp[k]
+	e.Bytes += bytes
+	e.Msgs++
+	s.perOp[k] = e
+	s.mu.Unlock()
+}
+
+// PerOp returns a snapshot of the fine-grained (group, op) communication
+// breakdown. Bytes are per-rank issue volumes: a size-n all-reduce counted
+// here n times (once per member rank), each with the full ring volume.
+func (s *Stats) PerOp() map[OpKey]OpStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[OpKey]OpStats, len(s.perOp))
+	for k, v := range s.perOp {
+		out[k] = v
+	}
+	return out
 }
 
 // NewWorld creates a world with the given number of ranks.
@@ -231,6 +298,7 @@ func (w *World) Send(from, to, tag int, t *tensor.Tensor) {
 	w.beforeOp(from, "p2p.send", msg)
 	w.stats.P2POps.Add(1)
 	w.stats.P2PBytes.Add(int64(t.Len()) * 4)
+	w.account(from, "p2p", "send", int64(t.Len())*4)
 	select {
 	case w.mailbox(p2pKey{from, to, tag}) <- msg:
 	case <-w.abort:
@@ -253,6 +321,7 @@ func (w *World) Recv(to, from, tag int) *tensor.Tensor {
 	}
 	select {
 	case t := <-ch:
+		w.account(to, "p2p", "recv", int64(t.Len())*4)
 		return t
 	case <-w.abort:
 		panic(&AbortError{Rank: to, Op: "p2p.recv", Err: w.Err()})

@@ -140,6 +140,12 @@ func (g *Group) enter(globalRank int, op string, contrib *tensor.Tensor, combine
 	return res
 }
 
+// account records one per-rank collective issue (the closed-form byte
+// volume of the op) into the world's fine-grained breakdown and Meter.
+func (g *Group) account(globalRank int, op string, bytes int64) {
+	g.world.account(globalRank, g.Label, op, bytes)
+}
+
 // AllGatherParts exchanges each member's tensor; every member receives deep
 // copies of all contributions in local-rank order, each with the shape of
 // its own contribution. All contributions must share one shape.
@@ -151,6 +157,7 @@ func (g *Group) enter(globalRank int, op string, contrib *tensor.Tensor, combine
 func (g *Group) AllGatherParts(globalRank int, x *tensor.Tensor) []*tensor.Tensor {
 	g.world.stats.AllGatherOps.Add(1)
 	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1))
+	g.account(globalRank, "allgather", int64(x.Len())*4*int64(len(g.ranks)-1))
 	rows := x.Rows()
 	full := g.enter(globalRank, "allgather", x, func(contribs, results []*tensor.Tensor) {
 		shared := tensor.ConcatRows(contribs...)
@@ -172,6 +179,7 @@ func (g *Group) AllGatherParts(globalRank int, x *tensor.Tensor) []*tensor.Tenso
 func (g *Group) AllGatherCols(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.AllGatherOps.Add(1)
 	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1))
+	g.account(globalRank, "allgather", int64(x.Len())*4*int64(len(g.ranks)-1))
 	return g.enter(globalRank, "allgathercols", x, func(contribs, results []*tensor.Tensor) {
 		shared := tensor.ConcatCols(contribs...)
 		for i := range results {
@@ -186,6 +194,7 @@ func (g *Group) AllGatherCols(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 func (g *Group) AllGather(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.AllGatherOps.Add(1)
 	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1))
+	g.account(globalRank, "allgather", int64(x.Len())*4*int64(len(g.ranks)-1))
 	return g.enter(globalRank, "allgather", x, func(contribs, results []*tensor.Tensor) {
 		full := tensor.ConcatRows(contribs...)
 		for i := range results {
@@ -200,6 +209,7 @@ func (g *Group) AllGather(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 func (g *Group) ReduceScatter(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.ReduceScatterOps.Add(1)
 	g.world.stats.ReduceScatterBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1) / int64(len(g.ranks)))
+	g.account(globalRank, "reducescatter", int64(x.Len())*4*int64(len(g.ranks)-1)/int64(len(g.ranks)))
 	n := len(g.ranks)
 	return g.enter(globalRank, "reducescatter", x, func(contribs, results []*tensor.Tensor) {
 		sum := contribs[0].Clone()
@@ -218,6 +228,7 @@ func (g *Group) ReduceScatter(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 func (g *Group) AllReduce(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.AllReduceOps.Add(1)
 	g.world.stats.AllReduceBytes.Add(int64(x.Len()) * 4 * 2 * int64(len(g.ranks)-1) / int64(len(g.ranks)))
+	g.account(globalRank, "allreduce", int64(x.Len())*4*2*int64(len(g.ranks)-1)/int64(len(g.ranks)))
 	return g.enter(globalRank, "allreduce", x, func(contribs, results []*tensor.Tensor) {
 		sum := contribs[0].Clone()
 		for _, c := range contribs[1:] {
@@ -234,6 +245,7 @@ func (g *Group) AllReduce(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 func (g *Group) AllReduceMax(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.AllReduceOps.Add(1)
 	g.world.stats.AllReduceBytes.Add(int64(x.Len()) * 4 * 2 * int64(len(g.ranks)-1) / int64(len(g.ranks)))
+	g.account(globalRank, "allreducemax", int64(x.Len())*4*2*int64(len(g.ranks)-1)/int64(len(g.ranks)))
 	return g.enter(globalRank, "allreducemax", x, func(contribs, results []*tensor.Tensor) {
 		m := contribs[0].Clone()
 		for _, c := range contribs[1:] {
@@ -253,9 +265,12 @@ func (g *Group) AllReduceMax(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 // Non-root callers may pass nil.
 func (g *Group) Broadcast(globalRank, rootLocal int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.BroadcastOps.Add(1)
+	var bytes int64
 	if x != nil {
-		g.world.stats.BroadcastBytes.Add(int64(x.Len()) * 4)
+		bytes = int64(x.Len()) * 4
+		g.world.stats.BroadcastBytes.Add(bytes)
 	}
+	g.account(globalRank, "broadcast", bytes)
 	return g.enter(globalRank, "broadcast", x, func(contribs, results []*tensor.Tensor) {
 		src := contribs[rootLocal]
 		if src == nil {
@@ -272,6 +287,7 @@ func (g *Group) Broadcast(globalRank, rootLocal int, x *tensor.Tensor) *tensor.T
 func (g *Group) Gather(globalRank, rootLocal int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.AllGatherOps.Add(1)
 	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4)
+	g.account(globalRank, "gather", int64(x.Len())*4)
 	res := g.enter(globalRank, "gather", x, func(contribs, results []*tensor.Tensor) {
 		results[rootLocal] = tensor.ConcatRows(contribs...)
 	})
@@ -285,9 +301,12 @@ func (g *Group) Gather(globalRank, rootLocal int, x *tensor.Tensor) *tensor.Tens
 // to local rank i. Non-root callers pass nil.
 func (g *Group) Scatter(globalRank, rootLocal int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.BroadcastOps.Add(1)
+	var bytes int64
 	if x != nil {
-		g.world.stats.BroadcastBytes.Add(int64(x.Len()) * 4)
+		bytes = int64(x.Len()) * 4
+		g.world.stats.BroadcastBytes.Add(bytes)
 	}
+	g.account(globalRank, "scatter", bytes)
 	n := len(g.ranks)
 	return g.enter(globalRank, "scatter", x, func(contribs, results []*tensor.Tensor) {
 		src := contribs[rootLocal]
@@ -308,6 +327,7 @@ func (g *Group) Scatter(globalRank, rootLocal int, x *tensor.Tensor) *tensor.Ten
 func (g *Group) AllToAll(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.AllGatherOps.Add(1)
 	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1) / int64(len(g.ranks)))
+	g.account(globalRank, "alltoall", int64(x.Len())*4*int64(len(g.ranks)-1)/int64(len(g.ranks)))
 	n := len(g.ranks)
 	return g.enter(globalRank, "alltoall", x, func(contribs, results []*tensor.Tensor) {
 		split := make([][]*tensor.Tensor, n)
@@ -326,6 +346,7 @@ func (g *Group) AllToAll(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 
 // Barrier blocks until every member has reached it.
 func (g *Group) Barrier(globalRank int) {
+	g.account(globalRank, "barrier", 0)
 	g.enter(globalRank, "barrier", tensor.New(0), func(contribs, results []*tensor.Tensor) {
 		for i := range results {
 			results[i] = contribs[0]

@@ -1,0 +1,203 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"llama4d/internal/tensor"
+)
+
+// expectVolumes is the closed-form per-rank issue volume of every collective,
+// mirroring the ring-algorithm cost model of §5.2: all-gather moves (n−1)/n
+// of the full tensor per rank (issued here as len·4·(n−1) since len is the
+// local contribution), reduce-scatter (n−1)/n of the input, all-reduce twice
+// that, and root-rooted ops the full tensor at the root only.
+func closedForm(op string, n, elems int, root bool) int64 {
+	b := int64(elems) * 4
+	switch op {
+	case "allgather":
+		return b * int64(n-1)
+	case "reducescatter", "alltoall":
+		return b * int64(n-1) / int64(n)
+	case "allreduce", "allreducemax":
+		return b * 2 * int64(n-1) / int64(n)
+	case "gather":
+		return b
+	case "broadcast", "scatter":
+		if root {
+			return b
+		}
+		return 0
+	case "barrier":
+		return 0
+	}
+	panic("unknown op " + op)
+}
+
+// TestStatsClosedFormVolumes drives every collective across a grid of group
+// sizes and tensor shapes and asserts both the fine-grained per-(group, op)
+// byte/message counters and their consistency with the closed-form volumes.
+// Group size 3 exercises the truncating integer division (a 1-float
+// all-reduce over 3 ranks is 16/3 → 5 bytes, not 5.33).
+func TestStatsClosedFormVolumes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		for _, shape := range [][2]int{{1, 1}, {n, 3}, {2 * n, 5}} {
+			rows, cols := shape[0], shape[1]
+			t.Run(fmt.Sprintf("n%d_%dx%d", n, rows, cols), func(t *testing.T) {
+				w := NewWorld(n)
+				g := w.NewGroup(rankRange(n))
+				g.Label = "grid"
+				elems := rows * cols
+
+				// Each entry: op name, per-rank tensor elems, whether only
+				// the root contributes bytes.
+				type call struct {
+					op     string
+					rooted bool
+					run    func(rank int)
+				}
+				calls := []call{
+					{"allgather", false, func(r int) { g.AllGather(r, filled(rows, cols, r)) }},
+					{"allgather", false, func(r int) { g.AllGatherParts(r, filled(rows, cols, r)) }},
+					{"allgather", false, func(r int) { g.AllGatherCols(r, filled(rows, cols, r)) }},
+					{"reducescatter", false, func(r int) { g.ReduceScatter(r, filled(n*rows, cols, r)) }},
+					{"allreduce", false, func(r int) { g.AllReduce(r, filled(rows, cols, r)) }},
+					{"allreducemax", false, func(r int) { g.AllReduceMax(r, filled(rows, cols, r)) }},
+					{"broadcast", true, func(r int) {
+						var x *tensor.Tensor
+						if g.LocalRank(r) == 0 {
+							x = filled(rows, cols, r)
+						}
+						g.Broadcast(r, 0, x)
+					}},
+					{"gather", false, func(r int) { g.Gather(r, 0, filled(rows, cols, r)) }},
+					{"scatter", true, func(r int) {
+						var x *tensor.Tensor
+						if g.LocalRank(r) == 0 {
+							x = filled(n*rows, cols, r)
+						}
+						g.Scatter(r, 0, x)
+					}},
+					{"alltoall", false, func(r int) { g.AllToAll(r, filled(n*rows, cols, r)) }},
+					{"barrier", false, func(r int) { g.Barrier(r) }},
+				}
+
+				want := map[OpKey]OpStats{}
+				for _, c := range calls {
+					k := OpKey{Group: "grid", Op: c.op}
+					e := want[k]
+					celems := elems
+					switch c.op {
+					case "reducescatter", "alltoall", "scatter":
+						celems = n * elems
+					}
+					for lr := 0; lr < n; lr++ {
+						e.Msgs++
+						e.Bytes += closedForm(c.op, n, celems, !c.rooted || lr == 0)
+					}
+					want[k] = e
+					if err := w.RunSPMD(func(rank int) { c.run(rank) }); err != nil {
+						t.Fatalf("%s: %v", c.op, err)
+					}
+				}
+
+				got := w.Stats().PerOp()
+				if len(got) != len(want) {
+					t.Errorf("got %d (group, op) entries, want %d", len(got), len(want))
+				}
+				for k, wv := range want {
+					if gv := got[k]; gv != wv {
+						t.Errorf("%v: got %+v, want %+v", k, gv, wv)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStatsP2PVolumes covers the point-to-point side: send and recv each
+// count the full tensor once on their own rank.
+func TestStatsP2PVolumes(t *testing.T) {
+	w := NewWorld(2)
+	const elems = 6
+	err := w.RunSPMD(func(rank int) {
+		if rank == 0 {
+			w.Send(0, 1, 1, filled(2, 3, 0))
+		} else {
+			w.Recv(1, 0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.Stats().PerOp()
+	wantSend := OpStats{Bytes: elems * 4, Msgs: 1}
+	wantRecv := OpStats{Bytes: elems * 4, Msgs: 1}
+	if v := got[OpKey{Group: "p2p", Op: "send"}]; v != wantSend {
+		t.Errorf("send: got %+v, want %+v", v, wantSend)
+	}
+	if v := got[OpKey{Group: "p2p", Op: "recv"}]; v != wantRecv {
+		t.Errorf("recv: got %+v, want %+v", v, wantRecv)
+	}
+	if b := w.Stats().P2PBytes.Load(); b != elems*4 {
+		t.Errorf("coarse P2PBytes = %d, want %d", b, elems*4)
+	}
+}
+
+// TestMeterReceivesPerRankVolumes checks the Meter hook observes the same
+// per-rank issues the stats record, attributed to the issuing rank.
+func TestMeterReceivesPerRankVolumes(t *testing.T) {
+	w := NewWorld(3)
+	rec := &recordingMeter{byRank: make(map[int]map[OpKey]OpStats)}
+	w.Meter = rec
+	g := w.NewGroup(rankRange(3))
+	g.Label = "m"
+	if err := w.RunSPMD(func(rank int) { g.AllReduce(rank, filled(1, 1, rank)) }); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 3; rank++ {
+		got := rec.byRank[rank][OpKey{Group: "m", Op: "allreduce"}]
+		want := OpStats{Bytes: closedForm("allreduce", 3, 1, true), Msgs: 1}
+		if got != want {
+			t.Errorf("rank %d: got %+v, want %+v", rank, got, want)
+		}
+	}
+	if rec.byRank[0][OpKey{Group: "m", Op: "allreduce"}].Bytes != 5 {
+		t.Errorf("1-float all-reduce over 3 ranks should truncate 16/3 to 5 bytes")
+	}
+}
+
+type recordingMeter struct {
+	mu     sync.Mutex
+	byRank map[int]map[OpKey]OpStats
+}
+
+func (m *recordingMeter) RecordOp(rank int, group, op string, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.byRank[rank] == nil {
+		m.byRank[rank] = make(map[OpKey]OpStats)
+	}
+	k := OpKey{Group: group, Op: op}
+	e := m.byRank[rank][k]
+	e.Bytes += bytes
+	e.Msgs++
+	m.byRank[rank][k] = e
+}
+
+func rankRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func filled(rows, cols, seed int) *tensor.Tensor {
+	x := tensor.New(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = float32(seed + i)
+	}
+	return x
+}

@@ -10,6 +10,7 @@ import (
 	"llama4d/internal/cp"
 	"llama4d/internal/data"
 	"llama4d/internal/fsdp"
+	"llama4d/internal/metrics"
 	"llama4d/internal/model"
 	"llama4d/internal/optim"
 	"llama4d/internal/pp"
@@ -28,6 +29,10 @@ type Config struct {
 
 	ZeRO     fsdp.Mode
 	Balanced bool // remove one layer from first/last stage (§3.1.2)
+
+	// Recompute selects the blocks' activation-recomputation mode (§6.3):
+	// none, selective (replay attention), or full (keep only block inputs).
+	Recompute model.RecomputeMode
 
 	Seq int
 	GBS int // global batch size in samples
@@ -120,6 +125,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 
 		replica := model.New(cfg.Model, rand.New(rand.NewSource(cfg.Seed)))
+		for _, b := range replica.Blocks {
+			b.Recompute = cfg.Recompute
+		}
 		var tpc *tp.Ctx
 		if cfg.Topo.TP > 1 {
 			tpc = &tp.Ctx{Group: r.Groups.TP, Rank: id}
@@ -158,6 +166,20 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cl.Ranks = append(cl.Ranks, r)
 	}
 	return cl, nil
+}
+
+// Attach wires a metrics registry into every measurement hook of the
+// cluster: the world's comm Recorder (collective wall times) and Meter
+// (per-rank byte/message counts), and every rank's pipeline-executor
+// Observer (op log, timing, live activation footprint). Call it before
+// stepping; bracket each step with reg.BeginStep/reg.EndStep to obtain a
+// StepReport.
+func (cl *Cluster) Attach(reg *metrics.Registry) {
+	cl.World.Recorder = reg
+	cl.World.Meter = reg
+	for _, r := range cl.Ranks {
+		r.Exec.Obs = reg
+	}
 }
 
 func allRanks(n int) []int {

@@ -1,0 +1,325 @@
+// Package metrics is the measured half of the repo's measured-vs-modeled
+// loop: a per-rank, per-step registry threaded through the functional stack.
+// It hooks the communication substrate (comm.Meter and comm.Recorder), the
+// pipeline executor (pp.Observer), the kernel dispatch layer's FLOP counter
+// (tensor.FLOPCount), and the tensor arena (tensor.PoolStats), and folds
+// per-rank compute/comm/wait wall time in from the trace events it collects.
+// The cross-validation harness (internal/metrics/xval) asserts these
+// measurements against the analytic predictions of internal/sim — turning
+// "measured matches modeled" into a tested invariant.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"llama4d/internal/comm"
+	"llama4d/internal/pp"
+	"llama4d/internal/tensor"
+	"llama4d/internal/trace"
+)
+
+// OpVolume is the measured traffic of one (group, op) pair on one rank.
+type OpVolume struct {
+	Bytes int64 `json:"bytes"`
+	Msgs  int64 `json:"msgs"`
+}
+
+// RankReport is one rank's measured step profile.
+type RankReport struct {
+	Rank int `json:"rank"`
+
+	// Comm maps "group/op" (e.g. "tp/allreduce", "p2p/send") to the
+	// rank's issued traffic. Byte values are closed-form collective
+	// volumes — the same formulas comm.Stats uses — so they compare
+	// exactly against the sim/cost predictions.
+	Comm map[string]OpVolume `json:"comm"`
+
+	// Wall-time decomposition, folded from the step's trace events.
+	// ComputeSeconds is time inside scheduled pipeline ops excluding P2P
+	// waits (it includes in-op collectives, which CommSeconds also counts
+	// — the two views overlap by construction). P2PWaitSeconds is time
+	// blocked on pipeline sends' arrival. IdleSeconds is wall time outside
+	// scheduled ops: optimizer step, FSDP collectives, scheduling gaps.
+	CommSeconds    float64 `json:"comm_seconds"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+	P2PWaitSeconds float64 `json:"p2p_wait_seconds"`
+	IdleSeconds    float64 `json:"idle_seconds"`
+
+	// PeakActivationBytes is the high-water mark of deduplicated live
+	// activation tensor bytes across the rank's in-flight micro-batch
+	// contexts (sampled after every executed op). PeakLiveContexts is the
+	// measured counterpart of Schedule.PeakInFlight.
+	PeakActivationBytes int64 `json:"peak_activation_bytes"`
+	PeakLiveContexts    int   `json:"peak_live_contexts"`
+
+	// Ops is the executed schedule op log in issue order — the measured
+	// schedule, replayable through the analytic Timeline for bubble-ratio
+	// conformance.
+	Ops []pp.Op `json:"ops"`
+}
+
+// StepReport is the measured profile of one training step.
+type StepReport struct {
+	Step        int64   `json:"step"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	// FLOPs is the world-total nominal matmul FLOP count of the step
+	// (tensor.FLOPCount delta). Ranks are goroutines sharing one counter,
+	// so attribution is per step, not per rank.
+	FLOPs int64 `json:"flops"`
+
+	// Pool is the tensor arena traffic of the step (DefaultPoolStats delta).
+	Pool tensor.PoolStats `json:"pool"`
+
+	Ranks []RankReport `json:"ranks"`
+}
+
+type rankState struct {
+	mu       sync.Mutex
+	comm     map[comm.OpKey]OpVolume
+	p2pWait  float64
+	peakByte int64
+	peakCtx  int
+	ops      []pp.Op
+}
+
+// Registry collects per-rank, per-step measurements from a live cluster. It
+// implements comm.Recorder, comm.Meter, and pp.Observer; core.Cluster.Attach
+// wires all three. Per-rank state is lock-sharded, so concurrent rank
+// goroutines never contend on one mutex; BeginStep/EndStep must be called
+// while no ranks are running (between steps).
+type Registry struct {
+	col   trace.Collector
+	start time.Time
+	ranks []*rankState
+
+	stepStart  time.Time
+	stepOffset float64 // seconds since start at BeginStep
+	step       int64
+	flops0     int64
+	pool0      tensor.PoolStats
+}
+
+// NewRegistry creates a registry for a world of nRanks ranks.
+func NewRegistry(nRanks int) *Registry {
+	r := &Registry{start: time.Now(), ranks: make([]*rankState, nRanks)}
+	for i := range r.ranks {
+		r.ranks[i] = &rankState{comm: make(map[comm.OpKey]OpVolume)}
+	}
+	return r
+}
+
+func (r *Registry) rank(rank int) *rankState {
+	if rank < 0 || rank >= len(r.ranks) {
+		panic(fmt.Sprintf("metrics: rank %d outside registry of %d ranks", rank, len(r.ranks)))
+	}
+	return r.ranks[rank]
+}
+
+// now returns seconds since the registry was created — the trace timebase.
+func (r *Registry) now() float64 { return time.Since(r.start).Seconds() }
+
+// RecordComm implements comm.Recorder: one collective's wall time lands on
+// the shared trace as a comm event.
+func (r *Registry) RecordComm(rank int, label string, dur float64) {
+	r.col.RecordEvent(trace.Event{
+		Rank: rank, Kind: trace.Comm, Group: label, Name: label + ".collective",
+		Start: r.now() - dur, Dur: dur,
+	})
+}
+
+// RecordOp implements comm.Meter: per-rank (group, op) byte/message counts.
+func (r *Registry) RecordOp(rank int, group, op string, bytes int64) {
+	rs := r.rank(rank)
+	k := comm.OpKey{Group: group, Op: op}
+	rs.mu.Lock()
+	v := rs.comm[k]
+	v.Bytes += bytes
+	v.Msgs++
+	rs.comm[k] = v
+	rs.mu.Unlock()
+}
+
+// OpExecuted implements pp.Observer: the executed op joins the rank's op
+// log, its timing lands on the trace (compute, with the P2P wait split out
+// as an idle event), and the live activation footprint updates the rank's
+// high-water marks.
+func (r *Registry) OpExecuted(rank int, op pp.Op, dur, p2pWait float64, liveBytes int64, liveContexts int) {
+	end := r.now()
+	name := fmt.Sprintf("%s s%d mb%d", op.Kind, op.Stage, op.MB)
+	if p2pWait > 0 {
+		r.col.RecordEvent(trace.Event{
+			Rank: rank, Kind: trace.Idle, Group: "pp", Name: name + " wait",
+			Start: end - dur, Dur: p2pWait,
+		})
+	}
+	r.col.RecordEvent(trace.Event{
+		Rank: rank, Kind: trace.Compute, Name: name,
+		Start: end - dur + p2pWait, Dur: dur - p2pWait,
+	})
+
+	rs := r.rank(rank)
+	rs.mu.Lock()
+	rs.p2pWait += p2pWait
+	if liveBytes > rs.peakByte {
+		rs.peakByte = liveBytes
+	}
+	if liveContexts > rs.peakCtx {
+		rs.peakCtx = liveContexts
+	}
+	rs.ops = append(rs.ops, op)
+	rs.mu.Unlock()
+}
+
+// Trace returns a snapshot of the collected event trace (all steps).
+func (r *Registry) Trace() *trace.Trace { return r.col.Snapshot() }
+
+// BeginStep resets the per-step state and snapshots the world-global
+// counters (FLOPs, pool) so EndStep can report deltas.
+func (r *Registry) BeginStep(step int64) {
+	r.step = step
+	r.stepStart = time.Now()
+	r.stepOffset = r.now()
+	r.flops0 = tensor.FLOPCount()
+	r.pool0 = tensor.DefaultPoolStats()
+	for _, rs := range r.ranks {
+		rs.mu.Lock()
+		rs.comm = make(map[comm.OpKey]OpVolume)
+		rs.p2pWait = 0
+		rs.peakByte = 0
+		rs.peakCtx = 0
+		rs.ops = nil
+		rs.mu.Unlock()
+	}
+}
+
+// EndStep folds the step's measurements into a StepReport.
+func (r *Registry) EndStep() *StepReport {
+	wall := time.Since(r.stepStart).Seconds()
+	pool := tensor.DefaultPoolStats()
+	rep := &StepReport{
+		Step:        r.step,
+		WallSeconds: wall,
+		FLOPs:       tensor.FLOPCount() - r.flops0,
+		Pool: tensor.PoolStats{
+			Gets: pool.Gets - r.pool0.Gets, Hits: pool.Hits - r.pool0.Hits,
+			Puts: pool.Puts - r.pool0.Puts, Rejects: pool.Rejects - r.pool0.Rejects,
+		},
+	}
+	tr := r.col.Snapshot()
+	for rank, rs := range r.ranks {
+		rs.mu.Lock()
+		rr := RankReport{
+			Rank:                rank,
+			Comm:                make(map[string]OpVolume, len(rs.comm)),
+			P2PWaitSeconds:      rs.p2pWait,
+			PeakActivationBytes: rs.peakByte,
+			PeakLiveContexts:    rs.peakCtx,
+			Ops:                 append([]pp.Op(nil), rs.ops...),
+		}
+		for k, v := range rs.comm {
+			rr.Comm[k.Group+"/"+k.Op] = v
+		}
+		rs.mu.Unlock()
+		// Fold wall time in from this step's trace events.
+		for _, e := range tr.Events {
+			if e.Rank != rank || e.End() <= r.stepOffset {
+				continue
+			}
+			switch e.Kind {
+			case trace.Comm:
+				rr.CommSeconds += e.Dur
+			case trace.Compute:
+				rr.ComputeSeconds += e.Dur
+			}
+		}
+		idle := wall - rr.ComputeSeconds - rr.P2PWaitSeconds
+		if idle < 0 {
+			idle = 0
+		}
+		rr.IdleSeconds = idle
+		rep.Ranks = append(rep.Ranks, rr)
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (s *StepReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// TotalCommBytes sums the report's measured communication bytes over all
+// ranks, optionally restricted to one group label ("" sums everything).
+func (s *StepReport) TotalCommBytes(group string) int64 {
+	var total int64
+	for _, rr := range s.Ranks {
+		for k, v := range rr.Comm {
+			if group != "" && !strings.HasPrefix(k, group+"/") {
+				continue
+			}
+			total += v.Bytes
+		}
+	}
+	return total
+}
+
+// Table renders the report as a fixed-width table: one row per rank plus a
+// world-summary header.
+func (s *StepReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "step %d: wall %.3fs, %s matmul FLOPs, pool gets=%d hits=%d puts=%d rejects=%d\n",
+		s.Step, s.WallSeconds, humanCount(s.FLOPs), s.Pool.Gets, s.Pool.Hits, s.Pool.Puts, s.Pool.Rejects)
+	fmt.Fprintf(&b, "%4s %12s %10s %10s %10s %10s %12s %6s\n",
+		"rank", "comm bytes", "comm s", "compute s", "p2p-wait s", "idle s", "peak act", "ctxs")
+	for _, rr := range s.Ranks {
+		var bytes int64
+		for _, v := range rr.Comm {
+			bytes += v.Bytes
+		}
+		fmt.Fprintf(&b, "%4d %12d %10.4f %10.4f %10.4f %10.4f %12d %6d\n",
+			rr.Rank, bytes, rr.CommSeconds, rr.ComputeSeconds, rr.P2PWaitSeconds,
+			rr.IdleSeconds, rr.PeakActivationBytes, rr.PeakLiveContexts)
+	}
+	// Per-(group, op) world totals, sorted for stable output.
+	totals := map[string]OpVolume{}
+	for _, rr := range s.Ranks {
+		for k, v := range rr.Comm {
+			t := totals[k]
+			t.Bytes += v.Bytes
+			t.Msgs += v.Msgs
+			totals[k] = t
+		}
+	}
+	keys := make([]string, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteString("comm by (group, op):\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-20s %12d bytes %8d msgs\n", k, totals[k].Bytes, totals[k].Msgs)
+	}
+	return b.String()
+}
+
+func humanCount(n int64) string {
+	switch {
+	case n >= 1e12:
+		return fmt.Sprintf("%.2fT", float64(n)/1e12)
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.2fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,233 @@
+// Package xval cross-validates the measured metrics registry
+// (internal/metrics) against the repo's analytic models: every collective a
+// training step issues has a closed-form byte/message count derivable from
+// the configuration alone, every matmul has a nominal FLOP count, and the
+// peak live-activation bytes follow memsim's functional model. Predict
+// computes those expectations exactly — including the integer-truncation
+// behaviour of comm.Stats and the ZeRO-mode collective cadence — so the
+// sweep test can assert measured == modeled with zero tolerance on
+// communication and FLOPs.
+package xval
+
+import (
+	"fmt"
+
+	"llama4d/internal/core"
+	"llama4d/internal/fsdp"
+	"llama4d/internal/metrics"
+	"llama4d/internal/model"
+	"llama4d/internal/pp"
+	"llama4d/internal/sim/memsim"
+)
+
+// Expected holds the analytic per-step predictions for one cluster.
+type Expected struct {
+	// Comm[rank]["group/op"] is the exact predicted traffic each rank
+	// issues during one training step.
+	Comm []map[string]metrics.OpVolume
+	// FLOPs is the predicted world-total nominal matmul FLOP count.
+	FLOPs int64
+}
+
+// Collective byte formulas, replicating comm's truncating int64 arithmetic
+// (ring all-reduce 2(n−1)/n, all-gather (n−1), reduce-scatter (n−1)/n — the
+// §5.2 cost-model volumes).
+func allReduceBytes(n, size int64) int64     { return n * 4 * 2 * (size - 1) / size }
+func allGatherBytes(n, size int64) int64     { return n * 4 * (size - 1) }
+func reduceScatterBytes(n, size int64) int64 { return n * 4 * (size - 1) / size }
+
+// Predict computes the exact expected communication volumes and FLOPs of one
+// training step of the cluster. steadyState distinguishes steps after the
+// first: ZeRO-3 releases parameters at the end of every step, so steps ≥ 1
+// pay a parameter all-gather that step 0 (freshly constructed, replicas
+// already materialised) does not.
+func Predict(cl *core.Cluster, steadyState bool) *Expected {
+	cfg := cl.Cfg
+	topo := cfg.Topo
+	sched := cl.Sched
+	counts := pp.StageLayerCounts(cfg.Model.NLayers, sched.Stages(), cfg.Balanced)
+	lastG := sched.Stages() - 1
+
+	mbs := int64(cfg.MBS())
+	R := int64(cfg.Seq / topo.CP) // local rows per sample under CP
+	S := int64(cfg.Seq)           // K/V rows after the CP all-gather
+	dim := int64(cfg.Model.Dim)
+	tp := int64(topo.TP)
+	cpN := int64(topo.CP)
+	nHl := int64(cfg.Model.NHeads / topo.TP)
+	nKVl := int64(cfg.Model.NKVHeads / topo.TP)
+	hd := int64(cfg.Model.HeadDim())
+	Hl := int64(cfg.Model.Hidden / topo.TP)
+	vl := int64(cfg.Model.Vocab / topo.TP)
+	world := int64(topo.World())
+	fs := int64(topo.DP * topo.CP) // FSDP group spans DP×CP (§4)
+
+	// Per-sample matmul FLOPs of one transformer block on one rank, local
+	// shard dimensions. The attention-path share (Wq/Wk/Wv, the per-head
+	// attention kernel, Wo) is what selective recomputation replays.
+	attnPath := 2*R*dim*(nHl*hd) + 2*2*R*dim*(nKVl*hd) + 4*nHl*R*S*hd + 2*R*(nHl*hd)*dim
+	blkFwd := attnPath + 6*R*dim*Hl
+	headFwd := 2 * R * dim * vl
+	var replay int64
+	switch cfg.Recompute {
+	case model.RecomputeFull:
+		replay = blkFwd
+	case model.RecomputeSelective:
+		replay = attnPath
+	}
+
+	ex := &Expected{Comm: make([]map[string]metrics.OpVolume, len(cl.Ranks))}
+	for _, r := range cl.Ranks {
+		m := make(map[string]metrics.OpVolume)
+		add := func(group, op string, bytesPerMsg, msgs int64) {
+			v := m[group+"/"+op]
+			v.Bytes += bytesPerMsg * msgs
+			v.Msgs += msgs
+			m[group+"/"+op] = v
+		}
+		shardLen := int64(r.Shard.ShardLen())
+		flatLen := shardLen * fs
+		p2p := 4 * mbs * R * dim // one packed micro-batch activation message
+
+		// The cluster's group cache deduplicates groups by rank set, so a
+		// singleton dimension's group may alias an earlier-created one and
+		// carry its label (e.g. with DP=CP=1 the FSDP group IS the TP
+		// group). Predict against the labels the ranks actually hold.
+		tpG := r.Groups.TP.Label
+		cpG := r.Groups.CP.Label
+		dpG := r.Groups.FSDP.Label
+		worldG := r.Groups.World.Label
+
+		lr := r.Coord.PP
+		for _, op := range sched.Ranks[lr] {
+			g := sched.GlobalStage(lr, op.Stage)
+			L := int64(counts[g])
+			switch op.Kind {
+			case pp.Fwd:
+				if tp > 1 {
+					// Wo and W2 row-parallel forward all-reduces (§5.2's
+					// "four communications per layer", forward half).
+					add(tpG, "allreduce", allReduceBytes(R*dim, tp), 2*L*mbs)
+					if g == 0 {
+						add(tpG, "allreduce", allReduceBytes(R*dim, tp), mbs) // vocab-parallel embed
+					}
+					if g == lastG {
+						// Distributed softmax: max, exp-sum, target-prob.
+						add(tpG, "allreducemax", allReduceBytes(R, tp), mbs)
+						add(tpG, "allreduce", allReduceBytes(R, tp), 2*mbs)
+					}
+				}
+				if cpN > 1 {
+					add(cpG, "allgather", allGatherBytes(R*nKVl*hd, cpN), 2*L*mbs) // gather K and V
+				}
+				if g > 0 {
+					add("p2p", "recv", p2p, 1)
+				}
+				if g < lastG {
+					add("p2p", "send", p2p, 1)
+				}
+				ex.FLOPs += mbs * L * blkFwd
+				if g == lastG {
+					ex.FLOPs += mbs * headFwd
+				}
+
+			case pp.Bwd:
+				if tp > 1 {
+					// Wq/Wk/Wv and W1/W3 column-parallel dx all-reduces.
+					add(tpG, "allreduce", allReduceBytes(R*dim, tp), 5*L*mbs)
+					if g == lastG {
+						add(tpG, "allreduce", allReduceBytes(R*dim, tp), mbs) // head dn
+					}
+				}
+				if cpN > 1 {
+					add(cpG, "allreduce", allReduceBytes(S*nKVl*hd, cpN), 2*L*mbs) // reduce dK, dV
+				}
+				// Recompute replay re-issues the forward's collectives.
+				switch cfg.Recompute {
+				case model.RecomputeFull:
+					if tp > 1 {
+						add(tpG, "allreduce", allReduceBytes(R*dim, tp), 2*L*mbs)
+					}
+					if cpN > 1 {
+						add(cpG, "allgather", allGatherBytes(R*nKVl*hd, cpN), 2*L*mbs)
+					}
+				case model.RecomputeSelective:
+					if tp > 1 {
+						add(tpG, "allreduce", allReduceBytes(R*dim, tp), L*mbs)
+					}
+					if cpN > 1 {
+						add(cpG, "allgather", allGatherBytes(R*nKVl*hd, cpN), 2*L*mbs)
+					}
+				}
+				if g < lastG {
+					add("p2p", "recv", p2p, 1)
+				}
+				if g > 0 {
+					add("p2p", "send", p2p, 1)
+				}
+				if cfg.ZeRO == fsdp.ZeRO2 {
+					// Per-backward gradient reduce-scatter (Fig 4c).
+					add(dpG, "reducescatter", reduceScatterBytes(flatLen, fs), 1)
+				}
+				ex.FLOPs += mbs * L * (2*blkFwd + replay)
+				if g == lastG {
+					ex.FLOPs += mbs * 2 * headFwd
+				}
+			}
+		}
+
+		// Step end: unconditional gradient reduce-scatter + parameter
+		// all-gather (fsdp.Shard.Step), plus ZeRO-3's re-gather of released
+		// parameters at the start of every steady-state step.
+		add(dpG, "reducescatter", reduceScatterBytes(flatLen, fs), 1)
+		add(dpG, "allgather", allGatherBytes(shardLen, fs), 1)
+		if cfg.ZeRO == fsdp.ZeRO3 && steadyState {
+			add(dpG, "allgather", allGatherBytes(shardLen, fs), 1)
+		}
+		// Loss aggregation: one world all-reduce of a single float per rank.
+		add(worldG, "allreduce", allReduceBytes(1, world), 1)
+
+		ex.Comm[r.ID] = m
+	}
+	return ex
+}
+
+// MemConfig builds the memory-simulator configuration matching a cluster,
+// for FunctionalActivation cross-validation.
+func MemConfig(cl *core.Cluster) memsim.Config {
+	cfg := cl.Cfg
+	return memsim.Config{
+		Model: cfg.Model,
+		TP:    cfg.Topo.TP, CP: cfg.Topo.CP, DP: cfg.Topo.DP,
+		Seq: cfg.Seq, MBS: cfg.MBS(),
+		ZeRO:      cfg.ZeRO,
+		Recompute: cfg.Recompute == model.RecomputeFull,
+		Sched:     cl.Sched,
+		LayerCounts: pp.StageLayerCounts(
+			cfg.Model.NLayers, cl.Sched.Stages(), cfg.Balanced),
+	}
+}
+
+// MeasuredSchedule reassembles a pipeline schedule from the per-rank
+// executed-op logs of a StepReport: rank (tp=0, cp=0, dp=0, pp=r)'s op list
+// becomes pipeline rank r's. The result validates and simulates like any
+// generated schedule — the bubble-ratio conformance check replays it through
+// the analytic Timeline.
+func MeasuredSchedule(cl *core.Cluster, rep *metrics.StepReport) (*pp.Schedule, error) {
+	s := &pp.Schedule{
+		Name: "measured", PP: cl.Sched.PP, V: cl.Sched.V,
+		NMB: cl.Sched.NMB, NC: cl.Sched.NC,
+		Ranks: make([][]pp.Op, cl.Sched.PP),
+	}
+	for _, r := range cl.Ranks {
+		c := r.Coord
+		if c.TP != 0 || c.CP != 0 || c.DP != 0 {
+			continue
+		}
+		if r.ID >= len(rep.Ranks) {
+			return nil, fmt.Errorf("xval: report has %d ranks, need rank %d", len(rep.Ranks), r.ID)
+		}
+		s.Ranks[c.PP] = append([]pp.Op(nil), rep.Ranks[r.ID].Ops...)
+	}
+	return s, s.Validate()
+}

@@ -1,0 +1,238 @@
+package xval
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"llama4d/internal/core"
+	"llama4d/internal/data"
+	"llama4d/internal/fsdp"
+	"llama4d/internal/metrics"
+	"llama4d/internal/model"
+	"llama4d/internal/pp"
+)
+
+// sweepCase is one point of the measured-vs-modeled conformance grid.
+type sweepCase struct {
+	name       string
+	topo       core.Topology
+	v, nmb, nc int
+	zero       fsdp.Mode
+	rec        model.RecomputeMode
+	balanced   bool
+	gbs        int
+}
+
+func sweepModel() model.Config {
+	return model.Config{
+		Vocab: 64, Dim: 32, Hidden: 64, NHeads: 4, NKVHeads: 2, NLayers: 4,
+	}
+}
+
+func sweepCases() []sweepCase {
+	t := func(tp, cp, pp, dp int) core.Topology { return core.Topology{TP: tp, CP: cp, PP: pp, DP: dp} }
+	return []sweepCase{
+		{name: "base", topo: t(1, 1, 1, 1), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO1, gbs: 4},
+		{name: "tp2", topo: t(2, 1, 1, 1), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO1, gbs: 4},
+		{name: "cp2", topo: t(1, 2, 1, 1), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO1, gbs: 4},
+		{name: "pp2", topo: t(1, 1, 2, 1), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO1, gbs: 4},
+		{name: "dp2_zero1", topo: t(1, 1, 1, 2), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO1, gbs: 4},
+		{name: "dp2_zero2", topo: t(1, 1, 1, 2), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO2, gbs: 4},
+		{name: "dp2_zero3", topo: t(1, 1, 1, 2), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO3, gbs: 4},
+		{name: "pp2_v2", topo: t(1, 1, 2, 1), v: 2, nmb: 2, nc: 2, zero: fsdp.ZeRO1, gbs: 4},
+		{name: "pp2_selective", topo: t(1, 1, 2, 1), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO1, rec: model.RecomputeSelective, gbs: 4},
+		{name: "pp2_full", topo: t(1, 1, 2, 1), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO1, rec: model.RecomputeFull, gbs: 4},
+		{name: "tp2_cp2", topo: t(2, 2, 1, 1), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO1, gbs: 4},
+		{name: "tp2_pp2_zero2_sel", topo: t(2, 1, 2, 1), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO2, rec: model.RecomputeSelective, gbs: 4},
+		{name: "cp2_dp2_zero3_full", topo: t(1, 2, 1, 2), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO3, rec: model.RecomputeFull, gbs: 4},
+		{name: "4d_16rank", topo: t(2, 2, 2, 2), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO1, gbs: 4},
+		{name: "pp2_v3_balanced", topo: t(1, 1, 2, 1), v: 3, nmb: 2, nc: 2, zero: fsdp.ZeRO1, balanced: true, gbs: 4},
+		{name: "pp2_afab_ragged", topo: t(1, 1, 2, 1), v: 1, nmb: 3, nc: 1, zero: fsdp.ZeRO1, gbs: 6},
+	}
+}
+
+func (sc sweepCase) config() core.Config {
+	return core.Config{
+		Model:     sweepModel(),
+		Topo:      sc.topo,
+		V:         sc.v,
+		NMB:       sc.nmb,
+		NC:        sc.nc,
+		ZeRO:      sc.zero,
+		Balanced:  sc.balanced,
+		Recompute: sc.rec,
+		Seq:       16,
+		GBS:       sc.gbs,
+		LR:        0.01,
+		Seed:      42,
+	}
+}
+
+// runMeasuredSteps builds the cluster, attaches a registry, runs two
+// training steps, and returns the cluster with both step reports.
+func runMeasuredSteps(t *testing.T, sc sweepCase) (*core.Cluster, []*metrics.StepReport) {
+	t.Helper()
+	cfg := sc.config()
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	reg := metrics.NewRegistry(cfg.Topo.World())
+	cl.Attach(reg)
+	gen := &data.Generator{Vocab: cfg.Model.Vocab, Seq: cfg.Seq, AvgDocLen: 8, Seed: 7}
+	var reps []*metrics.StepReport
+	for step := int64(0); step < 2; step++ {
+		reg.BeginStep(step)
+		cl.Step(gen, step)
+		reps = append(reps, reg.EndStep())
+	}
+	return cl, reps
+}
+
+// TestSweepCommAndFLOPsExact is the tentpole conformance sweep: for every
+// 4D configuration, the measured per-rank (group, op) byte and message
+// counts and the world FLOP total of both the first and a steady-state step
+// must equal the analytic prediction exactly.
+func TestSweepCommAndFLOPsExact(t *testing.T) {
+	for _, sc := range sweepCases() {
+		t.Run(sc.name, func(t *testing.T) {
+			cl, reps := runMeasuredSteps(t, sc)
+			for step, rep := range reps {
+				ex := Predict(cl, step > 0)
+				if rep.FLOPs != ex.FLOPs {
+					t.Errorf("step %d: measured %d FLOPs, predicted %d", step, rep.FLOPs, ex.FLOPs)
+				}
+				for _, rr := range rep.Ranks {
+					want := ex.Comm[rr.Rank]
+					for k, v := range rr.Comm {
+						if w, ok := want[k]; !ok {
+							t.Errorf("step %d rank %d: measured unpredicted traffic %s: %+v", step, rr.Rank, k, v)
+						} else if v != w {
+							t.Errorf("step %d rank %d %s: measured %+v, predicted %+v", step, rr.Rank, k, v, w)
+						}
+					}
+					for k, w := range want {
+						if _, ok := rr.Comm[k]; !ok {
+							t.Errorf("step %d rank %d: predicted %s (%+v) never measured", step, rr.Rank, k, w)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSweepActivationPeak asserts the measured live-activation high-water
+// mark of every rank equals memsim's functional model. The model is exact
+// by construction (it walks the executor's actual retention set), so the
+// primary assertion is equality; the 10% bound is the hard acceptance
+// criterion that would catch a model drifting from the implementation.
+func TestSweepActivationPeak(t *testing.T) {
+	for _, sc := range sweepCases() {
+		t.Run(sc.name, func(t *testing.T) {
+			cl, reps := runMeasuredSteps(t, sc)
+			mc := MemConfig(cl)
+			rep := reps[1]
+			for _, r := range cl.Ranks {
+				want := mc.FunctionalActivation(r.Coord.PP, cl.Cfg.Recompute)
+				got := float64(rep.Ranks[r.ID].PeakActivationBytes)
+				if want == 0 {
+					t.Fatalf("rank %d: predicted zero activation peak", r.ID)
+				}
+				rel := math.Abs(got-want) / want
+				if rel > 0.10 {
+					t.Errorf("rank %d: measured peak %0.f bytes off prediction %.0f by %.1f%% (>10%%)",
+						r.ID, got, want, 100*rel)
+				} else if got != want {
+					t.Errorf("rank %d: measured peak %.0f bytes != predicted %.0f (%.2f%% off)",
+						r.ID, got, want, 100*rel)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepScheduleConformance replays each measured op log through the
+// analytic pipeline model: the measured schedule must validate, its
+// simulated bubble ratio must equal the planned schedule's exactly, and the
+// measured peak live context count must equal Schedule.PeakInFlight.
+func TestSweepScheduleConformance(t *testing.T) {
+	for _, sc := range sweepCases() {
+		t.Run(sc.name, func(t *testing.T) {
+			cl, reps := runMeasuredSteps(t, sc)
+			rep := reps[1]
+			meas, err := MeasuredSchedule(cl, rep)
+			if err != nil {
+				t.Fatalf("measured schedule invalid: %v", err)
+			}
+			mtl, err := meas.Simulate(pp.UniformCosts(1, 0))
+			if err != nil {
+				t.Fatalf("simulating measured schedule: %v", err)
+			}
+			ptl, err := cl.Sched.Simulate(pp.UniformCosts(1, 0))
+			if err != nil {
+				t.Fatalf("simulating planned schedule: %v", err)
+			}
+			if got, want := mtl.BubbleRatio(), ptl.BubbleRatio(); got != want {
+				t.Errorf("bubble ratio: measured schedule %v, planned %v", got, want)
+			}
+			if !reflect.DeepEqual(meas.Ranks, cl.Sched.Ranks) {
+				t.Errorf("measured op order diverges from planned schedule")
+			}
+			peaks := cl.Sched.PeakInFlight()
+			for _, r := range cl.Ranks {
+				if got, want := rep.Ranks[r.ID].PeakLiveContexts, peaks[r.Coord.PP]; got != want {
+					t.Errorf("rank %d: measured peak contexts %d, schedule says %d", r.ID, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestReportShape covers the report plumbing on one representative config:
+// wall time and pool traffic are populated, JSON and table render, and the
+// comm totals helper agrees with a manual sum.
+func TestReportShape(t *testing.T) {
+	sc := sweepCases()[13] // 4d_16rank
+	_, reps := runMeasuredSteps(t, sc)
+	rep := reps[1]
+	if rep.WallSeconds <= 0 {
+		t.Errorf("wall seconds %v, want > 0", rep.WallSeconds)
+	}
+	if rep.Pool.Gets == 0 {
+		t.Errorf("pool gets 0, want > 0 (steps draw from the arena)")
+	}
+	var manual int64
+	for _, rr := range rep.Ranks {
+		for _, v := range rr.Comm {
+			manual += v.Bytes
+		}
+		if rr.ComputeSeconds <= 0 {
+			t.Errorf("rank %d: compute seconds %v, want > 0", rr.Rank, rr.ComputeSeconds)
+		}
+	}
+	if got := rep.TotalCommBytes(""); got != manual {
+		t.Errorf("TotalCommBytes = %d, manual sum %d", got, manual)
+	}
+	if rep.TotalCommBytes("tp") >= manual {
+		t.Errorf("tp-only total should be a strict subset of %d", manual)
+	}
+	if s := rep.Table(); len(s) == 0 {
+		t.Errorf("empty table rendering")
+	}
+	var sb stringsBuilder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if len(sb.s) == 0 {
+		t.Errorf("empty JSON rendering")
+	}
+}
+
+type stringsBuilder struct{ s []byte }
+
+func (b *stringsBuilder) Write(p []byte) (int, error) {
+	b.s = append(b.s, p...)
+	return len(p), nil
+}

@@ -1,0 +1,85 @@
+package model
+
+import "llama4d/internal/tensor"
+
+// SavedTensorVisitor is implemented by backward contexts that retain
+// activation tensors between forward and backward. VisitSaved calls visit
+// once per retained *tensor.Tensor reference (duplicates allowed — callers
+// that need bytes deduplicate by pointer, since residual-stream tensors are
+// deliberately aliased across sub-layer contexts). Small non-tensor state
+// (RMSNorm's inverse-norm scalars, token index slices) is not reported: the
+// measured quantity is saved activation tensor bytes, matching what the
+// memory simulator models.
+type SavedTensorVisitor interface {
+	VisitSaved(visit func(*tensor.Tensor))
+}
+
+// VisitSavedCtx walks one backward context — of any layer in the functional
+// stack — reporting every retained activation tensor. Contexts are `any` by
+// the Layer contract, so dispatch is structural: raw tensors (Linear's
+// context) visit directly, []int (Embedding's token context) holds no
+// tensors, and everything else implements SavedTensorVisitor.
+func VisitSavedCtx(ctx any, visit func(*tensor.Tensor)) {
+	switch c := ctx.(type) {
+	case nil:
+	case *tensor.Tensor:
+		if c != nil {
+			visit(c)
+		}
+	case []int:
+	case SavedTensorVisitor:
+		c.VisitSaved(visit)
+	}
+}
+
+func (c *blockCtx) VisitSaved(visit func(*tensor.Tensor)) {
+	if c.x != nil {
+		visit(c.x)
+	}
+	VisitSavedCtx(c.n1, visit)
+	VisitSavedCtx(c.at, visit)
+	VisitSavedCtx(c.n2, visit)
+	VisitSavedCtx(c.ff, visit)
+}
+
+func (c *rmsCtx) VisitSaved(visit func(*tensor.Tensor)) {
+	if c.x != nil {
+		visit(c.x)
+	}
+}
+
+func (c *attnCtx) VisitSaved(visit func(*tensor.Tensor)) {
+	VisitSavedCtx(c.qCtx, visit)
+	VisitSavedCtx(c.kCtx, visit)
+	VisitSavedCtx(c.vCtx, visit)
+	VisitSavedCtx(c.oCtx, visit)
+	for _, t := range []*tensor.Tensor{c.qRot, c.kFull, c.vFull} {
+		if t != nil {
+			visit(t)
+		}
+	}
+	for _, p := range c.probs {
+		if p != nil {
+			visit(p)
+		}
+	}
+}
+
+func (c *ffnCtx) VisitSaved(visit func(*tensor.Tensor)) {
+	for _, t := range []*tensor.Tensor{c.a, c.b, c.h} {
+		if t != nil {
+			visit(t)
+		}
+	}
+	VisitSavedCtx(c.c1, visit)
+	VisitSavedCtx(c.c3, visit)
+	VisitSavedCtx(c.c2, visit)
+}
+
+func (c *headCtx) VisitSaved(visit func(*tensor.Tensor)) {
+	VisitSavedCtx(c.nCtx, visit)
+	VisitSavedCtx(c.pCtx, visit)
+	if c.probs != nil {
+		visit(c.probs)
+	}
+}

@@ -2,11 +2,23 @@ package pp
 
 import (
 	"fmt"
+	"time"
 
 	"llama4d/internal/comm"
 	"llama4d/internal/model"
 	"llama4d/internal/tensor"
 )
+
+// Observer watches one rank's schedule execution op by op — the measured
+// counterpart of the analytic Timeline. After every executed op it receives
+// the op, its wall time (split into the P2P wait portion and the rest), and
+// the live activation footprint: deduplicated bytes of every activation
+// tensor retained by the rank's in-flight micro-batch contexts, plus the
+// context count (the measured Schedule.PeakInFlight input). Implementations
+// must be safe for concurrent use by all ranks.
+type Observer interface {
+	OpExecuted(rank int, op Op, dur, p2pWait float64, liveBytes int64, liveContexts int)
+}
 
 // Stage holds the model fragment of one virtual pipeline stage. Embed is
 // non-nil only on global stage 0, Head only on the last global stage — the
@@ -74,6 +86,10 @@ type Executor struct {
 	// the hook must perform the same collectives on every rank of the data
 	// parallel group, which holds because those ranks share one schedule.
 	OnBackward func(vstage, mb int)
+
+	// Obs, if set, observes every executed op with timing and the live
+	// activation footprint (internal/metrics). Set it before RunStep.
+	Obs Observer
 }
 
 const ppTagBase = 1 << 21
@@ -103,6 +119,8 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 	e.PeakLiveContexts = 0
 
 	for _, op := range e.Sched.Ranks[lr] {
+		opStart := time.Now()
+		var p2pWait float64
 		g := e.Sched.GlobalStage(lr, op.Stage)
 		stage := e.Stages[op.Stage]
 		mb := mbs[op.MB]
@@ -120,7 +138,9 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 				}
 			} else {
 				prevRank, _ := e.Sched.StageOwner(g - 1)
+				t0 := time.Now()
 				packed := e.World.Recv(e.Rank, e.Group.GlobalRank(prevRank), fwdTag(stages, g, op.MB))
+				p2pWait += time.Since(t0).Seconds()
 				xs = unpackRows(packed, len(mb.Samples))
 			}
 			st.inputs = xs
@@ -167,7 +187,9 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 				}
 			} else {
 				nextRank, _ := e.Sched.StageOwner(g + 1)
+				t0 := time.Now()
 				packed := e.World.Recv(e.Rank, e.Group.GlobalRank(nextRank), bwdTag(stages, g, op.MB))
+				p2pWait += time.Since(t0).Seconds()
 				dys = unpackRows(packed, len(mb.Samples))
 			}
 			dxs := make([]*tensor.Tensor, len(dys))
@@ -190,6 +212,10 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 			if e.OnBackward != nil {
 				e.OnBackward(op.Stage, op.MB)
 			}
+		}
+		if e.Obs != nil {
+			e.Obs.OpExecuted(e.Rank, op, time.Since(opStart).Seconds(), p2pWait,
+				liveActivationBytes(live), len(live))
 		}
 	}
 	if len(live) != 0 {
@@ -249,6 +275,41 @@ func (e *Executor) RunForward(mbs []*Microbatch) (lossSum float64, nSamples int)
 		}
 	}
 	return lossSum, nSamples
+}
+
+// liveActivationBytes measures the rank's current activation footprint: the
+// bytes of every distinct activation tensor retained by in-flight
+// micro-batch contexts (stage inputs, per-layer saved tensors, head
+// contexts). Residual-stream aliasing — a block's output pointer doubles as
+// the next block's saved input — is resolved by pointer deduplication, so
+// the measurement counts each buffer once, exactly as a real allocator
+// would.
+func liveActivationBytes(live map[[2]int]*mbState) int64 {
+	seen := make(map[*tensor.Tensor]struct{})
+	var bytes int64
+	visit := func(t *tensor.Tensor) {
+		if _, ok := seen[t]; ok {
+			return
+		}
+		seen[t] = struct{}{}
+		bytes += int64(t.Len()) * 4
+	}
+	for _, st := range live {
+		for _, x := range st.inputs {
+			if x != nil {
+				visit(x)
+			}
+		}
+		for _, lcs := range st.layerCtx {
+			for _, c := range lcs {
+				model.VisitSavedCtx(c, visit)
+			}
+		}
+		for _, hc := range st.headCtx {
+			model.VisitSavedCtx(hc, visit)
+		}
+	}
+	return bytes
 }
 
 // packRows concatenates equal-shaped per-sample tensors for one P2P message.

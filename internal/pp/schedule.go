@@ -194,6 +194,9 @@ func NewFlexible(pp, v, nmb, nc int) *Schedule {
 // NewInterleaved1F1B builds the original interleaved 1F1B schedule [25],
 // which requires nmb to be a multiple of pp (nc == pp).
 func NewInterleaved1F1B(pp, v, nmb int) *Schedule {
+	if pp <= 0 || v <= 0 || nmb <= 0 {
+		panic(fmt.Sprintf("pp: invalid schedule dims pp=%d v=%d nmb=%d", pp, v, nmb))
+	}
 	if nmb%pp != 0 {
 		panic(fmt.Sprintf("pp: interleaved 1F1B requires nmb (%d) %% pp (%d) == 0; use NewFlexible", nmb, pp))
 	}
@@ -210,6 +213,9 @@ func NewInterleaved1F1B(pp, v, nmb int) *Schedule {
 // the step. That shared lifetime is why ZeRO-1 and ZeRO-2 behave
 // identically under this schedule (Fig 4b).
 func NewAllFwdAllBwd(pp, v, nmb int) *Schedule {
+	if pp <= 0 || v <= 0 || nmb <= 0 {
+		panic(fmt.Sprintf("pp: invalid schedule dims pp=%d v=%d nmb=%d", pp, v, nmb))
+	}
 	s := &Schedule{Name: "allFallB", PP: pp, V: v, NMB: nmb, NC: nmb}
 	for r := 0; r < pp; r++ {
 		ops := append([]Op(nil), fwdOrder(v, nmb, nmb)...)

@@ -120,6 +120,81 @@ func (c Config) PeakActivation(rank int) float64 {
 	return peak
 }
 
+// stageFunctionalBytes returns the exact FP32 live-activation bytes one
+// in-flight micro-batch pins on one global stage of the *functional*
+// cluster — the model the measured live-tensor accounting
+// (pp.Executor/internal/metrics) must land on. Unlike the production BF16
+// estimate of stageActBytes, this walks the actual retention set of the Go
+// implementation: the residual chain (stage input plus one retained stream
+// tensor per block, deduplicated across aliased sub-layer contexts), the
+// per-block saved activations of the active recompute mode, and the head's
+// normed/probability tensors on the last stage.
+func (c Config) stageFunctionalBytes(g int, rec model.RecomputeMode) float64 {
+	L := c.LayerCounts[g]
+	R := c.Seq / c.CP // local rows per sample under CP sharding
+	S := c.Seq        // K/V rows after the CP all-gather (== R when CP=1)
+	dim := c.Model.Dim
+	nHl := c.Model.NHeads / c.TP
+	nKVl := c.Model.NKVHeads / c.TP
+	hd := c.Model.HeadDim()
+	Hl := c.Model.Hidden / c.TP
+
+	// Residual chain: the stage input, plus each block's output — which is
+	// the same tensor as the next block's input and the block's own Norm2
+	// context, so it counts once. Full recompute retains only block
+	// inputs, dropping the last block's output.
+	chain := 1
+	if L > 0 {
+		chain += L - 1
+		if rec != model.RecomputeFull {
+			chain++
+		}
+	}
+	// Per-block saved activations beyond the residual chain.
+	var extras int
+	switch rec {
+	case model.RecomputeNone:
+		// n1 + n2-out, qRot + Wo-input concat, gathered K + V, per-head
+		// probabilities, and the three FFN intermediates.
+		extras = 2*R*dim + 2*R*nHl*hd + 2*S*nKVl*hd + nHl*R*S + 3*R*Hl
+	case model.RecomputeSelective:
+		// The FFN path survives (n2-out + a/b/h); attention replays.
+		extras = R*dim + 3*R*Hl
+	}
+	floats := R*dim*chain + L*extras
+	if g == c.Sched.Stages()-1 {
+		// Head: normed input + (vocab-parallel) probabilities; under full
+		// recompute the head's norm context is the only retention of the
+		// last block's output, so it re-enters the count.
+		floats += R*dim + R*c.Model.Vocab/c.TP
+		if rec == model.RecomputeFull && L > 0 {
+			floats += R * dim
+		}
+	}
+	return 4 * float64(c.MBS) * float64(floats)
+}
+
+// FunctionalActivation predicts the peak live-activation bytes of one rank
+// of the functional (FP32, in-process) cluster under the given recompute
+// mode, walking the schedule exactly as PeakActivation does. The measured
+// counterpart is RankReport.PeakActivationBytes; the cross-validation sweep
+// (internal/metrics/xval) asserts they agree.
+func (c Config) FunctionalActivation(rank int, rec model.RecomputeMode) float64 {
+	var cur, peak float64
+	for _, op := range c.Sched.Ranks[rank] {
+		g := c.Sched.GlobalStage(rank, op.Stage)
+		if op.Kind == pp.Fwd {
+			cur += c.stageFunctionalBytes(g, rec)
+			if cur > peak {
+				peak = cur
+			}
+		} else {
+			cur -= c.stageFunctionalBytes(g, rec)
+		}
+	}
+	return peak
+}
+
 // PerRank returns the peak memory of every PP rank.
 func (c Config) PerRank() []RankMemory {
 	shardDenom := float64(c.DP * c.CP)

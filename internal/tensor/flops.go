@@ -1,0 +1,24 @@
+package tensor
+
+import "sync/atomic"
+
+// flopCount accumulates the nominal FLOP count of every public matmul head
+// (2·m·k·n per a[m,k]@b[k,n]-shaped product, multiply + add). "Nominal"
+// means the dense count a GPU would pay and the paper's HFU arithmetic uses
+// (§7): the serial kernels' zero-skips reduce executed work but not the
+// counter, and internal data movement (the transposes inside TMatMul) is
+// free. The counter is world-global — ranks are goroutines, so per-rank
+// attribution happens at the step level via deltas (internal/metrics).
+var flopCount atomic.Int64
+
+// FLOPCount returns the total nominal matmul FLOPs issued since process
+// start (or the last ResetFLOPCount).
+func FLOPCount() int64 { return flopCount.Load() }
+
+// ResetFLOPCount zeroes the FLOP counter and returns the previous value.
+func ResetFLOPCount() int64 { return flopCount.Swap(0) }
+
+// countMatMul records one m×k×n matmul-shaped product.
+func countMatMul(m, k, n int) {
+	flopCount.Add(2 * int64(m) * int64(k) * int64(n))
+}

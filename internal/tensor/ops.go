@@ -79,6 +79,7 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul %v @ %v", a.Shape, b.Shape))
 	}
+	countMatMul(m, k, n)
 	out := Get(m, n)
 	matMulRows(out, a, b, Workers(m, m*k*n))
 	return out
@@ -92,6 +93,7 @@ func MatMulInto(dst, a, b *Tensor) {
 	if k != k2 || dst.Rows() != m || dst.Cols() != n {
 		panic(fmt.Sprintf("tensor: MatMulInto %v @ %v -> %v", a.Shape, b.Shape, dst.Shape))
 	}
+	countMatMul(m, k, n)
 	dst.Zero()
 	matMulRows(dst, a, b, Workers(m, m*k*n))
 }
@@ -189,6 +191,7 @@ func MatMulT(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulT %v @ %vᵀ", a.Shape, b.Shape))
 	}
+	countMatMul(m, k, n)
 	out := GetUninit(m, n)
 	matMulTRows(out, a, b, Workers(m, m*k*n))
 	return out
@@ -201,6 +204,7 @@ func MatMulTInto(dst, a, b *Tensor) {
 	if k != k2 || dst.Rows() != m || dst.Cols() != n {
 		panic(fmt.Sprintf("tensor: MatMulTInto %v @ %vᵀ -> %v", a.Shape, b.Shape, dst.Shape))
 	}
+	countMatMul(m, k, n)
 	matMulTRows(dst, a, b, Workers(m, m*k*n))
 }
 
@@ -267,6 +271,7 @@ func TMatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: TMatMul %vᵀ @ %v", a.Shape, b.Shape))
 	}
+	countMatMul(m, k, n)
 	out := Get(m, n)
 	tMatMulRows(out, a, b, Workers(m, m*k*n))
 	return out
@@ -275,6 +280,7 @@ func TMatMul(a, b *Tensor) *Tensor {
 // TMatMulInto computes dst = aᵀ @ b, overwriting dst ([m,n]).
 func TMatMulInto(dst, a, b *Tensor) {
 	checkTMatMul(dst, a, b, "TMatMulInto")
+	countMatMul(a.Cols(), a.Rows(), b.Cols())
 	dst.Zero()
 	tMatMulRows(dst, a, b, Workers(a.Cols(), a.Rows()*a.Cols()*b.Cols()))
 }
@@ -283,6 +289,7 @@ func TMatMulInto(dst, a, b *Tensor) {
 // across micro-batches (FP32 accumulation per §6.2).
 func TMatMulAcc(out, a, b *Tensor) {
 	checkTMatMul(out, a, b, "TMatMulAcc")
+	countMatMul(a.Cols(), a.Rows(), b.Cols())
 	tMatMulRows(out, a, b, Workers(a.Cols(), a.Rows()*a.Cols()*b.Cols()))
 }
 

@@ -1,0 +1,32 @@
+package tp
+
+import (
+	"llama4d/internal/model"
+	"llama4d/internal/tensor"
+)
+
+// The tp backward contexts implement model.SavedTensorVisitor so the
+// activation-accounting walk (internal/metrics) sees TP-sharded layers'
+// retained tensors exactly as it sees the sequential layers'.
+
+func (c *colCtx) VisitSaved(visit func(*tensor.Tensor)) {
+	if c.x != nil {
+		visit(c.x)
+	}
+}
+
+func (c *rowCtx) VisitSaved(visit func(*tensor.Tensor)) {
+	if c.x != nil {
+		visit(c.x)
+	}
+}
+
+func (c *vocabHeadCtx) VisitSaved(visit func(*tensor.Tensor)) {
+	model.VisitSavedCtx(c.nCtx, visit)
+	if c.normed != nil {
+		visit(c.normed)
+	}
+	if c.probs != nil {
+		visit(c.probs)
+	}
+}

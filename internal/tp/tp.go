@@ -181,11 +181,12 @@ func ShardBlock(seq *model.Block, ctx *Ctx) *model.Block {
 	n2 := model.NewRMSNorm(seq.Norm2.P.Name, seq.Norm2.P.W.Len())
 	copy(n2.P.W.Data, seq.Norm2.P.W.Data)
 	return &model.Block{
-		Norm1:  n1,
-		Attn:   ShardAttention(seq.Attn, ctx),
-		Norm2:  n2,
-		FFN:    ShardFFN(seq.FFN, ctx),
-		Frozen: seq.Frozen,
+		Norm1:     n1,
+		Attn:      ShardAttention(seq.Attn, ctx),
+		Norm2:     n2,
+		FFN:       ShardFFN(seq.FFN, ctx),
+		Frozen:    seq.Frozen,
+		Recompute: seq.Recompute,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -40,16 +41,30 @@ type Event struct {
 // End returns the event's end time.
 func (e Event) End() float64 { return e.Start + e.Dur }
 
-// Trace is a collection of events across ranks.
+// Trace is a collection of events across ranks. Add and the read methods
+// are safe for concurrent use by rank goroutines; direct access to Events
+// is for single-goroutine consumers (analyses over a finished or
+// Snapshot-copied trace).
 type Trace struct {
+	mu     sync.Mutex
 	Events []Event
 }
 
-// Add appends an event.
-func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
+// Add appends an event. Safe for concurrent use.
+func (t *Trace) Add(e Event) {
+	t.mu.Lock()
+	t.Events = append(t.Events, e)
+	t.mu.Unlock()
+}
 
 // RankEvents returns one rank's events sorted by start time.
 func (t *Trace) RankEvents(rank int) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rankEventsLocked(rank)
+}
+
+func (t *Trace) rankEventsLocked(rank int) []Event {
 	var out []Event
 	for _, e := range t.Events {
 		if e.Rank == rank {
@@ -62,6 +77,8 @@ func (t *Trace) RankEvents(rank int) []Event {
 
 // Ranks returns the sorted set of ranks appearing in the trace.
 func (t *Trace) Ranks() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	seen := map[int]bool{}
 	for _, e := range t.Events {
 		seen[e.Rank] = true
@@ -77,6 +94,8 @@ func (t *Trace) Ranks() []int {
 // TotalDur sums the durations of a rank's events matching kind and group
 // ("" matches any).
 func (t *Trace) TotalDur(rank int, kind Kind, group string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var s float64
 	for _, e := range t.Events {
 		if e.Rank != rank {
@@ -95,6 +114,12 @@ func (t *Trace) TotalDur(rank int, kind Kind, group string) float64 {
 
 // Makespan returns the latest event end time.
 func (t *Trace) Makespan() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.makespanLocked()
+}
+
+func (t *Trace) makespanLocked() float64 {
 	var m float64
 	for _, e := range t.Events {
 		if e.End() > m {
@@ -149,6 +174,7 @@ type chromeEvent struct {
 
 // WriteChromeJSON exports the trace in Chrome's about://tracing format.
 func (t *Trace) WriteChromeJSON(w io.Writer) error {
+	t.mu.Lock()
 	events := make([]chromeEvent, 0, len(t.Events))
 	for _, e := range t.Events {
 		events = append(events, chromeEvent{
@@ -156,18 +182,51 @@ func (t *Trace) WriteChromeJSON(w io.Writer) error {
 			Ts: e.Start * 1e6, Dur: e.Dur * 1e6, Pid: 0, Tid: e.Rank,
 		})
 	}
+	t.mu.Unlock()
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// ReadChromeJSON parses a Chrome trace-event JSON document produced by
+// WriteChromeJSON back into a Trace, inverting the export exactly: "cat"
+// splits at the first ':' into kind and group, "ts"/"dur" convert from
+// microseconds back to seconds, "tid" is the rank. Non-"X" phase records
+// are skipped (Chrome traces may carry metadata events).
+func ReadChromeJSON(r io.Reader) (*Trace, error) {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: reading Chrome JSON: %w", err)
+	}
+	out := &Trace{}
+	for _, ce := range doc.TraceEvents {
+		if ce.Ph != "X" {
+			continue
+		}
+		kind, group := ce.Cat, ""
+		if i := strings.IndexByte(ce.Cat, ':'); i >= 0 {
+			kind, group = ce.Cat[:i], ce.Cat[i+1:]
+		}
+		out.Events = append(out.Events, Event{
+			Rank: ce.Tid, Kind: Kind(kind), Name: ce.Name, Group: group,
+			Start: ce.Ts / 1e6, Dur: ce.Dur / 1e6,
+		})
+	}
+	return out, nil
 }
 
 // ASCIITimeline renders a rank's timeline as a fixed-width strip, for
 // terminal inspection (cmd/traceview).
 func (t *Trace) ASCIITimeline(rank, width int) string {
-	events := t.RankEvents(rank)
+	t.mu.Lock()
+	events := t.rankEventsLocked(rank)
+	total := t.makespanLocked()
+	t.mu.Unlock()
 	if len(events) == 0 || width <= 0 {
 		return ""
 	}
-	total := t.Makespan()
 	row := make([]byte, width)
 	for i := range row {
 		row[i] = '.'
