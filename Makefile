@@ -16,26 +16,33 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Microbenchmark baseline: every optimised kernel head-to-head against its
-# frozen seed copy (impl=before/impl=after, pool=off/pool=on), written to
-# BENCH_kernels.json. The temp file keeps a go test failure from being
-# masked by the pipe.
+# Microbenchmark baselines: every optimised kernel head-to-head against its
+# frozen seed copy (impl=before/impl=after, pool=off/pool=on) into
+# BENCH_kernels.json, and the same training step synchronous vs under the
+# comm-compute overlap engine (mode=sync/mode=overlapped, plus a depth
+# sweep) into BENCH_overlap.json. The temp files keep a go test failure
+# from being masked by the pipe.
 bench:
 	$(GO) test -bench='^BenchmarkKernel' -benchmem -run='^$$' \
 		./internal/tensor ./internal/attention . > BENCH_kernels.txt \
 		&& $(GO) run ./cmd/benchjson -o BENCH_kernels.json < BENCH_kernels.txt \
 		&& rm BENCH_kernels.txt
+	$(GO) test -bench='^BenchmarkOverlap' -benchmem -run='^$$' \
+		./internal/core > BENCH_overlap.txt \
+		&& $(GO) run ./cmd/benchjson -o BENCH_overlap.json < BENCH_overlap.txt \
+		&& rm BENCH_overlap.txt
 
 # The paper-reproduction benchmarks (one per table/figure) plus the kernel
 # suite.
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
-# One iteration of every kernel benchmark: exercises the before/after
-# bitwise correctness guards without waiting for stable timings.
+# One iteration of every kernel and overlap benchmark: exercises the
+# before/after and sync-vs-overlapped bitwise correctness guards without
+# waiting for stable timings.
 smoke-bench:
-	$(GO) test -bench='^BenchmarkKernel' -benchtime=1x -run='^$$' \
-		./internal/tensor ./internal/attention .
+	$(GO) test -bench='^(BenchmarkKernel|BenchmarkOverlap)' -benchtime=1x -run='^$$' \
+		./internal/tensor ./internal/attention ./internal/core .
 
 # The measured-vs-modeled gate: the xval conformance sweep (measured comm
 # bytes, FLOPs, activation peaks, and schedules against the analytic models

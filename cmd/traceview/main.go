@@ -7,7 +7,7 @@
 //	traceview [-pp N] [-v N] [-nmb N] [-nc N] [-sched 1f1b|allfallb|flexible]
 //	          [-p2p F] [-json FILE] [-slow RANK] [-slowdown F]
 //	traceview -ft [-json FILE]
-//	traceview -metrics [-json FILE]
+//	traceview -metrics [-overlap] [-json FILE]
 //
 // With -ft it instead runs a live fault-tolerant training demo
 // (internal/ft): a rank crash mid-collective, detection, checkpoint
@@ -36,8 +36,13 @@ import (
 
 // metricsDemo runs two measured training steps on a small 4D cluster and
 // renders the registry's view: the steady-state step report panel plus the
-// per-rank measured timelines ('#' compute, '~' comm, '.' idle).
-func metricsDemo(jsonPath string) {
+// per-rank measured timelines ('#' compute, '~' comm, '^' overlapped async
+// comm, '.' idle). With overlap enabled the cluster runs ZeRO-3 with the full
+// overlap engine on (parameter prefetch, async gradient reductions,
+// pre-posted pipeline P2P) — the run is bitwise identical to the synchronous
+// one, but async comm spans render as '^' and the panel reports how much of
+// the async comm time was hidden.
+func metricsDemo(jsonPath string, overlap bool) {
 	cfg := core.Config{
 		Model: model.Config{Vocab: 64, Dim: 32, Hidden: 64, NHeads: 4, NKVHeads: 2,
 			NLayers: 4, MaxSeq: 32, RopeBase: 10000},
@@ -45,6 +50,10 @@ func metricsDemo(jsonPath string) {
 		V:    2, NMB: 2, NC: 2,
 		ZeRO: fsdp.ZeRO1, Seq: 32, GBS: 4, LR: 3e-3,
 		UseDocMask: true, Seed: 31,
+	}
+	if overlap {
+		cfg.ZeRO = fsdp.ZeRO3
+		cfg.Overlap = core.OverlapConfig{Params: 2, Grads: true, P2P: 2}
 	}
 	cl, err := core.NewCluster(cfg)
 	if err != nil {
@@ -60,12 +69,16 @@ func metricsDemo(jsonPath string) {
 		cl.Step(gen, step)
 		rep = reg.EndStep()
 	}
-	fmt.Printf("measured run: %d ranks (tp=%d cp=%d pp=%d dp=%d), steady-state step below\n\n",
-		cfg.Topo.World(), cfg.Topo.TP, cfg.Topo.CP, cfg.Topo.PP, cfg.Topo.DP)
+	mode := "synchronous"
+	if overlap {
+		mode = "overlapped (prefetch=2, async grads, p2p window=2)"
+	}
+	fmt.Printf("measured run: %d ranks (tp=%d cp=%d pp=%d dp=%d), %s, steady-state step below\n\n",
+		cfg.Topo.World(), cfg.Topo.TP, cfg.Topo.CP, cfg.Topo.PP, cfg.Topo.DP, mode)
 	fmt.Print(rep.Table())
 
 	tr := reg.Trace()
-	fmt.Println("\nmeasured timelines ('#' compute, '~' comm, '.' idle):")
+	fmt.Println("\nmeasured timelines ('#' compute, '~' comm, '^' async comm, '.' idle):")
 	for r := 0; r < cfg.Topo.World(); r++ {
 		if line := tr.ASCIITimeline(r, 100); line != "" {
 			fmt.Println(line)
@@ -152,14 +165,15 @@ func main() {
 	slowdown := flag.Float64("slowdown", 1.5, "slow-rank compute multiplier")
 	ftMode := flag.Bool("ft", false, "run the live fault-tolerance demo instead of a PP schedule")
 	metricsMode := flag.Bool("metrics", false, "run a live measured step and render the metrics panel")
+	overlapMode := flag.Bool("overlap", false, "with -metrics: enable the comm-compute overlap engine")
 	flag.Parse()
 
 	if *ftMode {
 		ftDemo(*jsonPath)
 		return
 	}
-	if *metricsMode {
-		metricsDemo(*jsonPath)
+	if *metricsMode || *overlapMode {
+		metricsDemo(*jsonPath, *overlapMode)
 		return
 	}
 

@@ -81,9 +81,10 @@ type World struct {
 	abort     chan struct{}
 	abortErr  atomic.Pointer[abortCause]
 
-	mu    sync.Mutex
-	mail  map[p2pKey]chan *tensor.Tensor
-	stats Stats
+	mu       sync.Mutex
+	mail     map[p2pKey]chan *tensor.Tensor
+	recvTail map[p2pKey]chan struct{} // FIFO chaining of outstanding IRecvs per key
+	stats    Stats
 }
 
 type abortCause struct{ err error }
@@ -140,6 +141,17 @@ func (w *World) Abort(err error) {
 	w.abortOnce.Do(func() {
 		w.abortErr.Store(&abortCause{err: err})
 		close(w.abort)
+		// Reset the mailboxes: tensors still in flight belong to the failed
+		// step, and a retry that reused this world must never receive them
+		// (the stale-mailbox hazard — a resumed step would consume a
+		// half-step-old activation and silently diverge from the bitwise
+		// resume contract). Blocked senders hold references to the orphaned
+		// channels and are released by the abort select arm; receives on an
+		// aborted world panic before ever touching the fresh map.
+		w.mu.Lock()
+		w.mail = make(map[p2pKey]chan *tensor.Tensor)
+		w.recvTail = make(map[p2pKey]chan struct{})
+		w.mu.Unlock()
 	})
 }
 
@@ -263,9 +275,10 @@ func NewWorld(size int) *World {
 		panic(fmt.Sprintf("comm: world size %d", size))
 	}
 	return &World{
-		size:  size,
-		mail:  make(map[p2pKey]chan *tensor.Tensor),
-		abort: make(chan struct{}),
+		size:     size,
+		mail:     make(map[p2pKey]chan *tensor.Tensor),
+		recvTail: make(map[p2pKey]chan struct{}),
+		abort:    make(chan struct{}),
 	}
 }
 
@@ -290,7 +303,10 @@ func (w *World) mailbox(k p2pKey) chan *tensor.Tensor {
 
 // Send delivers a copy of t from rank `from` to rank `to` under `tag`.
 // Sends are asynchronous up to the mailbox depth, modelling the decoupled
-// P2P send/receive the paper relies on for pipeline parallelism (§5.2).
+// P2P send/receive the paper relies on for pipeline parallelism (§5.2). A
+// send blocked on a full mailbox (a stalled receiver) is bounded by the
+// same failure-detection deadline as Recv: it aborts the world with a
+// *DeadlineError instead of hanging until some other rank notices.
 func (w *World) Send(from, to, tag int, t *tensor.Tensor) {
 	w.checkRank(from)
 	w.checkRank(to)
@@ -299,11 +315,120 @@ func (w *World) Send(from, to, tag int, t *tensor.Tensor) {
 	w.stats.P2POps.Add(1)
 	w.stats.P2PBytes.Add(int64(t.Len()) * 4)
 	w.account(from, "p2p", "send", int64(t.Len())*4)
+	var deadline <-chan time.Time
+	if w.Timeout > 0 {
+		tm := time.NewTimer(w.Timeout)
+		defer tm.Stop()
+		deadline = tm.C
+	}
 	select {
 	case w.mailbox(p2pKey{from, to, tag}) <- msg:
 	case <-w.abort:
 		panic(&AbortError{Rank: from, Op: "p2p.send", Err: w.Err()})
+	case <-deadline:
+		w.Abort(&DeadlineError{Rank: from, Op: "p2p.send", Timeout: w.Timeout})
+		panic(&AbortError{Rank: from, Op: "p2p.send", Err: w.Err()})
 	}
+}
+
+// ISend is the nonblocking Send: the message is cloned, fault-injected, and
+// accounted at issue; if the mailbox is full the delivery retries in the
+// background. Wait returns nil once the message is enqueued — like Send, it
+// never waits for the receiver. Waiting is optional; an unwaited handle
+// still delivers (or is released by an abort).
+func (w *World) ISend(from, to, tag int, t *tensor.Tensor) *Handle {
+	w.checkRank(from)
+	w.checkRank(to)
+	msg := t.Clone()
+	w.beforeOp(from, "p2p.send", msg)
+	bytes := int64(t.Len()) * 4
+	w.stats.P2POps.Add(1)
+	w.stats.P2PBytes.Add(bytes)
+	w.account(from, "p2p", "send", bytes)
+	h := &Handle{
+		w:      w,
+		rank:   from,
+		label:  "p2p",
+		op:     "send",
+		bytes:  bytes,
+		issued: time.Now(),
+		ready:  make(chan struct{}),
+	}
+	h.finish = func() *tensor.Tensor {
+		if !h.sent {
+			panic(&AbortError{Rank: from, Op: "p2p.send", Err: w.Err()})
+		}
+		return nil
+	}
+	ch := w.mailbox(p2pKey{from, to, tag})
+	select {
+	case ch <- msg:
+		h.sent = true
+		close(h.ready)
+		return h
+	default:
+	}
+	go func() {
+		select {
+		case ch <- msg:
+			h.sent = true
+		case <-w.abort:
+		}
+		close(h.ready)
+	}()
+	return h
+}
+
+// IRecv is the nonblocking Recv: it immediately claims the next message
+// tagged `tag` from rank `from`, receiving it in the background as soon as
+// it arrives; Wait blocks for delivery under the usual abort/deadline rules.
+// Multiple outstanding IRecvs on one (from, to, tag) key are delivered in
+// issue order (FIFO chaining). Blocking Recv must not be mixed with
+// outstanding IRecvs on the same key — it would race the chain for the
+// message.
+func (w *World) IRecv(to, from, tag int) *Handle {
+	w.checkRank(from)
+	w.checkRank(to)
+	w.beforeOp(to, "p2p.recv", nil)
+	ch := w.mailbox(p2pKey{from, to, tag})
+	w.mu.Lock()
+	prev := w.recvTail[p2pKey{from, to, tag}]
+	got := make(chan struct{})
+	w.recvTail[p2pKey{from, to, tag}] = got
+	w.mu.Unlock()
+	h := &Handle{
+		w:      w,
+		rank:   to,
+		label:  "p2p",
+		op:     "recv",
+		issued: time.Now(),
+		ready:  make(chan struct{}),
+	}
+	h.finish = func() *tensor.Tensor {
+		if h.res0 == nil {
+			panic(&AbortError{Rank: to, Op: "p2p.recv", Err: w.Err()})
+		}
+		return h.res0
+	}
+	go func() {
+		defer close(h.ready)
+		if prev != nil {
+			select {
+			case <-prev: // predecessor got its message; our turn
+			case <-w.abort:
+				return
+			}
+		}
+		select {
+		case t := <-ch:
+			h.res0 = t
+			h.bytes = int64(t.Len()) * 4
+			w.account(to, "p2p", "recv", h.bytes)
+			close(got)
+		case <-w.abort:
+		}
+	}()
+	return h
 }
 
 // Recv blocks until a tensor tagged `tag` from rank `from` arrives at `to`,

@@ -27,6 +27,7 @@ type Group struct {
 }
 
 type collSlot struct {
+	seq      int
 	op       string
 	contribs []*tensor.Tensor
 	arrived  int
@@ -82,22 +83,21 @@ func (g *Group) Contains(globalRank int) bool {
 	return ok
 }
 
-// enter registers the caller's contribution under its next op sequence
-// number, blocks until all members have arrived, and returns the caller's
-// result. combine runs exactly once, on the last arriver, with contributions
-// ordered by local rank; it must fill slot.result with one entry per member.
-func (g *Group) enter(globalRank int, op string, contrib *tensor.Tensor, combine func(contribs []*tensor.Tensor, results []*tensor.Tensor)) *tensor.Tensor {
-	lr := g.LocalRank(globalRank)
-	// Fault injection happens on entry, before the contribution registers:
-	// a crashing rank never arrives, so its peers block — exactly the
-	// production failure mode the world's detection machinery must catch.
+// post registers the caller's contribution under its next op sequence
+// number without blocking: the caller claims its sequence slot, deposits its
+// contribution, and — if it is the last arriver — runs combine and releases
+// the peers. It returns the slot, the caller's local rank, and whether the
+// caller completed the collective. Claiming the sequence number in the
+// issuing goroutine (never a helper) is what keeps nonblocking collectives
+// ordered identically to blocking ones: a rank's issue order IS its
+// collective order.
+//
+// Fault injection happens here, before the contribution registers: a
+// crashing rank never arrives, so its peers block — exactly the production
+// failure mode the world's detection machinery must catch.
+func (g *Group) post(globalRank int, op string, contrib *tensor.Tensor, combine func(contribs []*tensor.Tensor, results []*tensor.Tensor)) (slot *collSlot, lr int, last bool) {
+	lr = g.LocalRank(globalRank)
 	g.world.beforeOp(globalRank, g.Label+"."+op, contrib)
-	if g.world.Recorder != nil {
-		start := time.Now()
-		defer func() {
-			g.world.Recorder.RecordComm(globalRank, g.Label, time.Since(start).Seconds())
-		}()
-	}
 
 	g.mu.Lock()
 	seq := g.next[lr]
@@ -105,6 +105,7 @@ func (g *Group) enter(globalRank int, op string, contrib *tensor.Tensor, combine
 	slot, ok := g.slots[seq]
 	if !ok {
 		slot = &collSlot{
+			seq:      seq,
 			op:       op,
 			contribs: make([]*tensor.Tensor, len(g.ranks)),
 			result:   make([]*tensor.Tensor, len(g.ranks)),
@@ -119,25 +120,101 @@ func (g *Group) enter(globalRank int, op string, contrib *tensor.Tensor, combine
 	}
 	slot.contribs[lr] = contrib
 	slot.arrived++
-	last := slot.arrived == len(g.ranks)
+	last = slot.arrived == len(g.ranks)
 	g.mu.Unlock()
 
 	if last {
 		combine(slot.contribs, slot.result)
 		close(slot.done)
-	} else {
-		g.world.await(globalRank, g.Label+"."+op, slot.done)
 	}
+	return slot, lr, last
+}
 
+// finishSlot reads the caller's result out of a completed slot and retires
+// the slot once every member has read. slot.done must be closed.
+func (g *Group) finishSlot(slot *collSlot, lr int) *tensor.Tensor {
 	res := slot.result[lr]
-
 	g.mu.Lock()
 	slot.readers++
 	if slot.readers == len(g.ranks) {
-		delete(g.slots, seq)
+		delete(g.slots, slot.seq)
 	}
 	g.mu.Unlock()
 	return res
+}
+
+// enter registers the caller's contribution under its next op sequence
+// number, blocks until all members have arrived, and returns the caller's
+// result. combine runs exactly once, on the last arriver, with contributions
+// ordered by local rank; it must fill slot.result with one entry per member.
+func (g *Group) enter(globalRank int, op string, contrib *tensor.Tensor, combine func(contribs []*tensor.Tensor, results []*tensor.Tensor)) *tensor.Tensor {
+	if g.world.Recorder != nil {
+		start := time.Now()
+		defer func() {
+			g.world.Recorder.RecordComm(globalRank, g.Label, time.Since(start).Seconds())
+		}()
+	}
+	slot, lr, last := g.post(globalRank, op, contrib, combine)
+	if !last {
+		g.world.await(globalRank, g.Label+"."+op, slot.done)
+	}
+	return g.finishSlot(slot, lr)
+}
+
+// iColl issues a nonblocking collective: the contribution registers now (so
+// peers can proceed and the combine runs as soon as the last member posts),
+// and the returned handle clones the caller's result out of the shared slot
+// in Wait. The op string matches the blocking variant, so blocking and
+// nonblocking callers interoperate within one collective.
+func (g *Group) iColl(globalRank int, op string, bytes int64, contrib *tensor.Tensor, combine func(contribs []*tensor.Tensor, results []*tensor.Tensor)) *Handle {
+	slot, lr, _ := g.post(globalRank, op, contrib, combine)
+	h := &Handle{
+		w:      g.world,
+		rank:   globalRank,
+		label:  g.Label,
+		op:     op,
+		bytes:  bytes,
+		issued: time.Now(),
+		ready:  slot.done,
+	}
+	h.finish = func() *tensor.Tensor { return g.finishSlot(slot, lr).Clone() }
+	return h
+}
+
+// combineConcatRows is AllGather's combine: one shared row concatenation in
+// local-rank order, handed to every member.
+func combineConcatRows(contribs, results []*tensor.Tensor) {
+	full := tensor.ConcatRows(contribs...)
+	for i := range results {
+		results[i] = full
+	}
+}
+
+// combineSum is AllReduce's combine: element-wise sum accumulated in
+// local-rank order (the determinism contract), handed to every member.
+func combineSum(contribs, results []*tensor.Tensor) {
+	sum := contribs[0].Clone()
+	for _, c := range contribs[1:] {
+		sum.Add(c)
+	}
+	for i := range results {
+		results[i] = sum
+	}
+}
+
+// combineReduceScatter is ReduceScatter's combine for a group of n: the
+// local-rank-order sum, split into n row chunks, chunk i to member i.
+func combineReduceScatter(n int) func(contribs, results []*tensor.Tensor) {
+	return func(contribs, results []*tensor.Tensor) {
+		sum := contribs[0].Clone()
+		for _, c := range contribs[1:] {
+			sum.Add(c)
+		}
+		chunks := tensor.SplitRows(sum, n)
+		for i := range results {
+			results[i] = chunks[i]
+		}
+	}
 }
 
 // account records one per-rank collective issue (the closed-form byte
@@ -159,12 +236,7 @@ func (g *Group) AllGatherParts(globalRank int, x *tensor.Tensor) []*tensor.Tenso
 	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1))
 	g.account(globalRank, "allgather", int64(x.Len())*4*int64(len(g.ranks)-1))
 	rows := x.Rows()
-	full := g.enter(globalRank, "allgather", x, func(contribs, results []*tensor.Tensor) {
-		shared := tensor.ConcatRows(contribs...)
-		for i := range results {
-			results[i] = shared
-		}
-	})
+	full := g.enter(globalRank, "allgather", x, combineConcatRows)
 	parts := make([]*tensor.Tensor, len(g.ranks))
 	for i := range parts {
 		parts[i] = full.RowSlice(i*rows, (i+1)*rows).Clone().Reshape(x.Shape...)
@@ -195,12 +267,19 @@ func (g *Group) AllGather(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.AllGatherOps.Add(1)
 	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1))
 	g.account(globalRank, "allgather", int64(x.Len())*4*int64(len(g.ranks)-1))
-	return g.enter(globalRank, "allgather", x, func(contribs, results []*tensor.Tensor) {
-		full := tensor.ConcatRows(contribs...)
-		for i := range results {
-			results[i] = full
-		}
-	}).Clone()
+	return g.enter(globalRank, "allgather", x, combineConcatRows).Clone()
+}
+
+// IAllGather is the nonblocking AllGather: the contribution registers
+// immediately and the handle's Wait returns the row concatenation. The FSDP
+// parameter-prefetch path issues these a configurable depth ahead of the
+// consuming compute (§7.3.1).
+func (g *Group) IAllGather(globalRank int, x *tensor.Tensor) *Handle {
+	bytes := int64(x.Len()) * 4 * int64(len(g.ranks)-1)
+	g.world.stats.AllGatherOps.Add(1)
+	g.world.stats.AllGatherBytes.Add(bytes)
+	g.account(globalRank, "allgather", bytes)
+	return g.iColl(globalRank, "allgather", bytes, x, combineConcatRows)
 }
 
 // ReduceScatter sums the members' tensors element-wise (accumulating in
@@ -210,17 +289,18 @@ func (g *Group) ReduceScatter(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.ReduceScatterOps.Add(1)
 	g.world.stats.ReduceScatterBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1) / int64(len(g.ranks)))
 	g.account(globalRank, "reducescatter", int64(x.Len())*4*int64(len(g.ranks)-1)/int64(len(g.ranks)))
-	n := len(g.ranks)
-	return g.enter(globalRank, "reducescatter", x, func(contribs, results []*tensor.Tensor) {
-		sum := contribs[0].Clone()
-		for _, c := range contribs[1:] {
-			sum.Add(c)
-		}
-		chunks := tensor.SplitRows(sum, n)
-		for i := range results {
-			results[i] = chunks[i]
-		}
-	}).Clone()
+	return g.enter(globalRank, "reducescatter", x, combineReduceScatter(len(g.ranks))).Clone()
+}
+
+// IReduceScatter is the nonblocking ReduceScatter — the backward-overlapped
+// gradient reduction of ZeRO-2 (§7.3.1). Accumulation order is local-rank
+// order exactly as in the blocking op, so overlapping changes no bits.
+func (g *Group) IReduceScatter(globalRank int, x *tensor.Tensor) *Handle {
+	bytes := int64(x.Len()) * 4 * int64(len(g.ranks)-1) / int64(len(g.ranks))
+	g.world.stats.ReduceScatterOps.Add(1)
+	g.world.stats.ReduceScatterBytes.Add(bytes)
+	g.account(globalRank, "reducescatter", bytes)
+	return g.iColl(globalRank, "reducescatter", bytes, x, combineReduceScatter(len(g.ranks)))
 }
 
 // AllReduce sums the members' tensors element-wise in local-rank order and
@@ -229,15 +309,17 @@ func (g *Group) AllReduce(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.AllReduceOps.Add(1)
 	g.world.stats.AllReduceBytes.Add(int64(x.Len()) * 4 * 2 * int64(len(g.ranks)-1) / int64(len(g.ranks)))
 	g.account(globalRank, "allreduce", int64(x.Len())*4*2*int64(len(g.ranks)-1)/int64(len(g.ranks)))
-	return g.enter(globalRank, "allreduce", x, func(contribs, results []*tensor.Tensor) {
-		sum := contribs[0].Clone()
-		for _, c := range contribs[1:] {
-			sum.Add(c)
-		}
-		for i := range results {
-			results[i] = sum
-		}
-	}).Clone()
+	return g.enter(globalRank, "allreduce", x, combineSum).Clone()
+}
+
+// IAllReduce is the nonblocking AllReduce, with the blocking op's local-rank
+// accumulation order.
+func (g *Group) IAllReduce(globalRank int, x *tensor.Tensor) *Handle {
+	bytes := int64(x.Len()) * 4 * 2 * int64(len(g.ranks)-1) / int64(len(g.ranks))
+	g.world.stats.AllReduceOps.Add(1)
+	g.world.stats.AllReduceBytes.Add(bytes)
+	g.account(globalRank, "allreduce", bytes)
+	return g.iColl(globalRank, "allreduce", bytes, x, combineSum)
 }
 
 // AllReduceMax returns the element-wise maximum of the members' tensors —

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"llama4d/internal/data"
+	"llama4d/internal/fsdp"
+	"llama4d/internal/model"
+)
+
+// The BenchmarkOverlap* pair is the comm-compute overlap engine's wall-clock
+// baseline behind BENCH_overlap.json (make bench): the same ZeRO-3 4D
+// training step measured synchronous (mode=sync) and with the full overlap
+// engine on (mode=overlapped — parameter prefetch, async gradient
+// reduce-scatter, pre-posted pipeline P2P). The per-op benchtime is one full
+// cluster step, so ns/op differences are end-to-end step-time differences.
+// Both variants verify the bitwise contract on their warm-up step: an
+// overlapped step whose loss bits diverge from the synchronous step is a
+// correctness bug, not a performance trade.
+
+func benchCfg(overlap OverlapConfig) Config {
+	return Config{
+		Model: model.Config{Vocab: 64, Dim: 32, Hidden: 64, NHeads: 4, NKVHeads: 2,
+			NLayers: 4, MaxSeq: 32, RopeBase: 10000},
+		Topo: Topology{TP: 2, CP: 1, PP: 2, DP: 2},
+		V:    2, NMB: 2, NC: 2,
+		ZeRO: fsdp.ZeRO3, Seq: 32, GBS: 4, LR: 3e-3,
+		UseDocMask: true, Seed: 31,
+		Overlap: overlap,
+	}
+}
+
+func benchGen(cfg Config) *data.Generator {
+	return &data.Generator{Vocab: cfg.Model.Vocab, Seq: cfg.Seq, AvgDocLen: 8, Seed: 32}
+}
+
+// warmLoss runs one step on a fresh cluster and returns its loss bits — the
+// reference for the sync-vs-overlapped bitwise guard.
+func warmLoss(b *testing.B, overlap OverlapConfig) (uint64, *Cluster, *data.Generator) {
+	b.Helper()
+	cfg := benchCfg(overlap)
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := benchGen(cfg)
+	loss, err := cl.TryStep(gen, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return math.Float64bits(loss), cl, gen
+}
+
+func benchmarkOverlapStep(b *testing.B, overlap OverlapConfig) {
+	syncBits, _, _ := warmLoss(b, OverlapConfig{})
+	bits, cl, gen := warmLoss(b, overlap)
+	if bits != syncBits {
+		b.Fatalf("overlap config %+v diverged bitwise from sync on the warm-up step", overlap)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.TryStep(gen, int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverlapStep(b *testing.B) {
+	modes := []struct {
+		name string
+		ov   OverlapConfig
+	}{
+		{"mode=sync", OverlapConfig{}},
+		{"mode=overlapped", OverlapConfig{Params: 2, Grads: true, P2P: 2}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) { benchmarkOverlapStep(b, m.ov) })
+	}
+}
+
+// BenchmarkOverlapDepth sweeps the prefetch/window depth so BENCH_overlap.json
+// records where deeper pipelining stops paying.
+func BenchmarkOverlapDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			benchmarkOverlapStep(b, OverlapConfig{Params: depth, Grads: true, P2P: depth})
+		})
+	}
+}

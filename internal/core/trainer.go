@@ -41,7 +41,35 @@ type Config struct {
 	LRSchedule func(step int) float64
 	UseDocMask bool
 	Seed       int64
+
+	// Overlap selects which communication the functional layer issues
+	// nonblocking (§7.3.1). The zero value is fully synchronous, and any
+	// overlapped run is bitwise identical to the synchronous one.
+	Overlap OverlapConfig
 }
+
+// OverlapConfig enables comm–compute overlap in the functional layer. Each
+// knob moves one class of collectives from blocking to handle-based issue;
+// none of them changes accumulation order, so results stay bitwise equal to
+// the synchronous run (the invariant the xval sweep asserts).
+type OverlapConfig struct {
+	// Params is the ZeRO-3 parameter-prefetch depth: while unit u (an
+	// embedding, block, or head) computes, the all-gathers of units
+	// u+1..u+Params are in flight. 0 gathers synchronously.
+	Params int
+
+	// Grads overlaps ZeRO-2's per-backward gradient reduce-scatter with
+	// subsequent compute, drained in issue order before the optimizer.
+	Grads bool
+
+	// P2P pre-posts each pipeline receive up to this many schedule ops
+	// before the consuming op and issues activation/gradient sends
+	// nonblocking. 0 keeps P2P synchronous.
+	P2P int
+}
+
+// Enabled reports whether any overlap dimension is active.
+func (o OverlapConfig) Enabled() bool { return o.Params > 0 || o.Grads || o.P2P > 0 }
 
 // Validate checks the configuration's divisibility constraints (§5.1).
 func (c Config) Validate() error {
@@ -85,7 +113,7 @@ type Rank struct {
 	Groups Groups
 
 	Exec  *pp.Executor
-	Shard *fsdp.Shard
+	Shard *fsdp.Sharded
 	Opt   *optim.AdamW
 
 	cpShard cp.Sharding
@@ -154,12 +182,36 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			World: world, Group: r.Groups.PP, Rank: id, Sched: sched,
 			Stages: stages,
 		}
-		var params []*model.Param
-		for _, st := range r.Exec.Stages {
-			params = append(params, st.Params()...)
+		// FSDP units, stage-major: the embedding, each transformer block,
+		// and the head shard (and overlap) independently. Unit order equals
+		// the old monolithic parameter order, so checkpoints and parameter
+		// comparisons are unchanged.
+		var units [][]*model.Param
+		um := make([]stageUnits, len(r.Exec.Stages))
+		for vs, st := range r.Exec.Stages {
+			um[vs].embed, um[vs].head = -1, -1
+			if st.Embed != nil {
+				um[vs].embed = len(units)
+				units = append(units, st.Embed.Params())
+			}
+			for _, l := range st.Layers {
+				um[vs].layers = append(um[vs].layers, len(units))
+				units = append(units, l.Params())
+			}
+			if st.Head != nil {
+				um[vs].head = len(units)
+				units = append(units, st.Head.Params())
+			}
 		}
 		r.Opt = optim.NewAdamW(cfg.LR)
-		r.Shard = fsdp.New(r.Groups.FSDP, id, cfg.ZeRO, params, r.Opt)
+		r.Shard = fsdp.NewSharded(r.Groups.FSDP, id, cfg.ZeRO, units, r.Opt)
+		r.Shard.Prefetch = cfg.Overlap.Params
+		r.Shard.AsyncGrads = cfg.Overlap.Grads
+		if cfg.ZeRO == fsdp.ZeRO3 && cfg.Overlap.Params > 0 {
+			r.Exec.Gather = &gatherAdapter{shard: r.Shard, units: um}
+		}
+		r.Exec.RecvAhead = cfg.Overlap.P2P
+		r.Exec.AsyncSend = cfg.Overlap.P2P > 0
 		if cfg.Topo.CP > 1 {
 			r.cpShard = cp.NewSharding(cfg.Seq, cfg.Topo.CP)
 		}
@@ -179,6 +231,37 @@ func (cl *Cluster) Attach(reg *metrics.Registry) {
 	cl.World.Meter = reg
 	for _, r := range cl.Ranks {
 		r.Exec.Obs = reg
+	}
+}
+
+// stageUnits maps one virtual stage's model fragments to FSDP unit indices
+// (-1 when the stage lacks the fragment).
+type stageUnits struct {
+	embed, head int
+	layers      []int
+}
+
+// gatherAdapter bridges the executor's ParamGatherer hooks to the sharded
+// FSDP state's per-unit EnsureUnit, which waits the unit's in-flight
+// all-gather and slides the prefetch window.
+type gatherAdapter struct {
+	shard *fsdp.Sharded
+	units []stageUnits
+}
+
+func (a *gatherAdapter) EnsureEmbed(vstage int) {
+	if u := a.units[vstage].embed; u >= 0 {
+		a.shard.EnsureUnit(u)
+	}
+}
+
+func (a *gatherAdapter) EnsureLayer(vstage, layer int) {
+	a.shard.EnsureUnit(a.units[vstage].layers[layer])
+}
+
+func (a *gatherAdapter) EnsureHead(vstage int) {
+	if u := a.units[vstage].head; u >= 0 {
+		a.shard.EnsureUnit(u)
 	}
 }
 
@@ -244,7 +327,14 @@ func validTargets(ts []int) int {
 func (r *Rank) stepRank(src data.Batcher, step int64) float64 {
 	cfg := r.cluster.Cfg
 	if cfg.ZeRO == fsdp.ZeRO3 {
-		r.Shard.GatherParams()
+		if cfg.Overlap.Params > 0 {
+			// Prefetched re-gather: issue the first units' all-gathers now;
+			// the executor's ParamGatherer hooks wait each unit just before
+			// its compute and keep the window full.
+			r.Shard.StartGather()
+		} else {
+			r.Shard.GatherParams()
+		}
 	}
 	mbs := r.buildMicrobatches(src, step)
 	if cfg.ZeRO == fsdp.ZeRO2 {

@@ -62,6 +62,10 @@ type Shard struct {
 	Rank  int // global rank
 	Mode  Mode
 
+	// OptID namespaces this unit's slice of the sharded optimizer state;
+	// Sharded assigns unit indices so each unit keeps its own moments.
+	OptID int
+
 	params    []*model.Param
 	flatLen   int // padded to a multiple of group size
 	shardLen  int
@@ -153,6 +157,67 @@ func (s *Shard) ReduceScatterGrads() {
 	tensor.Put(reduced)
 }
 
+// Pending is an in-flight nonblocking FSDP collective: the comm handle plus
+// the local completion work (unflatten, accumulate, pool returns) that runs
+// when it is waited. Wait is idempotent; a nil Pending waits as a no-op.
+type Pending struct {
+	h      *comm.Handle
+	finish func(res *tensor.Tensor)
+	done   bool
+}
+
+// Wait blocks until the collective completes and applies its result. Abort-
+// and deadline-aware via the underlying handle.
+func (p *Pending) Wait() {
+	if p == nil || p.done {
+		return
+	}
+	p.finish(p.h.Wait())
+	p.done = true
+}
+
+// Done reports without blocking whether the collective has completed (Wait
+// would not block). A nil Pending is done.
+func (p *Pending) Done() bool { return p == nil || p.done || p.h.Done() }
+
+// IGatherParams issues the ZeRO-3 parameter all-gather nonblocking — the
+// prefetch primitive: issue unit i+1's gather while unit i computes
+// (§7.3.1). Returns nil if the parameters are already materialised. The
+// returned Pending's Wait unflattens the gathered weights; until then the
+// unit's parameters must not be touched.
+func (s *Shard) IGatherParams() *Pending {
+	if s.gathered {
+		return nil
+	}
+	shard := tensor.FromSlice(s.ownedWeights(), s.shardLen)
+	h := s.Group.IAllGather(s.Rank, shard)
+	return &Pending{h: h, finish: func(full *tensor.Tensor) {
+		s.unflattenWeights(full)
+		tensor.Put(full)
+		s.gathered = true
+	}}
+}
+
+// IReduceScatterGrads issues the gradient reduce-scatter nonblocking: the
+// accumulators are flattened and zeroed now (so subsequent backwards
+// accumulate into fresh buffers), the reduction overlaps whatever the rank
+// computes next, and Wait folds the reduced shard into gradShard. Waiting
+// pendings in issue order reproduces the blocking accumulation order into
+// gradShard exactly — the bitwise-under-overlap invariant.
+func (s *Shard) IReduceScatterGrads() *Pending {
+	flat := s.flattenGrads()
+	h := s.Group.IReduceScatter(s.Rank, flat.Reshape(s.Group.Size(), s.shardLen))
+	return &Pending{h: h, finish: func(reduced *tensor.Tensor) {
+		// flat is the registered contribution; it is only safe to recycle
+		// after the combine ran, i.e. after Wait returned.
+		tensor.Put(flat)
+		for i, v := range reduced.Data {
+			s.gradShard[i] += v
+		}
+		tensor.Put(reduced)
+	}}
+}
+
 // GatherParams materialises the full parameters (ZeRO-3 pre-forward /
 // pre-backward all-gather). A no-op if already gathered.
 func (s *Shard) GatherParams() {
@@ -208,7 +273,7 @@ func (s *Shard) Step() {
 
 	flatW := s.flattenWeights()
 	local := s.localShard(flatW)
-	s.opt.Step(0, local, s.gradShard)
+	s.opt.Step(s.OptID, local, s.gradShard)
 	for i := range s.gradShard {
 		s.gradShard[i] = 0
 	}

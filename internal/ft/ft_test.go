@@ -3,6 +3,7 @@ package ft
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -270,5 +271,64 @@ func TestCheckpointSerialization(t *testing.T) {
 	}
 	if !bytes.Equal(fullState(t, restored), fullState(t, cl)) {
 		t.Fatal("restored cluster state differs from the source cluster")
+	}
+}
+
+// TestCrashMidP2PBitwise injects the crash into a pipeline P2P op rather
+// than a collective: on a pp=2 dp=2 ZeRO-2 cluster, rank 0's first comm op
+// of a step is pipeline traffic (an activation send, or a pre-posted recv
+// when the overlap engine runs), so OpIndex 0 lands inside "p2p.*". A
+// message may be sitting undelivered in a mailbox at crash time; recovery
+// must drain it (the comm layer's abort drain) and the restored run must
+// still finish bitwise identical to an uninterrupted synchronous run —
+// in both synchronous and fully overlapped mode, since overlap is
+// bitwise-neutral.
+func TestCrashMidP2PBitwise(t *testing.T) {
+	const steps = 6
+	cfg := tinyCfg(core.Topology{TP: 1, CP: 1, PP: 2, DP: 2}, fsdp.ZeRO2)
+	wantState, wantLosses := referenceState(t, cfg, steps)
+
+	overlaps := []struct {
+		name string
+		ov   core.OverlapConfig
+	}{
+		{"sync", core.OverlapConfig{}},
+		{"overlapped", core.OverlapConfig{Params: 2, Grads: true, P2P: 2}},
+	}
+	for _, tc := range overlaps {
+		t.Run(tc.name, func(t *testing.T) {
+			runCfg := cfg
+			runCfg.Overlap = tc.ov
+			ctl := &Controller{
+				Cfg: runCfg, Gen: tinyGen(runCfg),
+				CheckpointEvery: 2,
+				Plan: NewPlan(Fault{
+					Kind: Crash, Rank: 0, Step: 3, OpIndex: 0,
+				}),
+				Timeout: 30 * time.Second,
+			}
+			losses, err := ctl.Run(steps)
+			if err != nil {
+				t.Fatalf("controller did not recover: %v", err)
+			}
+			if ctl.Restarts != 1 || len(ctl.Failures) != 1 {
+				t.Fatalf("restarts=%d failures=%d, want 1/1", ctl.Restarts, len(ctl.Failures))
+			}
+			var ce *CrashError
+			if !errors.As(ctl.Failures[0], &ce) {
+				t.Fatalf("failure cause %v does not unwrap to *CrashError", ctl.Failures[0])
+			}
+			if !strings.HasPrefix(ce.Op, "p2p.") {
+				t.Fatalf("crash landed in %q, want a p2p op — the scenario did not exercise mid-P2P failure", ce.Op)
+			}
+			if !bytes.Equal(fullState(t, ctl.Cluster), wantState) {
+				t.Fatal("recovered run diverged bitwise from the uninterrupted synchronous reference")
+			}
+			for s, want := range wantLosses {
+				if losses[s] != want {
+					t.Fatalf("step %d loss %v != reference %v", s, losses[s], want)
+				}
+			}
+		})
 	}
 }

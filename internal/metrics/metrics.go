@@ -51,6 +51,20 @@ type RankReport struct {
 	P2PWaitSeconds float64 `json:"p2p_wait_seconds"`
 	IdleSeconds    float64 `json:"idle_seconds"`
 
+	// Handle-based (nonblocking) communication time, split into the
+	// portion the rank actually stalled on (blocked in Wait — exposed) and
+	// the portion hidden behind compute between issue and Wait
+	// (overlapped). Blocking collectives land entirely in CommSeconds;
+	// handle ops land here instead, so CommSeconds keeps its meaning
+	// across synchronous and overlapped runs.
+	ExposedCommSeconds float64 `json:"exposed_comm_seconds"`
+	OverlapCommSeconds float64 `json:"overlap_comm_seconds"`
+
+	// Overlapped maps "group/op" to the traffic issued nonblocking — a
+	// subset of Comm (every handle op is also metered there). The xval
+	// sweep asserts this split exactly against the overlap configuration.
+	Overlapped map[string]OpVolume `json:"overlapped,omitempty"`
+
 	// PeakActivationBytes is the high-water mark of deduplicated live
 	// activation tensor bytes across the rank's in-flight micro-batch
 	// contexts (sampled after every executed op). PeakLiveContexts is the
@@ -81,12 +95,15 @@ type StepReport struct {
 }
 
 type rankState struct {
-	mu       sync.Mutex
-	comm     map[comm.OpKey]OpVolume
-	p2pWait  float64
-	peakByte int64
-	peakCtx  int
-	ops      []pp.Op
+	mu         sync.Mutex
+	comm       map[comm.OpKey]OpVolume
+	overlapped map[comm.OpKey]OpVolume
+	exposed    float64
+	overlap    float64
+	p2pWait    float64
+	peakByte   int64
+	peakCtx    int
+	ops        []pp.Op
 }
 
 // Registry collects per-rank, per-step measurements from a live cluster. It
@@ -110,7 +127,10 @@ type Registry struct {
 func NewRegistry(nRanks int) *Registry {
 	r := &Registry{start: time.Now(), ranks: make([]*rankState, nRanks)}
 	for i := range r.ranks {
-		r.ranks[i] = &rankState{comm: make(map[comm.OpKey]OpVolume)}
+		r.ranks[i] = &rankState{
+			comm:       make(map[comm.OpKey]OpVolume),
+			overlapped: make(map[comm.OpKey]OpVolume),
+		}
 	}
 	return r
 }
@@ -132,6 +152,32 @@ func (r *Registry) RecordComm(rank int, label string, dur float64) {
 		Rank: rank, Kind: trace.Comm, Group: label, Name: label + ".collective",
 		Start: r.now() - dur, Dur: dur,
 	})
+}
+
+// RecordOverlap implements comm.OverlapRecorder: one handle-based op's
+// issue-to-completion span lands on the trace as an overlap event, and its
+// time splits into the exposed (blocked in Wait) and overlapped (hidden
+// behind compute) accumulators. The op's bytes also join the per-rank
+// overlapped-volume breakdown, which xval asserts against the overlap
+// configuration's predicted split.
+func (r *Registry) RecordOverlap(rank int, group, op string, bytes int64, total, exposed float64) {
+	end := r.now()
+	r.col.RecordEvent(trace.Event{
+		Rank: rank, Kind: trace.Overlap, Group: group, Name: group + "." + op + ".async",
+		Start: end - total, Dur: total,
+	})
+	rs := r.rank(rank)
+	k := comm.OpKey{Group: group, Op: op}
+	rs.mu.Lock()
+	v := rs.overlapped[k]
+	v.Bytes += bytes
+	v.Msgs++
+	rs.overlapped[k] = v
+	rs.exposed += exposed
+	if total > exposed {
+		rs.overlap += total - exposed
+	}
+	rs.mu.Unlock()
 }
 
 // RecordOp implements comm.Meter: per-rank (group, op) byte/message counts.
@@ -191,6 +237,9 @@ func (r *Registry) BeginStep(step int64) {
 	for _, rs := range r.ranks {
 		rs.mu.Lock()
 		rs.comm = make(map[comm.OpKey]OpVolume)
+		rs.overlapped = make(map[comm.OpKey]OpVolume)
+		rs.exposed = 0
+		rs.overlap = 0
 		rs.p2pWait = 0
 		rs.peakByte = 0
 		rs.peakCtx = 0
@@ -218,6 +267,8 @@ func (r *Registry) EndStep() *StepReport {
 		rr := RankReport{
 			Rank:                rank,
 			Comm:                make(map[string]OpVolume, len(rs.comm)),
+			ExposedCommSeconds:  rs.exposed,
+			OverlapCommSeconds:  rs.overlap,
 			P2PWaitSeconds:      rs.p2pWait,
 			PeakActivationBytes: rs.peakByte,
 			PeakLiveContexts:    rs.peakCtx,
@@ -225,6 +276,12 @@ func (r *Registry) EndStep() *StepReport {
 		}
 		for k, v := range rs.comm {
 			rr.Comm[k.Group+"/"+k.Op] = v
+		}
+		if len(rs.overlapped) > 0 {
+			rr.Overlapped = make(map[string]OpVolume, len(rs.overlapped))
+			for k, v := range rs.overlapped {
+				rr.Overlapped[k.Group+"/"+k.Op] = v
+			}
 		}
 		rs.mu.Unlock()
 		// Fold wall time in from this step's trace events.
@@ -271,31 +328,73 @@ func (s *StepReport) TotalCommBytes(group string) int64 {
 	return total
 }
 
+// OverlappedCommBytes sums the report's nonblocking-issued communication
+// bytes over all ranks, optionally restricted to one group label ("" sums
+// everything). Always ≤ TotalCommBytes for the same group.
+func (s *StepReport) OverlappedCommBytes(group string) int64 {
+	var total int64
+	for _, rr := range s.Ranks {
+		for k, v := range rr.Overlapped {
+			if group != "" && !strings.HasPrefix(k, group+"/") {
+				continue
+			}
+			total += v.Bytes
+		}
+	}
+	return total
+}
+
+// OverlapFraction returns the fraction of handle-issued communication time
+// that was hidden behind compute, summed over all ranks:
+// overlapped / (overlapped + exposed). Returns 0 when no nonblocking
+// communication was issued. This is the measured counterpart of the sim
+// engine's modeled DP-overlap fraction (§7.3.1).
+func (s *StepReport) OverlapFraction() float64 {
+	var exp, ovl float64
+	for _, rr := range s.Ranks {
+		exp += rr.ExposedCommSeconds
+		ovl += rr.OverlapCommSeconds
+	}
+	if exp+ovl == 0 {
+		return 0
+	}
+	return ovl / (exp + ovl)
+}
+
 // Table renders the report as a fixed-width table: one row per rank plus a
 // world-summary header.
 func (s *StepReport) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "step %d: wall %.3fs, %s matmul FLOPs, pool gets=%d hits=%d puts=%d rejects=%d\n",
 		s.Step, s.WallSeconds, humanCount(s.FLOPs), s.Pool.Gets, s.Pool.Hits, s.Pool.Puts, s.Pool.Rejects)
-	fmt.Fprintf(&b, "%4s %12s %10s %10s %10s %10s %12s %6s\n",
-		"rank", "comm bytes", "comm s", "compute s", "p2p-wait s", "idle s", "peak act", "ctxs")
+	fmt.Fprintf(&b, "%4s %12s %10s %10s %10s %10s %10s %10s %12s %6s\n",
+		"rank", "comm bytes", "comm s", "compute s", "p2p-wait s", "idle s", "exposed s", "hidden s", "peak act", "ctxs")
 	for _, rr := range s.Ranks {
 		var bytes int64
 		for _, v := range rr.Comm {
 			bytes += v.Bytes
 		}
-		fmt.Fprintf(&b, "%4d %12d %10.4f %10.4f %10.4f %10.4f %12d %6d\n",
+		fmt.Fprintf(&b, "%4d %12d %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f %12d %6d\n",
 			rr.Rank, bytes, rr.CommSeconds, rr.ComputeSeconds, rr.P2PWaitSeconds,
-			rr.IdleSeconds, rr.PeakActivationBytes, rr.PeakLiveContexts)
+			rr.IdleSeconds, rr.ExposedCommSeconds, rr.OverlapCommSeconds,
+			rr.PeakActivationBytes, rr.PeakLiveContexts)
 	}
-	// Per-(group, op) world totals, sorted for stable output.
+	// Per-(group, op) world totals, sorted for stable output; the overlapped
+	// column shows how much of each op's traffic was issued nonblocking.
 	totals := map[string]OpVolume{}
+	overlapped := map[string]OpVolume{}
 	for _, rr := range s.Ranks {
 		for k, v := range rr.Comm {
 			t := totals[k]
 			t.Bytes += v.Bytes
 			t.Msgs += v.Msgs
 			totals[k] = t
+		}
+		for k, v := range rr.Overlapped {
+			t := overlapped[k]
+			t.Bytes += v.Bytes
+			t.Msgs += v.Msgs
+			overlapped[k] = t
 		}
 	}
 	keys := make([]string, 0, len(totals))
@@ -305,7 +404,14 @@ func (s *StepReport) Table() string {
 	sort.Strings(keys)
 	b.WriteString("comm by (group, op):\n")
 	for _, k := range keys {
-		fmt.Fprintf(&b, "  %-20s %12d bytes %8d msgs\n", k, totals[k].Bytes, totals[k].Msgs)
+		fmt.Fprintf(&b, "  %-20s %12d bytes %8d msgs", k, totals[k].Bytes, totals[k].Msgs)
+		if o, ok := overlapped[k]; ok {
+			fmt.Fprintf(&b, "   (%d bytes overlapped)", o.Bytes)
+		}
+		b.WriteByte('\n')
+	}
+	if f := s.OverlapFraction(); f > 0 {
+		fmt.Fprintf(&b, "overlap fraction (hidden / async comm time): %.3f\n", f)
 	}
 	return b.String()
 }

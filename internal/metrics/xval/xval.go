@@ -25,6 +25,14 @@ type Expected struct {
 	// Comm[rank]["group/op"] is the exact predicted traffic each rank
 	// issues during one training step.
 	Comm []map[string]metrics.OpVolume
+	// Overlapped[rank]["group/op"] is the subset of Comm predicted to be
+	// issued nonblocking (handle-based) under the cluster's overlap
+	// configuration: pipeline sends/recvs when Overlap.P2P > 0, the
+	// per-backward ZeRO-2 gradient reduce-scatters when Overlap.Grads, and
+	// the steady-state ZeRO-3 parameter re-gathers when Overlap.Params > 0.
+	// Step-end collectives (fsdp.Shard.Step) are always blocking. Empty
+	// maps when the overlap engine is disabled.
+	Overlapped []map[string]metrics.OpVolume
 	// FLOPs is the predicted world-total nominal matmul FLOP count.
 	FLOPs int64
 }
@@ -76,18 +84,39 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 		replay = attnPath
 	}
 
-	ex := &Expected{Comm: make([]map[string]metrics.OpVolume, len(cl.Ranks))}
+	ex := &Expected{
+		Comm:       make([]map[string]metrics.OpVolume, len(cl.Ranks)),
+		Overlapped: make([]map[string]metrics.OpVolume, len(cl.Ranks)),
+	}
 	for _, r := range cl.Ranks {
 		m := make(map[string]metrics.OpVolume)
-		add := func(group, op string, bytesPerMsg, msgs int64) {
-			v := m[group+"/"+op]
+		om := make(map[string]metrics.OpVolume)
+		addTo := func(dst map[string]metrics.OpVolume, group, op string, bytesPerMsg, msgs int64) {
+			v := dst[group+"/"+op]
 			v.Bytes += bytesPerMsg * msgs
 			v.Msgs += msgs
-			m[group+"/"+op] = v
+			dst[group+"/"+op] = v
 		}
-		shardLen := int64(r.Shard.ShardLen())
-		flatLen := shardLen * fs
+		add := func(group, op string, bytesPerMsg, msgs int64) {
+			addTo(m, group, op, bytesPerMsg, msgs)
+		}
+		// addO predicts traffic that the overlap engine issues nonblocking:
+		// it lands in Comm (handles meter identically to blocking ops) AND
+		// in the Overlapped breakdown.
+		addO := func(group, op string, bytesPerMsg, msgs int64) {
+			addTo(m, group, op, bytesPerMsg, msgs)
+			addTo(om, group, op, bytesPerMsg, msgs)
+		}
+		// FSDP state is partitioned into per-unit shards (embed, blocks,
+		// head); each unit runs its own collectives, so volumes — including
+		// the per-unit truncating division — are summed per unit.
+		unitLens := r.Shard.ShardLens()
 		p2p := 4 * mbs * R * dim // one packed micro-batch activation message
+		// Pipeline P2P: pre-posted recvs / async sends when Overlap.P2P > 0.
+		addP2P := add
+		if cfg.Overlap.P2P > 0 {
+			addP2P = addO
+		}
 
 		// The cluster's group cache deduplicates groups by rank set, so a
 		// singleton dimension's group may alias an earlier-created one and
@@ -121,10 +150,10 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 					add(cpG, "allgather", allGatherBytes(R*nKVl*hd, cpN), 2*L*mbs) // gather K and V
 				}
 				if g > 0 {
-					add("p2p", "recv", p2p, 1)
+					addP2P("p2p", "recv", p2p, 1)
 				}
 				if g < lastG {
-					add("p2p", "send", p2p, 1)
+					addP2P("p2p", "send", p2p, 1)
 				}
 				ex.FLOPs += mbs * L * blkFwd
 				if g == lastG {
@@ -160,14 +189,22 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 					}
 				}
 				if g < lastG {
-					add("p2p", "recv", p2p, 1)
+					addP2P("p2p", "recv", p2p, 1)
 				}
 				if g > 0 {
-					add("p2p", "send", p2p, 1)
+					addP2P("p2p", "send", p2p, 1)
 				}
 				if cfg.ZeRO == fsdp.ZeRO2 {
-					// Per-backward gradient reduce-scatter (Fig 4c).
-					add(dpG, "reducescatter", reduceScatterBytes(flatLen, fs), 1)
+					// Per-backward gradient reduce-scatter, one per unit
+					// (Fig 4c); overlapped behind subsequent compute when
+					// Overlap.Grads.
+					addRS := add
+					if cfg.Overlap.Grads {
+						addRS = addO
+					}
+					for _, sl := range unitLens {
+						addRS(dpG, "reducescatter", reduceScatterBytes(int64(sl)*fs, fs), 1)
+					}
 				}
 				ex.FLOPs += mbs * L * (2*blkFwd + replay)
 				if g == lastG {
@@ -176,18 +213,27 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 			}
 		}
 
-		// Step end: unconditional gradient reduce-scatter + parameter
-		// all-gather (fsdp.Shard.Step), plus ZeRO-3's re-gather of released
-		// parameters at the start of every steady-state step.
-		add(dpG, "reducescatter", reduceScatterBytes(flatLen, fs), 1)
-		add(dpG, "allgather", allGatherBytes(shardLen, fs), 1)
-		if cfg.ZeRO == fsdp.ZeRO3 && steadyState {
-			add(dpG, "allgather", allGatherBytes(shardLen, fs), 1)
+		// Step end, per unit: unconditional gradient reduce-scatter +
+		// parameter all-gather (fsdp.Shard.Step) — always blocking — plus
+		// ZeRO-3's re-gather of released parameters at the start of every
+		// steady-state step, which the prefetch engine issues nonblocking
+		// when Overlap.Params > 0.
+		addAG := add
+		if cfg.ZeRO == fsdp.ZeRO3 && cfg.Overlap.Params > 0 {
+			addAG = addO
+		}
+		for _, sl := range unitLens {
+			add(dpG, "reducescatter", reduceScatterBytes(int64(sl)*fs, fs), 1)
+			add(dpG, "allgather", allGatherBytes(int64(sl), fs), 1)
+			if cfg.ZeRO == fsdp.ZeRO3 && steadyState {
+				addAG(dpG, "allgather", allGatherBytes(int64(sl), fs), 1)
+			}
 		}
 		// Loss aggregation: one world all-reduce of a single float per rank.
 		add(worldG, "allreduce", allReduceBytes(1, world), 1)
 
 		ex.Comm[r.ID] = m
+		ex.Overlapped[r.ID] = om
 	}
 	return ex
 }

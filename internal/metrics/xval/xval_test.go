@@ -1,6 +1,7 @@
 package xval
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -235,4 +236,162 @@ type stringsBuilder struct{ s []byte }
 func (b *stringsBuilder) Write(p []byte) (int, error) {
 	b.s = append(b.s, p...)
 	return len(p), nil
+}
+
+// runOverlapSteps is runMeasuredSteps with an overlap configuration applied,
+// returning the per-step global losses alongside the reports.
+func runOverlapSteps(t *testing.T, sc sweepCase, ov core.OverlapConfig, steps int) (*core.Cluster, []float64, []*metrics.StepReport) {
+	t.Helper()
+	cfg := sc.config()
+	cfg.Overlap = ov
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	reg := metrics.NewRegistry(cfg.Topo.World())
+	cl.Attach(reg)
+	gen := &data.Generator{Vocab: cfg.Model.Vocab, Seq: cfg.Seq, AvgDocLen: 8, Seed: 7}
+	var losses []float64
+	var reps []*metrics.StepReport
+	for step := int64(0); step < int64(steps); step++ {
+		reg.BeginStep(step)
+		losses = append(losses, cl.Step(gen, step))
+		reps = append(reps, reg.EndStep())
+	}
+	return cl, losses, reps
+}
+
+// assertClustersBitwiseEqual compares every rank's full parameter buffers of
+// two same-topology clusters bit for bit.
+func assertClustersBitwiseEqual(t *testing.T, a, b *core.Cluster, label string) {
+	t.Helper()
+	if err := a.MaterializeParams(); err != nil {
+		t.Fatalf("materializing params: %v", err)
+	}
+	if err := b.MaterializeParams(); err != nil {
+		t.Fatalf("materializing params: %v", err)
+	}
+	for i := range a.Ranks {
+		pa, pb := a.Ranks[i].Shard.Params(), b.Ranks[i].Shard.Params()
+		if len(pa) != len(pb) {
+			t.Fatalf("%s: rank %d has %d vs %d params", label, i, len(pa), len(pb))
+		}
+		for j := range pa {
+			for k := range pa[j].W.Data {
+				if math.Float32bits(pa[j].W.Data[k]) != math.Float32bits(pb[j].W.Data[k]) {
+					t.Fatalf("%s: rank %d param %q element %d: %v != %v (not bitwise equal)",
+						label, i, pa[j].Name, k, pa[j].W.Data[k], pb[j].W.Data[k])
+					return
+				}
+			}
+		}
+	}
+}
+
+// TestSweepOverlapBitwiseAndVolumes is the overlap half of the conformance
+// sweep: for every configuration, a run with every overlap knob turned on
+// (prefetch depth 2, async gradient reductions, P2P window 2) must produce
+// bitwise-identical per-step losses and final weights to the synchronous run,
+// its total measured traffic must still match the analytic prediction
+// exactly, and the measured nonblocking-issued subset must equal the
+// predicted Overlapped breakdown exactly — while the synchronous run issues
+// nothing nonblocking at all.
+func TestSweepOverlapBitwiseAndVolumes(t *testing.T) {
+	ov := core.OverlapConfig{Params: 2, Grads: true, P2P: 2}
+	for _, sc := range sweepCases() {
+		t.Run(sc.name, func(t *testing.T) {
+			syncCl, syncLoss, syncReps := runOverlapSteps(t, sc, core.OverlapConfig{}, 2)
+			ovCl, ovLoss, ovReps := runOverlapSteps(t, sc, ov, 2)
+			for step := range syncLoss {
+				if math.Float64bits(syncLoss[step]) != math.Float64bits(ovLoss[step]) {
+					t.Errorf("step %d: overlapped loss %v != synchronous %v (not bitwise equal)",
+						step, ovLoss[step], syncLoss[step])
+				}
+			}
+			assertClustersBitwiseEqual(t, syncCl, ovCl, "final weights")
+			for step, rep := range ovReps {
+				ex := Predict(ovCl, step > 0)
+				for _, rr := range rep.Ranks {
+					if !reflect.DeepEqual(rr.Comm, ex.Comm[rr.Rank]) {
+						t.Errorf("step %d rank %d: overlapped-run comm %+v != predicted %+v",
+							step, rr.Rank, rr.Comm, ex.Comm[rr.Rank])
+					}
+					wantO := ex.Overlapped[rr.Rank]
+					gotO := rr.Overlapped
+					if gotO == nil {
+						gotO = map[string]metrics.OpVolume{}
+					}
+					if len(wantO) == 0 && len(gotO) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(gotO, wantO) {
+						t.Errorf("step %d rank %d: measured overlapped %+v != predicted %+v",
+							step, rr.Rank, gotO, wantO)
+					}
+				}
+			}
+			for step, rep := range syncReps {
+				for _, rr := range rep.Ranks {
+					if len(rr.Overlapped) != 0 {
+						t.Errorf("step %d rank %d: synchronous run recorded overlapped traffic %+v",
+							step, rr.Rank, rr.Overlapped)
+					}
+					if rr.ExposedCommSeconds != 0 || rr.OverlapCommSeconds != 0 {
+						t.Errorf("step %d rank %d: synchronous run recorded async comm time (exposed %v, hidden %v)",
+							step, rr.Rank, rr.ExposedCommSeconds, rr.OverlapCommSeconds)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPrefetchDepthProperty is the prefetch-depth property test: on the full
+// 4D 16-rank topology under ZeRO-3, prefetch depths 0, 1, and 2 must all
+// yield bitwise-identical losses and weights, with any positive depth issuing
+// every steady-state parameter re-gather nonblocking.
+func TestPrefetchDepthProperty(t *testing.T) {
+	sc := sweepCase{
+		name: "4d_16rank_zero3", topo: core.Topology{TP: 2, CP: 2, PP: 2, DP: 2},
+		v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO3, gbs: 4,
+	}
+	const steps = 3
+	var refCl *core.Cluster
+	var refLoss []float64
+	for _, depth := range []int{0, 1, 2} {
+		cl, losses, reps := runOverlapSteps(t, sc, core.OverlapConfig{Params: depth}, steps)
+		if refCl == nil {
+			refCl, refLoss = cl, losses
+			continue
+		}
+		for step := range refLoss {
+			if math.Float64bits(refLoss[step]) != math.Float64bits(losses[step]) {
+				t.Errorf("depth %d step %d: loss %v != depth-0 loss %v (not bitwise equal)",
+					depth, step, losses[step], refLoss[step])
+			}
+		}
+		assertClustersBitwiseEqual(t, refCl, cl, fmt.Sprintf("depth %d weights", depth))
+		// Steady-state steps must re-gather every unit nonblocking.
+		for step := 1; step < steps; step++ {
+			ex := Predict(cl, true)
+			for _, rr := range reps[step].Ranks {
+				wantO := ex.Overlapped[rr.Rank]
+				gotO := rr.Overlapped
+				if gotO == nil {
+					gotO = map[string]metrics.OpVolume{}
+				}
+				if !reflect.DeepEqual(gotO, wantO) {
+					t.Errorf("depth %d step %d rank %d: overlapped %+v != predicted %+v",
+						depth, step, rr.Rank, gotO, wantO)
+				}
+				var msgs int64
+				for _, v := range gotO {
+					msgs += v.Msgs
+				}
+				if msgs == 0 {
+					t.Errorf("depth %d step %d rank %d: no nonblocking gathers recorded", depth, step, rr.Rank)
+				}
+			}
+		}
+	}
 }

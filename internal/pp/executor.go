@@ -20,6 +20,19 @@ type Observer interface {
 	OpExecuted(rank int, op Op, dur, p2pWait float64, liveBytes int64, liveContexts int)
 }
 
+// ParamGatherer coordinates sharded-parameter residency with stage compute:
+// the executor calls Ensure* immediately before a fragment's first use in an
+// op, letting FSDP ZeRO-3 wait that fragment's in-flight all-gather and
+// issue the next prefetch — the "gather layer i+1 while layer i computes"
+// overlap of §7.3.1. The executor makes these calls in schedule order, which
+// is identical on every rank of a data-parallel group, so the nonblocking
+// collective sequences stay aligned. Nil disables the hooks.
+type ParamGatherer interface {
+	EnsureEmbed(vstage int)
+	EnsureLayer(vstage, layer int)
+	EnsureHead(vstage int)
+}
+
 // Stage holds the model fragment of one virtual pipeline stage. Embed is
 // non-nil only on global stage 0, Head only on the last global stage — the
 // placement whose memory/compute skew motivates the paper's balanced-PP
@@ -90,6 +103,21 @@ type Executor struct {
 	// Obs, if set, observes every executed op with timing and the live
 	// activation footprint (internal/metrics). Set it before RunStep.
 	Obs Observer
+
+	// Gather, if set, is called before each model fragment's compute so a
+	// ZeRO-3 shard can overlap parameter all-gathers with execution.
+	Gather ParamGatherer
+
+	// RecvAhead, when positive, pre-posts each activation/gradient receive
+	// up to RecvAhead schedule ops before the op that consumes it, so the
+	// transfer overlaps the intervening compute. 0 keeps the synchronous
+	// blocking-Recv path.
+	RecvAhead int
+
+	// AsyncSend, when true, issues activation/gradient sends as
+	// nonblocking handles, drained at the end of the step. Payloads are
+	// cloned at issue, so compute may immediately reuse the buffers.
+	AsyncSend bool
 }
 
 const ppTagBase = 1 << 21
@@ -115,10 +143,56 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 	}
 	lr := e.Group.LocalRank(e.Rank)
 	stages := e.Sched.Stages()
+	ops := e.Sched.Ranks[lr]
 	live := make(map[[2]int]*mbState) // (vstage, mb) -> state
 	e.PeakLiveContexts = 0
 
-	for _, op := range e.Sched.Ranks[lr] {
+	// Pre-posting plan: every receive the schedule will perform, in op
+	// order, so IRecvs can be issued up to RecvAhead ops before the
+	// consuming op. Tags are unique per (stage, mb, direction), so an early
+	// post can never capture another op's message.
+	type recvSrc struct {
+		idx  int // index of the op that consumes the receive
+		from int // global sender rank
+		tag  int
+	}
+	var plan []recvSrc
+	if e.RecvAhead > 0 {
+		for i, op := range ops {
+			g := e.Sched.GlobalStage(lr, op.Stage)
+			switch {
+			case op.Kind == Fwd && g > 0:
+				pr, _ := e.Sched.StageOwner(g - 1)
+				plan = append(plan, recvSrc{i, e.Group.GlobalRank(pr), fwdTag(stages, g, op.MB)})
+			case op.Kind == Bwd && g < stages-1:
+				nr, _ := e.Sched.StageOwner(g + 1)
+				plan = append(plan, recvSrc{i, e.Group.GlobalRank(nr), bwdTag(stages, g, op.MB)})
+			}
+		}
+	}
+	posted := make(map[int]*comm.Handle) // consuming op index -> handle
+	np := 0
+	var sendHs []*comm.Handle
+	recvPacked := func(idx int, from, tag int) *tensor.Tensor {
+		if h, ok := posted[idx]; ok {
+			delete(posted, idx)
+			return h.Wait()
+		}
+		return e.World.Recv(e.Rank, from, tag)
+	}
+	send := func(to, tag int, t *tensor.Tensor) {
+		if e.AsyncSend {
+			sendHs = append(sendHs, e.World.ISend(e.Rank, to, tag, t))
+			return
+		}
+		e.World.Send(e.Rank, to, tag, t)
+	}
+
+	for idx, op := range ops {
+		for np < len(plan) && plan[np].idx <= idx+e.RecvAhead {
+			posted[plan[np].idx] = e.World.IRecv(e.Rank, plan[np].from, plan[np].tag)
+			np++
+		}
 		opStart := time.Now()
 		var p2pWait float64
 		g := e.Sched.GlobalStage(lr, op.Stage)
@@ -130,6 +204,9 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 			st := &mbState{mb: mb}
 			var xs []*tensor.Tensor
 			if g == 0 {
+				if e.Gather != nil {
+					e.Gather.EnsureEmbed(op.Stage)
+				}
 				for i, s := range mb.Samples {
 					x, ec := stage.Embed.Forward(s.Tokens)
 					st.embCtx = append(st.embCtx, ec)
@@ -139,7 +216,7 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 			} else {
 				prevRank, _ := e.Sched.StageOwner(g - 1)
 				t0 := time.Now()
-				packed := e.World.Recv(e.Rank, e.Group.GlobalRank(prevRank), fwdTag(stages, g, op.MB))
+				packed := recvPacked(idx, e.Group.GlobalRank(prevRank), fwdTag(stages, g, op.MB))
 				p2pWait += time.Since(t0).Seconds()
 				xs = unpackRows(packed, len(mb.Samples))
 			}
@@ -148,7 +225,10 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 			st.layerCtx = make([][]any, len(xs))
 			for i, x := range xs {
 				cur := x
-				for _, l := range stage.Layers {
+				for li, l := range stage.Layers {
+					if e.Gather != nil {
+						e.Gather.EnsureLayer(op.Stage, li)
+					}
 					var c any
 					cur, c = l.Forward(cur, mb.Envs[i])
 					st.layerCtx[i] = append(st.layerCtx[i], c)
@@ -156,6 +236,9 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 				outs[i] = cur
 			}
 			if g == stages-1 {
+				if e.Gather != nil {
+					e.Gather.EnsureHead(op.Stage)
+				}
 				for i, out := range outs {
 					loss, hc := stage.Head.ForwardLoss(out, mb.Samples[i].Targets, mb.scale(i), mb.Envs[i])
 					st.headCtx = append(st.headCtx, hc)
@@ -168,7 +251,7 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 				}
 			} else {
 				nextRank, _ := e.Sched.StageOwner(g + 1)
-				e.World.Send(e.Rank, e.Group.GlobalRank(nextRank), fwdTag(stages, g+1, op.MB), packRows(outs))
+				send(e.Group.GlobalRank(nextRank), fwdTag(stages, g+1, op.MB), packRows(outs))
 			}
 			live[keyID] = st
 			if len(live) > e.PeakLiveContexts {
@@ -188,7 +271,7 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 			} else {
 				nextRank, _ := e.Sched.StageOwner(g + 1)
 				t0 := time.Now()
-				packed := e.World.Recv(e.Rank, e.Group.GlobalRank(nextRank), bwdTag(stages, g, op.MB))
+				packed := recvPacked(idx, e.Group.GlobalRank(nextRank), bwdTag(stages, g, op.MB))
 				p2pWait += time.Since(t0).Seconds()
 				dys = unpackRows(packed, len(mb.Samples))
 			}
@@ -206,7 +289,7 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 				}
 			} else {
 				prevRank, _ := e.Sched.StageOwner(g - 1)
-				e.World.Send(e.Rank, e.Group.GlobalRank(prevRank), bwdTag(stages, g-1, op.MB), packRows(dxs))
+				send(e.Group.GlobalRank(prevRank), bwdTag(stages, g-1, op.MB), packRows(dxs))
 			}
 			delete(live, keyID) // release activation memory (§6.3)
 			if e.OnBackward != nil {
@@ -217,6 +300,11 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 			e.Obs.OpExecuted(e.Rank, op, time.Since(opStart).Seconds(), p2pWait,
 				liveActivationBytes(live), len(live))
 		}
+	}
+	// Drain async sends: every message is already cloned and accounted at
+	// issue; waiting records the overlapped portion of the transfer time.
+	for _, h := range sendHs {
+		h.Wait()
 	}
 	if len(live) != 0 {
 		panic(fmt.Sprintf("pp: %d micro-batch contexts leaked after step", len(live)))

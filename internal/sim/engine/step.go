@@ -46,8 +46,24 @@ type StepReport struct {
 	TFLOPsPerGPU float64 // achieved model TFLOPs per GPU (the paper's metric)
 	BubbleRatio  float64
 	DPExposed    float64   // first all-gather + last reduce-scatter (§7.3.1)
+	DPCommTotal  float64   // all FSDP collective time, overlapped or not
 	PerRankBusy  []float64 // PP-rank compute seconds
 	Timeline     *pp.Timeline
+}
+
+// ModeledOverlapFraction returns the fraction of FSDP communication time the
+// §7.3.1 overlap scheme hides behind compute: every virtual stage's parameter
+// all-gather and gradient reduce-scatter overlaps except the first all-gather
+// (no compute precedes it) and the last reduce-scatter (no compute follows
+// it), so the fraction is (DPCommTotal − DPExposed) / DPCommTotal. Returns 0
+// when the configuration has no FSDP communication. This is the modeled
+// counterpart of metrics.StepReport.OverlapFraction, which measures the same
+// quantity from a live run's handle timings.
+func (r *StepReport) ModeledOverlapFraction() float64 {
+	if r.DPCommTotal <= 0 {
+		return 0
+	}
+	return (r.DPCommTotal - r.DPExposed) / r.DPCommTotal
 }
 
 // stageShape captures per-global-stage cost inputs.
@@ -209,12 +225,15 @@ func (ts TrainSim) Simulate() (*StepReport, error) {
 
 	// FSDP exposure: all collectives overlap with compute except the first
 	// parameter all-gather and the last gradient reduce-scatter (§7.3.1).
+	// Each of the V virtual stages pays one all-gather and one reduce-
+	// scatter; only one pair of those is exposed.
 	perRankParams := float64(ts.Model.LayerParams()) * float64(ts.Model.NLayers) / float64(ts.PP) / float64(ts.TP)
 	dpBytes := 2 * perRankParams / float64(ts.V) // one virtual stage's worth
-	dpExposed := 0.0
+	dpExposed, dpTotal := 0.0, 0.0
 	if ts.DP*ts.CP > 1 {
 		g := ts.fsdpRanks()
 		dpExposed = ts.Cost.AllGather(g, dpBytes) + ts.Cost.ReduceScatter(g, 2*dpBytes)
+		dpTotal = float64(ts.V) * dpExposed
 	}
 
 	stepTime := tl.Makespan + dpExposed
@@ -226,6 +245,7 @@ func (ts TrainSim) Simulate() (*StepReport, error) {
 		TFLOPsPerGPU: flops / float64(ts.World()) / stepTime / 1e12,
 		BubbleRatio:  tl.BubbleRatio(),
 		DPExposed:    dpExposed,
+		DPCommTotal:  dpTotal,
 		PerRankBusy:  tl.Busy,
 		Timeline:     tl,
 	}

@@ -26,6 +26,12 @@ const (
 	Comm    Kind = "comm"
 	Idle    Kind = "idle"
 	Fault   Kind = "fault"
+
+	// Overlap marks a nonblocking (handle-based) communication span from
+	// issue to completion — time that runs concurrently with compute rather
+	// than stalling the rank. Exposed stall time, if any, is the tail of the
+	// span the rank spent blocked in Wait; metrics accounts it separately.
+	Overlap Kind = "overlap"
 )
 
 // Event is one interval on one rank's timeline.
@@ -241,6 +247,8 @@ func (t *Trace) ASCIITimeline(rank, width int) string {
 		switch e.Kind {
 		case Comm:
 			ch = '~'
+		case Overlap:
+			ch = '^'
 		case Fault:
 			ch = '!'
 		}
