@@ -18,10 +18,12 @@ race:
 
 # Microbenchmark baselines: every optimised kernel head-to-head against its
 # frozen seed copy (impl=before/impl=after, pool=off/pool=on) into
-# BENCH_kernels.json, and the same training step synchronous vs under the
+# BENCH_kernels.json, the same training step synchronous vs under the
 # comm-compute overlap engine (mode=sync/mode=overlapped, plus a depth
-# sweep) into BENCH_overlap.json. The temp files keep a go test failure
-# from being masked by the pipe.
+# sweep) into BENCH_overlap.json, and the blocked attention engine vs the
+# dense reference across document-length distributions (dist=*/impl=*)
+# into BENCH_attention.json. The temp files keep a go test failure from
+# being masked by the pipe.
 bench:
 	$(GO) test -bench='^BenchmarkKernel' -benchmem -run='^$$' \
 		./internal/tensor ./internal/attention . > BENCH_kernels.txt \
@@ -31,17 +33,21 @@ bench:
 		./internal/core > BENCH_overlap.txt \
 		&& $(GO) run ./cmd/benchjson -o BENCH_overlap.json < BENCH_overlap.txt \
 		&& rm BENCH_overlap.txt
+	$(GO) test -bench='^BenchmarkAttentionMasked' -benchmem -run='^$$' \
+		./internal/attention > BENCH_attention.txt \
+		&& $(GO) run ./cmd/benchjson -o BENCH_attention.json < BENCH_attention.txt \
+		&& rm BENCH_attention.txt
 
 # The paper-reproduction benchmarks (one per table/figure) plus the kernel
 # suite.
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
-# One iteration of every kernel and overlap benchmark: exercises the
-# before/after and sync-vs-overlapped bitwise correctness guards without
-# waiting for stable timings.
+# One iteration of every kernel, overlap, and masked-attention benchmark:
+# exercises the before/after, sync-vs-overlapped, and blocked-vs-dense
+# bitwise correctness guards without waiting for stable timings.
 smoke-bench:
-	$(GO) test -bench='^(BenchmarkKernel|BenchmarkOverlap)' -benchtime=1x -run='^$$' \
+	$(GO) test -bench='^(BenchmarkKernel|BenchmarkOverlap|BenchmarkAttentionMasked)' -benchtime=1x -run='^$$' \
 		./internal/tensor ./internal/attention ./internal/core .
 
 # The measured-vs-modeled gate: the xval conformance sweep (measured comm

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 
+	"llama4d/internal/attention"
 	"llama4d/internal/core"
 	"llama4d/internal/data"
 	"llama4d/internal/debug"
@@ -561,6 +562,10 @@ func goodputStudy() {
 // analytic models — the measured-vs-modeled loop, live.
 func metricsStudy() {
 	fmt.Println("measured vs modeled: per-rank metrics on a live 16-rank 4D step (tp=2 cp=2 pp=2 dp=2)")
+	// 8×8 tiles so the 32-token demo sequence actually tiles (training-scale
+	// sequences use the default 64×64).
+	prevR, prevC := attention.SetTiling(8, 8)
+	defer attention.SetTiling(prevR, prevC)
 	cfg := core.Config{
 		Model: model.Config{Vocab: 64, Dim: 32, Hidden: 64, NHeads: 4, NKVHeads: 2,
 			NLayers: 4, MaxSeq: 32, RopeBase: 10000},
@@ -603,6 +608,16 @@ func metricsStudy() {
 	fmt.Printf("  comm (group, op) entries: %d mismatches across %d ranks (exact match expected)\n",
 		mismatches, len(rep.Ranks))
 	fmt.Printf("  matmul FLOPs: measured %d, modeled %d\n", rep.FLOPs, ex.FLOPs)
+	wantAttn, skipped := xval.PredictAttention(cl, gen, 1)
+	attnMatch := "exact match"
+	if rep.Attn != wantAttn || rep.EffectiveFLOPs != rep.FLOPs-skipped {
+		attnMatch = "MISMATCH (bug!)"
+	}
+	fmt.Printf("  attention sparsity: %d/%d pairs allowed, tiles full=%d partial=%d empty=%d — %s vs closed form\n",
+		rep.Attn.AllowedPairs, rep.Attn.TotalPairs,
+		rep.Attn.FullTiles, rep.Attn.PartialTiles, rep.Attn.EmptyTiles, attnMatch)
+	fmt.Printf("  effective FLOPs: measured %d = nominal %d − %d block-skipped\n",
+		rep.EffectiveFLOPs, rep.FLOPs, skipped)
 	mc := xval.MemConfig(cl)
 	var worstRel float64
 	for _, r := range cl.Ranks {

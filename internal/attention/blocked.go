@@ -1,0 +1,894 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"llama4d/internal/tensor"
+)
+
+// The blocked engine tiles the [sq, sk] score plane into TileRows×TileCols
+// blocks and classifies each tile against the mask before any arithmetic
+// runs: empty tiles (no allowed pair) are skipped in every sweep — scores,
+// softmax, P·V, and all four backward matmuls — full tiles (every pair
+// allowed) run without per-element mask checks, and partial tiles keep the
+// dense per-element path. Classification uses only causalCut-style interval
+// arithmetic plus the DocStarts index, so it costs O(sq + tiles) per call.
+//
+// Skipping is bitwise-neutral by the §6.2 contract: the dense kernels give
+// masked positions probability exactly +0 (exp(-Inf) under SoftmaxRow) and
+// skip zero-valued terms in every accumulation, and IEEE-754 addition
+// starting from +0 can never produce -0, so dropping a tile whose every
+// contribution is a signed zero leaves all downstream sums bit-identical.
+// Like the dense zero-skips, the equivalence assumes finite scores (an ±Inf
+// logit would propagate NaN through dense rows the blocked path skips).
+
+// defaultTileRows/Cols match flash-attention production practice: blocks
+// large enough to amortise classification, small enough that document
+// boundaries at realistic lengths (§ context parallelism) carve out empty
+// tiles.
+const (
+	defaultTileRows = 64
+	defaultTileCols = 64
+)
+
+// Engine configuration. Plain variables, not atomics: they are set during
+// single-goroutine setup (before a cluster's rank goroutines are spawned —
+// goroutine creation publishes the write) and read-only while kernels run.
+var (
+	blockedEnabled = true
+	tileRows       = defaultTileRows
+	tileCols       = defaultTileCols
+)
+
+// SetBlocked toggles the blocked engine for Forward, Backward and
+// PartialForwardInto; off means the dense reference kernels run. Returns the
+// previous setting. Blocked and dense are bitwise identical, so the toggle
+// exists for benchmarking and property tests, not correctness.
+func SetBlocked(on bool) bool {
+	prev := blockedEnabled
+	blockedEnabled = on
+	return prev
+}
+
+// BlockedEnabled reports whether the blocked engine is active.
+func BlockedEnabled() bool { return blockedEnabled }
+
+// SetTiling sets the blocked engine's tile geometry and returns the previous
+// one. Small tiles resolve finer mask structure (more empty tiles) at higher
+// classification overhead; the tiling never changes results, only which work
+// is provably skippable.
+func SetTiling(rows, cols int) (prevRows, prevCols int) {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("attention: invalid tiling %dx%d", rows, cols))
+	}
+	prevRows, prevCols = tileRows, tileCols
+	tileRows, tileCols = rows, cols
+	return prevRows, prevCols
+}
+
+// Tiling returns the blocked engine's current tile geometry.
+func Tiling() (rows, cols int) { return tileRows, tileCols }
+
+// TileKind classifies one score tile against the mask.
+type TileKind uint8
+
+const (
+	// TileEmpty tiles contain no allowed pair and are skipped entirely.
+	TileEmpty TileKind = iota
+	// TilePartial tiles mix allowed and masked pairs: computed with the
+	// dense per-element mask path.
+	TilePartial
+	// TileFull tiles are entirely allowed: computed with no mask checks.
+	TileFull
+)
+
+// Grid is the tile classification of one [sq, sk] score plane: the kind of
+// every tile plus the pair accounting the effective-FLOP counter and the
+// sparsity stats are built from. The same grid drives the measured kernels,
+// the closed-form xval prediction, and the simulator's sparsity fields — one
+// classifier, three consumers.
+type Grid struct {
+	Sq, Sk             int
+	TileRows, TileCols int
+	NRows, NCols       int
+	Kinds              []TileKind // NRows×NCols, row-major
+
+	// AllowedPairs counts mask-allowed (q, k) pairs exactly; EmptyPairs
+	// counts the pairs covered by skipped tiles. Partial-tile masked pairs
+	// are in neither: they are swept (and so cost effective FLOPs) even
+	// though the mask zeroes them.
+	AllowedPairs int64
+	EmptyPairs   int64
+
+	FullTiles, PartialTiles, EmptyTiles int64
+}
+
+// Kind returns the classification of tile (rt, ct).
+func (g *Grid) Kind(rt, ct int) TileKind { return g.Kinds[rt*g.NCols+ct] }
+
+// TotalPairs returns sq·sk, the dense pair count.
+func (g *Grid) TotalPairs() int64 { return int64(g.Sq) * int64(g.Sk) }
+
+// rowBand returns the query-row range [r0, r1) of row-tile rt.
+func (g *Grid) rowBand(rt int) (r0, r1 int) {
+	r0 = rt * g.TileRows
+	return r0, min(r0+g.TileRows, g.Sq)
+}
+
+// colBand returns the key-column range [c0, c1) of col-tile ct.
+func (g *Grid) colBand(ct int) (c0, c1 int) {
+	c0 = ct * g.TileCols
+	return c0, min(c0+g.TileCols, g.Sk)
+}
+
+// Summary returns the grid's pair/tile accounting as a one-call Stats value.
+func (g *Grid) Summary() Stats {
+	return Stats{
+		Calls:        1,
+		TotalPairs:   g.TotalPairs(),
+		AllowedPairs: g.AllowedPairs,
+		EmptyPairs:   g.EmptyPairs,
+		FullTiles:    g.FullTiles,
+		PartialTiles: g.PartialTiles,
+		EmptyTiles:   g.EmptyTiles,
+	}
+}
+
+func newGrid(sq, sk int) *Grid {
+	g := &Grid{
+		Sq: sq, Sk: sk,
+		TileRows: tileRows, TileCols: tileCols,
+		NRows: (sq + tileRows - 1) / tileRows,
+		NCols: (sk + tileCols - 1) / tileCols,
+	}
+	g.Kinds = make([]TileKind, g.NRows*g.NCols)
+	return g
+}
+
+// BuildGrid classifies the score tiles of queries at global positions qPos
+// against the key block at kOff..kOff+sk-1 under mask m. The built-in mask
+// types classify via interval arithmetic (causalCut bounds plus the
+// DocStarts index); unknown mask implementations conservatively mark every
+// tile partial, which degenerates to the dense per-element path — identical
+// semantics by construction.
+func BuildGrid(m Mask, qPos []int, kOff, sk int) *Grid {
+	switch mm := m.(type) {
+	case Full:
+		g := newGrid(len(qPos), sk)
+		for i := range g.Kinds {
+			g.Kinds[i] = TileFull
+		}
+		g.FullTiles = int64(len(g.Kinds))
+		g.AllowedPairs = g.TotalPairs()
+		return g
+	case Causal:
+		return BuildGridFromStarts(qPos, nil, kOff, sk)
+	case Document:
+		return BuildGridFromStarts(qPos, DocStarts(mm.DocID), kOff, sk)
+	default:
+		g := newGrid(len(qPos), sk)
+		for i := range g.Kinds {
+			g.Kinds[i] = TilePartial
+		}
+		g.PartialTiles = int64(len(g.Kinds))
+		for _, q := range qPos {
+			for j := 0; j < sk; j++ {
+				if m.Allowed(q, kOff+j) {
+					g.AllowedPairs++
+				}
+			}
+		}
+		return g
+	}
+}
+
+// BuildGridFromStarts classifies tiles for the document mask expressed as a
+// DocStarts interval index: query q attends exactly keys [starts[q], q]. A
+// nil starts means plain causal attention (every document starts at 0).
+// Negative query positions (ring-attention probes) attend nothing under a
+// document mask, matching RowMask. This is the entry point shared with the
+// simulator (internal/sim/engine), which models sparsity from the same
+// docStarts vectors the measured kernels classify with.
+func BuildGridFromStarts(qPos []int, starts []int, kOff, sk int) *Grid {
+	sq := len(qPos)
+	g := newGrid(sq, sk)
+	for rt := 0; rt < g.NRows; rt++ {
+		r0, r1 := g.rowBand(rt)
+		minQ, maxQ := math.MaxInt, math.MinInt
+		minStart, maxStart := math.MaxInt, math.MinInt
+		allValid := true
+		for i := r0; i < r1; i++ {
+			q := qPos[i]
+			minQ = min(minQ, q)
+			maxQ = max(maxQ, q)
+			if starts != nil {
+				if q < 0 {
+					allValid = false
+					continue
+				}
+				minStart = min(minStart, starts[q])
+				maxStart = max(maxStart, starts[q])
+			}
+		}
+		anyValid := starts == nil || minStart != math.MaxInt
+		for ct := 0; ct < g.NCols; ct++ {
+			c0, c1 := g.colBand(ct)
+			k0, k1 := kOff+c0, kOff+c1-1 // inclusive global key range
+			var kind TileKind
+			switch {
+			case k0 > maxQ, !anyValid, starts != nil && k1 < minStart:
+				kind = TileEmpty
+			case k1 <= minQ && (starts == nil || (allValid && k0 >= maxStart)):
+				kind = TileFull
+			default:
+				kind = TilePartial
+			}
+			g.Kinds[rt*g.NCols+ct] = kind
+			area := int64(r1-r0) * int64(c1-c0)
+			switch kind {
+			case TileEmpty:
+				g.EmptyTiles++
+				g.EmptyPairs += area
+			case TilePartial:
+				g.PartialTiles++
+			default:
+				g.FullTiles++
+			}
+		}
+		// Exact allowed-pair count, mirroring RowMask semantics per row.
+		for i := r0; i < r1; i++ {
+			q := qPos[i]
+			cut := causalCut(q, kOff, sk)
+			if starts == nil {
+				g.AllowedPairs += int64(cut)
+				continue
+			}
+			if q < 0 || cut == 0 {
+				continue
+			}
+			lo := max(starts[q]-kOff, 0)
+			if cut > lo {
+				g.AllowedPairs += int64(cut - lo)
+			}
+		}
+	}
+	return g
+}
+
+// Stats is the blocked engine's cumulative work accounting: one Calls
+// increment plus the underlying grid's pair/tile counts per engine
+// invocation (Forward, Backward, or PartialForwardInto). Like the tensor
+// FLOP counters it is world-global; internal/metrics attributes it to steps
+// via StatsSnapshot deltas.
+type Stats struct {
+	Calls        int64 `json:"calls"`
+	TotalPairs   int64 `json:"total_pairs"`
+	AllowedPairs int64 `json:"allowed_pairs"`
+	EmptyPairs   int64 `json:"empty_pairs"`
+	FullTiles    int64 `json:"full_tiles"`
+	PartialTiles int64 `json:"partial_tiles"`
+	EmptyTiles   int64 `json:"empty_tiles"`
+}
+
+// Sub returns s - prev, field-wise: the delta between two snapshots.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Calls:        s.Calls - prev.Calls,
+		TotalPairs:   s.TotalPairs - prev.TotalPairs,
+		AllowedPairs: s.AllowedPairs - prev.AllowedPairs,
+		EmptyPairs:   s.EmptyPairs - prev.EmptyPairs,
+		FullTiles:    s.FullTiles - prev.FullTiles,
+		PartialTiles: s.PartialTiles - prev.PartialTiles,
+		EmptyTiles:   s.EmptyTiles - prev.EmptyTiles,
+	}
+}
+
+// Add returns s + o, field-wise.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Calls:        s.Calls + o.Calls,
+		TotalPairs:   s.TotalPairs + o.TotalPairs,
+		AllowedPairs: s.AllowedPairs + o.AllowedPairs,
+		EmptyPairs:   s.EmptyPairs + o.EmptyPairs,
+		FullTiles:    s.FullTiles + o.FullTiles,
+		PartialTiles: s.PartialTiles + o.PartialTiles,
+		EmptyTiles:   s.EmptyTiles + o.EmptyTiles,
+	}
+}
+
+// Scale returns s with every counter multiplied by n (closed-form
+// prediction helper: one grid's stats times an invocation count).
+func (s Stats) Scale(n int64) Stats {
+	return Stats{
+		Calls:        s.Calls * n,
+		TotalPairs:   s.TotalPairs * n,
+		AllowedPairs: s.AllowedPairs * n,
+		EmptyPairs:   s.EmptyPairs * n,
+		FullTiles:    s.FullTiles * n,
+		PartialTiles: s.PartialTiles * n,
+		EmptyTiles:   s.EmptyTiles * n,
+	}
+}
+
+var (
+	statCalls, statTotalPairs, statAllowedPairs, statEmptyPairs atomic.Int64
+	statFullTiles, statPartialTiles, statEmptyTiles             atomic.Int64
+)
+
+// StatsSnapshot returns the cumulative blocked-engine stats since process
+// start (or the last ResetStats).
+func StatsSnapshot() Stats {
+	return Stats{
+		Calls:        statCalls.Load(),
+		TotalPairs:   statTotalPairs.Load(),
+		AllowedPairs: statAllowedPairs.Load(),
+		EmptyPairs:   statEmptyPairs.Load(),
+		FullTiles:    statFullTiles.Load(),
+		PartialTiles: statPartialTiles.Load(),
+		EmptyTiles:   statEmptyTiles.Load(),
+	}
+}
+
+// ResetStats zeroes the cumulative blocked-engine stats.
+func ResetStats() {
+	statCalls.Store(0)
+	statTotalPairs.Store(0)
+	statAllowedPairs.Store(0)
+	statEmptyPairs.Store(0)
+	statFullTiles.Store(0)
+	statPartialTiles.Store(0)
+	statEmptyTiles.Store(0)
+}
+
+func recordGrid(g *Grid) {
+	statCalls.Add(1)
+	statTotalPairs.Add(g.TotalPairs())
+	statAllowedPairs.Add(g.AllowedPairs)
+	statEmptyPairs.Add(g.EmptyPairs)
+	statFullTiles.Add(g.FullTiles)
+	statPartialTiles.Add(g.PartialTiles)
+	statEmptyTiles.Add(g.EmptyTiles)
+}
+
+// effFLOPs returns the effective FLOP count of one matmul-shaped sweep over
+// the grid with inner dimension d: 2·d per swept pair, empty tiles skipped.
+func effFLOPs(g *Grid, d int) int64 {
+	return 2 * int64(d) * (g.TotalPairs() - g.EmptyPairs)
+}
+
+// sweptWork returns the per-sweep FMA count used for worker sizing.
+func sweptWork(g *Grid, d int) int {
+	return int((g.TotalPairs() - g.EmptyPairs) * int64(d))
+}
+
+// blockedForward is the blocked engine behind Forward. One row-parallel pass
+// fuses scores, masked softmax and P·V per query row — each stage touches
+// only non-empty tiles, and every accumulation preserves the dense kernels'
+// ordering and zero-skips, so the result is bitwise identical to
+// DenseForward.
+func blockedForward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Output {
+	sq, d := q.Rows(), q.Cols()
+	sk := k.Rows()
+	scale := float32(1 / math.Sqrt(float64(d)))
+	g := BuildGrid(m, qPos, kOff, sk)
+	recordGrid(g)
+	eff := effFLOPs(g, d)
+	tensor.CountMatMulFLOPs(sq, d, sk, eff) // scores q@kᵀ
+	tensor.CountMatMulFLOPs(sq, sk, d, eff) // output p@v
+	s := tensor.Get(sq, sk)                 // zeroed: empty-tile probabilities are exact +0
+	o := tensor.Get(sq, d)
+	body := func(lo, hi int) {
+		blockedScoreRows(s, q, k, g, lo, hi)
+		blockedSoftmaxRows(s, m, qPos, kOff, g, scale, lo, hi)
+		blockedPVRows(o, s, v, g, lo, hi)
+	}
+	if workers := tensor.Workers(sq, 2*sweptWork(g, d)); workers <= 1 {
+		body(0, sq)
+	} else {
+		tensor.ParallelRows(sq, workers, body)
+	}
+	return &Output{O: o, P: s}
+}
+
+// blockedScoreRows computes s[i][j] = q[i]·k[j] for query rows [lo, hi) at
+// every non-empty tile. Each element is one running sum over the head dim in
+// increasing order — the same rounding sequence as the dense MatMulT kernel.
+// Empty-tile entries are left untouched. The loop nest is tile-outer,
+// row-inner so one tile's key slab stays cache-resident across the row band
+// (the dense kernel's tileJ blocking); nesting order never changes any
+// element's reduction sequence, so it is bitwise invisible.
+func blockedScoreRows(s, q, k *tensor.Tensor, g *Grid, lo, hi int) {
+	d := q.Cols()
+	n := s.Cols()
+	sd, qd, kd := s.Data, q.Data, k.Data
+	for rt := lo / g.TileRows; rt < g.NRows && rt*g.TileRows < hi; rt++ {
+		r0, r1 := g.rowBand(rt)
+		r0, r1 = max(r0, lo), min(r1, hi)
+		for ct := 0; ct < g.NCols; ct++ {
+			if g.Kind(rt, ct) == TileEmpty {
+				continue
+			}
+			c0, c1 := g.colBand(ct)
+			for i := r0; i < r1; i++ {
+				qi := qd[i*d : (i+1)*d]
+				si := sd[i*n : (i+1)*n]
+				j := c0
+				for ; j+3 < c1; j += 4 {
+					k0 := kd[j*d : (j+1)*d]
+					k1 := kd[(j+1)*d : (j+2)*d]
+					k2 := kd[(j+2)*d : (j+3)*d]
+					k3 := kd[(j+3)*d : (j+4)*d]
+					var s0, s1, s2, s3 float32
+					for p, qp := range qi {
+						s0 += qp * k0[p]
+						s1 += qp * k1[p]
+						s2 += qp * k2[p]
+						s3 += qp * k3[p]
+					}
+					si[j], si[j+1], si[j+2], si[j+3] = s0, s1, s2, s3
+				}
+				for ; j < c1; j++ {
+					kj := kd[j*d : (j+1)*d]
+					var sum float32
+					for p, qp := range qi {
+						sum += qp * kj[p]
+					}
+					si[j] = sum
+				}
+			}
+		}
+	}
+}
+
+// blockedSoftmaxRows scales and softmaxes score rows [lo, hi) in place over
+// the non-empty tiles: full tiles run without mask checks, partial tiles
+// hoist the mask via RowMask, masked entries are written as exact +0 — the
+// value dense maskedSoftmaxRows produces via exp(-Inf). Max, exponential and
+// normalisation reproduce SoftmaxRow's arithmetic term for term; the sum
+// skips only exact-zero contributions, which IEEE addition from +0 cannot
+// observe.
+func blockedSoftmaxRows(s *tensor.Tensor, m Mask, qPos []int, kOff int, g *Grid, scale float32, lo, hi int) {
+	sk := s.Cols()
+	negInf := float32(math.Inf(-1))
+	var allowed []bool
+	for i := lo; i < hi; i++ {
+		rt := i / g.TileRows
+		row := s.Row(i)
+		kinds := g.Kinds[rt*g.NCols : (rt+1)*g.NCols]
+		needMask := false
+		for _, kind := range kinds {
+			if kind == TilePartial {
+				needMask = true
+				break
+			}
+		}
+		if needMask {
+			if allowed == nil {
+				allowed = make([]bool, sk)
+			}
+			RowMask(m, qPos[i], kOff, allowed)
+		}
+		// Scale and row max over allowed entries; masked entries of partial
+		// tiles become +0 now so a fully-masked row needs no second pass.
+		maxv := negInf
+		for ct, kind := range kinds {
+			if kind == TileEmpty {
+				continue
+			}
+			c0, c1 := g.colBand(ct)
+			if kind == TileFull {
+				for j := c0; j < c1; j++ {
+					row[j] *= scale
+					if row[j] > maxv {
+						maxv = row[j]
+					}
+				}
+				continue
+			}
+			for j := c0; j < c1; j++ {
+				if allowed[j] {
+					row[j] *= scale
+					if row[j] > maxv {
+						maxv = row[j]
+					}
+				} else {
+					row[j] = 0
+				}
+			}
+		}
+		if math.IsInf(float64(maxv), -1) {
+			// No allowed key (or every allowed score NaN): dense SoftmaxRow
+			// zeroes the row. Empty tiles already hold +0.
+			for ct, kind := range kinds {
+				if kind == TileEmpty {
+					continue
+				}
+				c0, c1 := g.colBand(ct)
+				for j := c0; j < c1; j++ {
+					row[j] = 0
+				}
+			}
+			continue
+		}
+		var sum float32
+		for ct, kind := range kinds {
+			if kind == TileEmpty {
+				continue
+			}
+			c0, c1 := g.colBand(ct)
+			if kind == TileFull {
+				for j := c0; j < c1; j++ {
+					e := float32(math.Exp(float64(row[j] - maxv)))
+					row[j] = e
+					sum += e
+				}
+				continue
+			}
+			for j := c0; j < c1; j++ {
+				if allowed[j] {
+					e := float32(math.Exp(float64(row[j] - maxv)))
+					row[j] = e
+					sum += e
+				}
+			}
+		}
+		inv := 1 / sum
+		for ct, kind := range kinds {
+			if kind == TileEmpty {
+				continue
+			}
+			c0, c1 := g.colBand(ct)
+			for j := c0; j < c1; j++ {
+				row[j] *= inv // masked entries are +0: unchanged
+			}
+		}
+	}
+}
+
+// blockedPVRows accumulates o[i] += Σ_j p[i][j]·v[j] for rows [lo, hi),
+// skipping empty tiles and, like the dense MatMul kernel, every exact-zero
+// probability — one separately-rounded add per nonzero term in increasing
+// key order.
+func blockedPVRows(o, p, v *tensor.Tensor, g *Grid, lo, hi int) {
+	d := v.Cols()
+	n := p.Cols()
+	od, pd, vd := o.Data, p.Data, v.Data
+	for rt := lo / g.TileRows; rt < g.NRows && rt*g.TileRows < hi; rt++ {
+		r0, r1 := g.rowBand(rt)
+		r0, r1 = max(r0, lo), min(r1, hi)
+		// Tile-outer, row-inner: the tile's value slab stays cache-resident
+		// across the row band. Each o[i] still accumulates its tiles in
+		// increasing-ct (hence increasing-j) order — bitwise unchanged.
+		for ct := 0; ct < g.NCols; ct++ {
+			if g.Kind(rt, ct) == TileEmpty {
+				continue
+			}
+			c0, c1 := g.colBand(ct)
+			for i := r0; i < r1; i++ {
+				pi := pd[i*n : (i+1)*n]
+				oi := od[i*d : (i+1)*d]
+				j := c0
+				for ; j+3 < c1; j += 4 {
+					a0, a1, a2, a3 := pi[j], pi[j+1], pi[j+2], pi[j+3]
+					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+						continue
+					}
+					b0 := vd[j*d : (j+1)*d]
+					b1 := vd[(j+1)*d : (j+2)*d]
+					b2 := vd[(j+2)*d : (j+3)*d]
+					b3 := vd[(j+3)*d : (j+4)*d]
+					if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+						for c := range oi {
+							x := oi[c]
+							x += a0 * b0[c]
+							x += a1 * b1[c]
+							x += a2 * b2[c]
+							x += a3 * b3[c]
+							oi[c] = x
+						}
+						continue
+					}
+					for c := range oi {
+						x := oi[c]
+						if a0 != 0 {
+							x += a0 * b0[c]
+						}
+						if a1 != 0 {
+							x += a1 * b1[c]
+						}
+						if a2 != 0 {
+							x += a2 * b2[c]
+						}
+						if a3 != 0 {
+							x += a3 * b3[c]
+						}
+						oi[c] = x
+					}
+				}
+				for ; j < c1; j++ {
+					av := pi[j]
+					if av == 0 {
+						continue
+					}
+					bj := vd[j*d : (j+1)*d]
+					for c := range oi {
+						oi[c] += av * bj[c]
+					}
+				}
+			}
+		}
+	}
+}
+
+// blockedKeyRows accumulates out[j] += Σ_i sT[j][i]·b[i] for key rows
+// [lo, hi), where sT is the [sk, sq] transpose of a score-shaped matrix.
+// Reduction runs over query row-tiles in increasing order, skipping empty
+// tiles and exact-zero coefficients — the dense TMatMul ordering. Serves
+// both dV (sT = Pᵀ, b = dO) and dK (sT = dSᵀ, b = q).
+func blockedKeyRows(out, sT, b *tensor.Tensor, g *Grid, lo, hi int) {
+	d := b.Cols()
+	n := sT.Cols()
+	od, sd, bd := out.Data, sT.Data, b.Data
+	for ct := lo / g.TileCols; ct < g.NCols && ct*g.TileCols < hi; ct++ {
+		c0, c1 := g.colBand(ct)
+		c0, c1 = max(c0, lo), min(c1, hi)
+		// Tile-outer, key-row-inner: the tile's b slab stays cache-resident
+		// across the key band. Each out[j] still accumulates its tiles in
+		// increasing-rt (hence increasing-i) order — bitwise unchanged.
+		for rt := 0; rt < g.NRows; rt++ {
+			if g.Kind(rt, ct) == TileEmpty {
+				continue
+			}
+			r0, r1 := g.rowBand(rt)
+			for j := c0; j < c1; j++ {
+				sj := sd[j*n : (j+1)*n]
+				oj := od[j*d : (j+1)*d]
+				i := r0
+				for ; i+3 < r1; i += 4 {
+					a0, a1, a2, a3 := sj[i], sj[i+1], sj[i+2], sj[i+3]
+					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+						continue
+					}
+					b0 := bd[i*d : (i+1)*d]
+					b1 := bd[(i+1)*d : (i+2)*d]
+					b2 := bd[(i+2)*d : (i+3)*d]
+					b3 := bd[(i+3)*d : (i+4)*d]
+					if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+						for c := range oj {
+							x := oj[c]
+							x += a0 * b0[c]
+							x += a1 * b1[c]
+							x += a2 * b2[c]
+							x += a3 * b3[c]
+							oj[c] = x
+						}
+						continue
+					}
+					for c := range oj {
+						x := oj[c]
+						if a0 != 0 {
+							x += a0 * b0[c]
+						}
+						if a1 != 0 {
+							x += a1 * b1[c]
+						}
+						if a2 != 0 {
+							x += a2 * b2[c]
+						}
+						if a3 != 0 {
+							x += a3 * b3[c]
+						}
+						oj[c] = x
+					}
+				}
+				for ; i < r1; i++ {
+					av := sj[i]
+					if av == 0 {
+						continue
+					}
+					bi := bd[i*d : (i+1)*d]
+					for c := range oj {
+						oj[c] += av * bi[c]
+					}
+				}
+			}
+		}
+	}
+}
+
+// blockedBackward is the blocked engine behind Backward: the same four
+// gradient products as DenseBackward with every sweep restricted to
+// non-empty tiles. Masked probabilities are exact zeros, so dense already
+// skips their terms value-by-value; the grid skips them tile-by-tile
+// (including the dP and dS sweeps dense pays in full) without changing a
+// bit.
+func blockedBackward(q, k, v, p, dO *tensor.Tensor, m Mask, qPos []int, kOff int) (dQ, dK, dV *tensor.Tensor) {
+	sq, d := q.Rows(), q.Cols()
+	sk := k.Rows()
+	scale := float32(1 / math.Sqrt(float64(d)))
+	g := BuildGrid(m, qPos, kOff, sk)
+	recordGrid(g)
+	eff := effFLOPs(g, d)
+	tensor.CountMatMulFLOPs(sk, sq, d, eff) // dV = pᵀ@dO
+	tensor.CountMatMulFLOPs(sq, d, sk, eff) // dP = dO@vᵀ
+	tensor.CountMatMulFLOPs(sq, sk, d, eff) // dQ = dS@k
+	tensor.CountMatMulFLOPs(sk, sq, d, eff) // dK = dSᵀ@q
+
+	work := sweptWork(g, d)
+
+	// dV: reduce over query rows per key row; transpose P once for
+	// contiguous access (a pure permutation, bitwise invisible).
+	pT := tensor.Transpose(p)
+	dV = tensor.Get(sk, d)
+	if workers := tensor.Workers(sk, work); workers <= 1 {
+		blockedKeyRows(dV, pT, dO, g, 0, sk)
+	} else {
+		tensor.ParallelRows(sk, workers, func(lo, hi int) {
+			blockedKeyRows(dV, pT, dO, g, lo, hi)
+		})
+	}
+	tensor.Put(pT)
+
+	// dP, dS = P ∘ (dP − rowsum(dP ∘ P)) and dQ, fused per query row.
+	// dS is zero-filled so its empty tiles hold exact zeros for the dK
+	// reduction (dense writes signed zeros there; both are skipped).
+	dP := tensor.GetUninit(sq, sk)
+	dS := tensor.Get(sq, sk)
+	dQ = tensor.Get(sq, d)
+	qBody := func(lo, hi int) {
+		blockedScoreRows(dP, dO, v, g, lo, hi)
+		blockedSoftmaxBackwardRows(dS, p, dP, g, lo, hi)
+		blockedPVRows(dQ, dS, k, g, lo, hi)
+	}
+	if workers := tensor.Workers(sq, 2*work); workers <= 1 {
+		qBody(0, sq)
+	} else {
+		tensor.ParallelRows(sq, workers, qBody)
+	}
+	tensor.Put(dP)
+	dQ.Scale(scale)
+
+	// dK: reduce over query rows per key row from the transposed dS.
+	dST := tensor.Transpose(dS)
+	tensor.Put(dS)
+	dK = tensor.Get(sk, d)
+	if workers := tensor.Workers(sk, work); workers <= 1 {
+		blockedKeyRows(dK, dST, q, g, 0, sk)
+	} else {
+		tensor.ParallelRows(sk, workers, func(lo, hi int) {
+			blockedKeyRows(dK, dST, q, g, lo, hi)
+		})
+	}
+	tensor.Put(dST)
+	dK.Scale(scale)
+	return dQ, dK, dV
+}
+
+// blockedSoftmaxBackwardRows writes dS = P ∘ (dP − rowsum(dP ∘ P)) for rows
+// [lo, hi) over the non-empty tiles. The row dot accumulates every swept
+// term like dense softmaxBackwardRows; empty-tile terms are P·dP products
+// with P exactly +0, whose signed-zero contributions IEEE addition from a
+// non-negative accumulator cannot observe.
+func blockedSoftmaxBackwardRows(dS, p, dP *tensor.Tensor, g *Grid, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		rt := i / g.TileRows
+		pi, dpi, dsi := p.Row(i), dP.Row(i), dS.Row(i)
+		kinds := g.Kinds[rt*g.NCols : (rt+1)*g.NCols]
+		var dot float32
+		for ct, kind := range kinds {
+			if kind == TileEmpty {
+				continue
+			}
+			c0, c1 := g.colBand(ct)
+			for j := c0; j < c1; j++ {
+				dot += pi[j] * dpi[j]
+			}
+		}
+		for ct, kind := range kinds {
+			if kind == TileEmpty {
+				continue
+			}
+			c0, c1 := g.colBand(ct)
+			for j := c0; j < c1; j++ {
+				dsi[j] = pi[j] * (dpi[j] - dot)
+			}
+		}
+	}
+}
+
+// blockedPartialInto is the blocked engine behind PartialForwardInto: the
+// score sweep and the online-softmax accumulation both touch only non-empty
+// tiles. The dense sweep already skips masked keys per element, so tile
+// skipping drops exactly the per-element checks — the M/L statistics and
+// the unnormalised output match bit for bit.
+func blockedPartialInto(out *Partial, q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Partial {
+	sq, d := q.Rows(), q.Cols()
+	sk := k.Rows()
+	scale := float32(1 / math.Sqrt(float64(d)))
+	g := BuildGrid(m, qPos, kOff, sk)
+	recordGrid(g)
+	tensor.CountMatMulFLOPs(sq, d, sk, effFLOPs(g, d))
+	s := tensor.GetUninit(sq, sk)
+	out = preparePartial(out, sq, d)
+	body := func(lo, hi int) {
+		blockedScoreRows(s, q, k, g, lo, hi)
+		blockedPartialSweepRows(out, s, v, m, qPos, kOff, g, scale, lo, hi)
+	}
+	if workers := tensor.Workers(sq, 2*sweptWork(g, d)); workers <= 1 {
+		body(0, sq)
+	} else {
+		tensor.ParallelRows(sq, workers, body)
+	}
+	tensor.Put(s)
+	return out
+}
+
+// blockedPartialSweepRows is partialSweepRows restricted to non-empty tiles:
+// full tiles scale/exp/accumulate with no mask checks, partial tiles keep
+// the hoisted RowMask, empty tiles contribute nothing — exactly the keys the
+// dense sweep's per-element check skips.
+func blockedPartialSweepRows(out *Partial, s, v *tensor.Tensor, m Mask, qPos []int, kOff int, g *Grid, scale float32, lo, hi int) {
+	sk, d := s.Cols(), v.Cols()
+	negInf := float32(math.Inf(-1))
+	var allowed []bool
+	for i := lo; i < hi; i++ {
+		rt := i / g.TileRows
+		row := s.Row(i)
+		kinds := g.Kinds[rt*g.NCols : (rt+1)*g.NCols]
+		needMask := false
+		for _, kind := range kinds {
+			if kind == TilePartial {
+				needMask = true
+				break
+			}
+		}
+		if needMask {
+			if allowed == nil {
+				allowed = make([]bool, sk)
+			}
+			RowMask(m, qPos[i], kOff, allowed)
+		}
+		maxv := negInf
+		for ct, kind := range kinds {
+			if kind == TileEmpty {
+				continue
+			}
+			c0, c1 := g.colBand(ct)
+			for j := c0; j < c1; j++ {
+				if kind == TileFull || allowed[j] {
+					row[j] *= scale
+					if row[j] > maxv {
+						maxv = row[j]
+					}
+				}
+			}
+		}
+		out.M[i] = maxv
+		out.L[i] = 0
+		if math.IsInf(float64(maxv), -1) {
+			continue
+		}
+		oi := out.O.Row(i)
+		var l float32
+		for ct, kind := range kinds {
+			if kind == TileEmpty {
+				continue
+			}
+			c0, c1 := g.colBand(ct)
+			for j := c0; j < c1; j++ {
+				if kind != TileFull && !allowed[j] {
+					continue
+				}
+				e := float32(math.Exp(float64(row[j] - maxv)))
+				l += e
+				vj := v.Row(j)
+				for c := 0; c < d; c++ {
+					oi[c] += e * vj[c]
+				}
+			}
+		}
+		out.L[i] = l
+	}
+}

@@ -1,0 +1,292 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"llama4d/internal/tensor"
+)
+
+// checkBlockedVsDense asserts the blocked engine's three kernels (Forward,
+// Backward, PartialForwardInto) are bitwise identical to the dense reference
+// on one (mask, qPos, kOff) configuration — the §6.2 determinism contract the
+// tile-skipping optimisation must preserve.
+func checkBlockedVsDense(t *testing.T, label string, seed int64, sq, sk, d int, m Mask, qPos []int, kOff int) {
+	t.Helper()
+	q, k, v := randQKV(seed, sq, sk, d)
+
+	dense := DenseForward(q, k, v, m, qPos, kOff)
+	blocked := Forward(q, k, v, m, qPos, kOff)
+	if !tensor.BitwiseEqual(dense.O, blocked.O) {
+		t.Fatalf("%s: blocked forward O differs from dense", label)
+	}
+	if !tensor.BitwiseEqual(dense.P, blocked.P) {
+		t.Fatalf("%s: blocked forward P differs from dense", label)
+	}
+
+	dO := tensor.RandN(rand.New(rand.NewSource(seed+1)), 1, sq, d)
+	wdq, wdk, wdv := DenseBackward(q, k, v, dense.P, dO)
+	gdq, gdk, gdv := Backward(q, k, v, blocked.P, dO, m, qPos, kOff)
+	if !tensor.BitwiseEqual(wdq, gdq) {
+		t.Fatalf("%s: blocked dQ differs from dense", label)
+	}
+	if !tensor.BitwiseEqual(wdk, gdk) {
+		t.Fatalf("%s: blocked dK differs from dense", label)
+	}
+	if !tensor.BitwiseEqual(wdv, gdv) {
+		t.Fatalf("%s: blocked dV differs from dense", label)
+	}
+
+	want := DensePartialForwardInto(nil, q, k, v, m, qPos, kOff)
+	got := PartialForwardInto(nil, q, k, v, m, qPos, kOff)
+	if !tensor.BitwiseEqual(want.O, got.O) {
+		t.Fatalf("%s: blocked partial O differs from dense", label)
+	}
+	for i := range want.M {
+		if math.Float32bits(want.M[i]) != math.Float32bits(got.M[i]) ||
+			math.Float32bits(want.L[i]) != math.Float32bits(got.L[i]) {
+			t.Fatalf("%s: blocked partial stats differ from dense at row %d", label, i)
+		}
+	}
+	ReleasePartial(want)
+	ReleasePartial(got)
+}
+
+// TestBlockedMatchesDenseGrid is the bitwise property grid of the blocked
+// engine: every mask family (Full, Causal, Document, and an unknown mask
+// forced onto the conservative all-partial path) × sequence lengths
+// straddling the tile size (1, block−1, block, block+1, odd > 2 blocks) ×
+// key offsets {0, +3, −3} × four tilings including rectangular tiles. Each
+// point checks forward, backward, and the ring-attention partial kernel
+// bitwise against the dense references.
+func TestBlockedMatchesDenseGrid(t *testing.T) {
+	const d = 8
+	prevOn := SetBlocked(true)
+	defer SetBlocked(prevOn)
+	pr, pc := Tiling()
+	defer SetTiling(pr, pc)
+
+	seed := int64(9000)
+	for _, til := range [][2]int{{4, 4}, {8, 8}, {16, 8}, {64, 64}} {
+		SetTiling(til[0], til[1])
+		block := til[0]
+		seen := map[int]bool{}
+		for _, sq := range []int{1, block - 1, block, block + 1, 2*block + 3} {
+			if sq < 1 || seen[sq] {
+				continue
+			}
+			seen[sq] = true
+			sk := sq + 5 // rectangular, straddles column-tile bounds too
+			for _, kOff := range []int{0, 3, -3} {
+				masks := map[string]Mask{"full": Full{}, "causal": Causal{}, "odd": oddMask{}}
+				if kOff >= 0 {
+					// Document ids must cover every global position probed;
+					// negative key offsets never occur under document masks
+					// (keys are real sequence positions).
+					n := kOff + sk
+					if sq > n {
+						n = sq
+					}
+					lengths := []int{n/3 + 1, 0, n/4 + 1, 2} // includes a zero-length doc
+					masks["document"] = Document{DocID: DocIDsFromLengths(lengths, n)}
+				}
+				for name, m := range masks {
+					seed++
+					label := labelFor(name, til, sq, kOff)
+					checkBlockedVsDense(t, label, seed, sq, sk, d, m, Iota(sq), kOff)
+					if name == "causal" || name == "document" {
+						// Ring-attention probes: rows whose global position is
+						// negative (they own no keys in this block yet).
+						qNeg := make([]int, sq)
+						for i := range qNeg {
+							qNeg[i] = i - 2
+						}
+						checkBlockedVsDense(t, label+"/qneg", seed, sq, sk, d, m, qNeg, kOff)
+					}
+				}
+			}
+		}
+	}
+}
+
+func labelFor(mask string, til [2]int, sq, kOff int) string {
+	return fmt.Sprintf("%s/%dx%d/sq=%d/kOff=%d", mask, til[0], til[1], sq, kOff)
+}
+
+// TestGridClassificationExact verifies the tile classifier against the
+// per-element mask oracle: an empty tile must contain no allowed pair, a
+// full tile only allowed pairs, AllowedPairs must equal the brute-force
+// count, and EmptyPairs must equal the summed area of empty tiles. For
+// contiguous query positions the classification must also be tight: a tile
+// with no allowed pair is marked empty, an all-allowed tile full.
+func TestGridClassificationExact(t *testing.T) {
+	pr, pc := Tiling()
+	defer SetTiling(pr, pc)
+	SetTiling(4, 4)
+
+	docIDs := DocIDsFromLengths([]int{7, 0, 5, 9, 1}, 30)
+	cases := []struct {
+		name string
+		m    Mask
+		qPos []int
+		kOff int
+		sk   int
+	}{
+		{"causal", Causal{}, Iota(19), 0, 19},
+		{"causal_koff", Causal{}, Iota(19), 5, 14},
+		{"causal_neg", Causal{}, []int{-2, -1, 0, 1, 2, 3, 4, 5}, 0, 12},
+		{"document", Document{DocID: docIDs}, Iota(30), 0, 30},
+		{"document_koff", Document{DocID: docIDs}, Iota(22), 3, 27},
+		{"doc_ring_chunks", Document{DocID: docIDs}, append(Iota(8), 22, 23, 24, 25, 26, 27, 28, 29), 0, 30},
+		{"full", Full{}, Iota(10), 0, 13},
+		{"odd", oddMask{}, Iota(10), 0, 13},
+	}
+	for _, tc := range cases {
+		g := BuildGrid(tc.m, tc.qPos, tc.kOff, tc.sk)
+		var brute int64
+		var emptyArea int64
+		for rt := 0; rt < g.NRows; rt++ {
+			r0 := rt * g.TileRows
+			r1 := min(r0+g.TileRows, g.Sq)
+			for ct := 0; ct < g.NCols; ct++ {
+				c0 := ct * g.TileCols
+				c1 := min(c0+g.TileCols, g.Sk)
+				allowed, total := 0, 0
+				for i := r0; i < r1; i++ {
+					for j := c0; j < c1; j++ {
+						total++
+						q, k := tc.qPos[i], tc.kOff+j
+						if q >= 0 && tc.m.Allowed(q, k) {
+							allowed++
+							brute++
+						}
+					}
+				}
+				kind := g.Kind(rt, ct)
+				if kind == TileEmpty && allowed != 0 {
+					t.Fatalf("%s: tile (%d,%d) marked empty but has %d allowed pairs", tc.name, rt, ct, allowed)
+				}
+				if kind == TileFull && allowed != total {
+					t.Fatalf("%s: tile (%d,%d) marked full but only %d/%d pairs allowed", tc.name, rt, ct, allowed, total)
+				}
+				if kind == TileEmpty {
+					emptyArea += int64(total)
+				}
+				// Tightness for the interval-classified masks on contiguous rows.
+				if _, isOdd := tc.m.(oddMask); !isOdd {
+					if allowed == 0 && kind != TileEmpty && contiguous(tc.qPos[r0:r1]) {
+						t.Fatalf("%s: tile (%d,%d) has no allowed pair but is not empty", tc.name, rt, ct)
+					}
+					if allowed == total && kind != TileFull && contiguous(tc.qPos[r0:r1]) {
+						t.Fatalf("%s: tile (%d,%d) is all-allowed but not marked full", tc.name, rt, ct)
+					}
+				}
+			}
+		}
+		if g.AllowedPairs != brute {
+			t.Fatalf("%s: grid reports %d allowed pairs, brute force %d", tc.name, g.AllowedPairs, brute)
+		}
+		if g.EmptyPairs != emptyArea {
+			t.Fatalf("%s: grid reports %d empty pairs, tile areas sum to %d", tc.name, g.EmptyPairs, emptyArea)
+		}
+		if got := g.FullTiles + g.PartialTiles + g.EmptyTiles; got != int64(len(g.Kinds)) {
+			t.Fatalf("%s: tile census %d != %d tiles", tc.name, got, len(g.Kinds))
+		}
+	}
+}
+
+func contiguous(qPos []int) bool {
+	for i := 1; i < len(qPos); i++ {
+		if qPos[i] != qPos[i-1]+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBlockedFLOPAndStatsAccounting pins the effective-FLOP counter and the
+// sparsity stats to their contracts: Forward counts 2 matmuls and Backward 4
+// at nominal 2·m·k·n each, the effective counter subtracts exactly
+// 2·d·EmptyPairs per matmul, and each engine call records exactly one grid
+// summary into the package stats.
+func TestBlockedFLOPAndStatsAccounting(t *testing.T) {
+	pr, pc := Tiling()
+	defer SetTiling(pr, pc)
+	SetTiling(4, 4)
+
+	const sq, sk, d = 16, 16, 8
+	m := Document{DocID: DocIDsFromLengths([]int{6, 7, 3}, sk)}
+	qPos := Iota(sq)
+	q, k, v := randQKV(515, sq, sk, d)
+	g := BuildGrid(m, qPos, 0, sk)
+	if g.EmptyPairs == 0 {
+		t.Fatal("test mask produces no empty tiles — accounting not exercised")
+	}
+
+	tensor.ResetFLOPCount()
+	s0 := StatsSnapshot()
+	out := Forward(q, k, v, m, qPos, 0)
+	nominalFwd := int64(2 * 2 * sq * sk * d)
+	if got := tensor.FLOPCount(); got != nominalFwd {
+		t.Fatalf("forward nominal FLOPs %d, want %d", got, nominalFwd)
+	}
+	if got, want := tensor.EffectiveFLOPCount(), nominalFwd-2*2*int64(d)*g.EmptyPairs; got != want {
+		t.Fatalf("forward effective FLOPs %d, want %d", got, want)
+	}
+	delta := StatsSnapshot().Sub(s0)
+	if delta.Calls != 1 || delta != g.Summary() {
+		t.Fatalf("forward stats delta %+v != grid summary %+v", delta, g.Summary())
+	}
+
+	tensor.ResetFLOPCount()
+	dO := tensor.RandN(rand.New(rand.NewSource(516)), 1, sq, d)
+	Backward(q, k, v, out.P, dO, m, qPos, 0)
+	nominalBwd := int64(4 * 2 * sq * sk * d)
+	if got := tensor.FLOPCount(); got != nominalBwd {
+		t.Fatalf("backward nominal FLOPs %d, want %d", got, nominalBwd)
+	}
+	if got, want := tensor.EffectiveFLOPCount(), nominalBwd-4*2*int64(d)*g.EmptyPairs; got != want {
+		t.Fatalf("backward effective FLOPs %d, want %d", got, want)
+	}
+
+	tensor.ResetFLOPCount()
+	s1 := StatsSnapshot()
+	p := PartialForwardInto(nil, q, k, v, m, qPos, 0)
+	ReleasePartial(p)
+	nominalPart := int64(2 * sq * sk * d) // the scores matmul; the dense partial's PV sweep is uncounted
+	if got := tensor.FLOPCount(); got != nominalPart {
+		t.Fatalf("partial nominal FLOPs %d, want %d", got, nominalPart)
+	}
+	if got, want := tensor.EffectiveFLOPCount(), nominalPart-2*int64(d)*g.EmptyPairs; got != want {
+		t.Fatalf("partial effective FLOPs %d, want %d", got, want)
+	}
+	if delta := StatsSnapshot().Sub(s1); delta.Calls != 1 {
+		t.Fatalf("partial recorded %d calls, want 1", delta.Calls)
+	}
+	tensor.ResetFLOPCount()
+}
+
+// TestSetTilingValidation covers the toggle API: SetTiling rejects
+// non-positive tiles, and SetBlocked/SetTiling return the previous values
+// for restoration.
+func TestSetTilingValidation(t *testing.T) {
+	pr, pc := Tiling()
+	defer SetTiling(pr, pc)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetTiling(0, 4) did not panic")
+		}
+	}()
+	r0, c0 := SetTiling(32, 16)
+	if r1, c1 := SetTiling(r0, c0); r1 != 32 || c1 != 16 {
+		t.Fatalf("SetTiling returned (%d,%d), want (32,16)", r1, c1)
+	}
+	on := SetBlocked(false)
+	if BlockedEnabled() {
+		t.Fatal("SetBlocked(false) left the engine enabled")
+	}
+	SetBlocked(on)
+	SetTiling(0, 4)
+}

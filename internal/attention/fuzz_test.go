@@ -1,0 +1,115 @@
+package attention
+
+import "testing"
+
+// FuzzDocIDsFromEOS fuzzes the eos-boundary document-id derivation against
+// its contract: the eos token belongs to the document it terminates, the
+// next position starts a new document, and the resulting id vector is
+// consistent with the DocStarts interval index, the closed-form pair
+// counters, and the blocked engine's grid classifier. Edge cases seeded
+// explicitly: eos as the final token, back-to-back eos (zero-length
+// documents), no eos at all (truncated document spanning the sequence).
+func FuzzDocIDsFromEOS(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 3, 0}, byte(0)) // two complete documents
+	f.Add([]byte{1, 2, 3, 0}, byte(0))    // eos as the final token
+	f.Add([]byte{0, 0, 0}, byte(0))       // back-to-back eos: single-token documents
+	f.Add([]byte{}, byte(0))              // empty sequence
+	f.Add([]byte{5, 6, 7}, byte(0))       // no eos: one truncated document
+	f.Add([]byte{7, 0, 7, 7, 0, 7}, byte(7))
+	f.Fuzz(func(t *testing.T, tokens []byte, eos byte) {
+		toks := make([]int, len(tokens))
+		for i, b := range tokens {
+			toks[i] = int(b)
+		}
+		ids := DocIDsFromEOS(toks, int(eos))
+		if len(ids) != len(toks) {
+			t.Fatalf("got %d ids for %d tokens", len(ids), len(toks))
+		}
+		doc := 0
+		for i, id := range ids {
+			if id != doc {
+				t.Fatalf("position %d: id %d, want %d (eos belongs to the document it ends)", i, id, doc)
+			}
+			if toks[i] == int(eos) {
+				doc++
+			}
+		}
+		checkDocIDsConsistent(t, ids)
+	})
+}
+
+// FuzzDocIDsFromLengths fuzzes the packed-length expansion: the id vector
+// always covers exactly seq positions, ids are non-decreasing, no document
+// exceeds its declared length, positions past the declared documents are
+// singleton padding documents, and the derived index structures agree.
+// Edge cases seeded explicitly: zero-length documents, a last document
+// truncated by the sequence end, and an all-padding tail.
+func FuzzDocIDsFromLengths(f *testing.F) {
+	f.Add([]byte{3, 5, 2}, 10) // exact cover
+	f.Add([]byte{3, 0, 2}, 8)  // zero-length document + padding tail
+	f.Add([]byte{9}, 4)        // last document truncated
+	f.Add([]byte{}, 5)         // all-padding tail
+	f.Add([]byte{2, 2}, 0)     // empty sequence
+	f.Fuzz(func(t *testing.T, lensBytes []byte, seq int) {
+		if seq < 0 || seq > 1<<10 {
+			t.Skip("sequence length outside the packing domain")
+		}
+		lengths := make([]int, len(lensBytes))
+		for i, b := range lensBytes {
+			lengths[i] = int(b)
+		}
+		ids := DocIDsFromLengths(lengths, seq)
+		if len(ids) != seq {
+			t.Fatalf("got %d ids for seq %d", len(ids), seq)
+		}
+		counts := map[int]int{}
+		for i, id := range ids {
+			if i > 0 && id < ids[i-1] {
+				t.Fatalf("ids decrease at position %d: %d after %d", i, id, ids[i-1])
+			}
+			counts[id]++
+		}
+		for id, n := range counts {
+			if id < len(lengths) {
+				if n > lengths[id] {
+					t.Fatalf("document %d has %d positions, declared length %d", id, n, lengths[id])
+				}
+			} else if n != 1 {
+				t.Fatalf("padding document %d has %d positions, want singleton", id, n)
+			}
+		}
+		checkDocIDsConsistent(t, ids)
+	})
+}
+
+// checkDocIDsConsistent cross-checks one document-id vector through every
+// index structure built from it: DocStarts must be monotone and point at
+// same-document positions, FastAllowedPairs must agree with the per-element
+// AllowedPairs oracle, and the blocked engine's grid must report the same
+// allowed-pair count.
+func checkDocIDsConsistent(t *testing.T, ids []int) {
+	t.Helper()
+	starts := DocStarts(ids)
+	for i := range starts {
+		if starts[i] > i {
+			t.Fatalf("position %d: start %d after the position itself", i, starts[i])
+		}
+		if ids[starts[i]] != ids[i] {
+			t.Fatalf("position %d: start %d lies in document %d, not %d", i, starts[i], ids[starts[i]], ids[i])
+		}
+		if i > 0 && starts[i] < starts[i-1] {
+			t.Fatalf("starts decrease at position %d", i)
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	qPos := Iota(len(ids))
+	want := int64(AllowedPairs(Document{DocID: ids}, qPos, len(ids)))
+	if got := FastAllowedPairs(qPos, starts); got != want {
+		t.Fatalf("FastAllowedPairs %d, per-element oracle %d", got, want)
+	}
+	if g := BuildGrid(Document{DocID: ids}, qPos, 0, len(ids)); g.AllowedPairs != want {
+		t.Fatalf("grid classifier counts %d allowed pairs, oracle %d", g.AllowedPairs, want)
+	}
+}

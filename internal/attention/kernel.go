@@ -13,15 +13,35 @@ type Output struct {
 	P *tensor.Tensor // [sq, sk] post-softmax probabilities (saved for backward)
 }
 
-// Forward computes masked scaled-dot-product attention naively. It is the
-// oracle against which the flash-style kernel, CP attention, and ring
-// attention are property-tested. qPos gives the global position of each
-// query row; keys occupy global positions kOff..kOff+sk-1.
+// Forward computes masked scaled-dot-product attention. qPos gives the
+// global position of each query row; keys occupy global positions
+// kOff..kOff+sk-1.
 //
-// The mask/softmax sweep is row-parallel above the tensor package's FLOP
+// By default the mask-structured blocked engine runs (blocked.go): score
+// tiles with no allowed pair are skipped in every sweep and fully-allowed
+// tiles run without per-element mask checks — bitwise identical to the dense
+// reference path (DenseForward), which SetBlocked(false) selects. The
+// mask/softmax sweep is row-parallel above the tensor package's FLOP
 // threshold: each query row is masked and normalised independently, so the
 // split is bitwise invisible (the §6.2 determinism contract).
 func Forward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Output {
+	checkShapes(q, k, v, qPos)
+	if blockedEnabled {
+		return blockedForward(q, k, v, m, qPos, kOff)
+	}
+	return denseForward(q, k, v, m, qPos, kOff)
+}
+
+// DenseForward is the dense reference kernel: the full score matrix is
+// materialised and swept with per-row masking regardless of mask structure.
+// It is the oracle the blocked engine is property-tested against and the
+// baseline the attention benchmarks compare with.
+func DenseForward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Output {
+	checkShapes(q, k, v, qPos)
+	return denseForward(q, k, v, m, qPos, kOff)
+}
+
+func checkShapes(q, k, v *tensor.Tensor, qPos []int) {
 	sq, d := q.Rows(), q.Cols()
 	sk := k.Rows()
 	if len(qPos) != sq {
@@ -30,6 +50,11 @@ func Forward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Output {
 	if k.Cols() != d || v.Rows() != sk {
 		panic(fmt.Sprintf("attention: shape mismatch q%v k%v v%v", q.Shape, k.Shape, v.Shape))
 	}
+}
+
+func denseForward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Output {
+	sq, d := q.Rows(), q.Cols()
+	sk := k.Rows()
 	scale := float32(1 / math.Sqrt(float64(d)))
 	s := tensor.MatMulT(q, k)
 	if workers := tensor.Workers(sq, sq*sk*d); workers <= 1 {
@@ -64,9 +89,23 @@ func maskedSoftmaxRows(s *tensor.Tensor, m Mask, qPos []int, kOff int, scale flo
 }
 
 // Backward computes gradients for Forward given the saved probabilities.
-// Returns dQ, dK, dV. The mask needs no re-application: masked entries of P
-// are exactly zero, which zeroes their contribution to every gradient.
-func Backward(q, k, v, p, dO *tensor.Tensor) (dQ, dK, dV *tensor.Tensor) {
+// Returns dQ, dK, dV. The mask carries no new information for correctness —
+// masked entries of P are exactly zero, which zeroes their contribution to
+// every gradient — but it lets the blocked engine classify and skip empty
+// tiles of the dP/dS sweeps instead of discovering the zeros value by value,
+// and keeps the measured skipped-tile volume equal to the closed-form
+// prediction (metrics/xval) rather than dependent on float underflow.
+func Backward(q, k, v, p, dO *tensor.Tensor, m Mask, qPos []int, kOff int) (dQ, dK, dV *tensor.Tensor) {
+	if blockedEnabled {
+		return blockedBackward(q, k, v, p, dO, m, qPos, kOff)
+	}
+	return DenseBackward(q, k, v, p, dO)
+}
+
+// DenseBackward is the dense reference backward pass: every gradient product
+// sweeps the full score plane, relying only on the exact zeros of masked
+// probabilities. Oracle and benchmark baseline for the blocked engine.
+func DenseBackward(q, k, v, p, dO *tensor.Tensor) (dQ, dK, dV *tensor.Tensor) {
 	d := q.Cols()
 	scale := float32(1 / math.Sqrt(float64(d)))
 
@@ -124,38 +163,30 @@ func PartialForward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Parti
 // PartialForwardInto is the buffer-reusing variant of PartialForward: a
 // non-nil out (of matching query count and head dim) is overwritten and
 // returned, recycling its O tensor and M/L slices — one key block after
-// another can stream through the same scratch Partial (FlashForward, ring
-// attention). A nil out allocates a fresh Partial from the tensor pool.
+// another can stream through the same scratch Partial (ring attention). A
+// nil out allocates a fresh Partial from the tensor pool.
 //
-// The per-row online-softmax sweep is row-parallel above the FLOP
-// threshold; rows are independent, so the worker split never changes bits.
+// Like Forward it runs the blocked engine unless SetBlocked(false); the
+// per-row online-softmax sweep is row-parallel above the FLOP threshold and
+// rows are independent, so neither the worker split nor the tile skipping
+// ever changes bits.
 func PartialForwardInto(out *Partial, q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Partial {
+	checkShapes(q, k, v, qPos)
+	if blockedEnabled {
+		return blockedPartialInto(out, q, k, v, m, qPos, kOff)
+	}
+	return DensePartialForwardInto(out, q, k, v, m, qPos, kOff)
+}
+
+// DensePartialForwardInto is the dense reference partial kernel (oracle and
+// benchmark baseline for the blocked one).
+func DensePartialForwardInto(out *Partial, q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Partial {
+	checkShapes(q, k, v, qPos)
 	sq, d := q.Rows(), q.Cols()
 	sk := k.Rows()
-	if len(qPos) != sq {
-		panic(fmt.Sprintf("attention: %d qPos for %d query rows", len(qPos), sq))
-	}
-	if k.Cols() != d || v.Rows() != sk {
-		panic(fmt.Sprintf("attention: shape mismatch q%v k%v v%v", q.Shape, k.Shape, v.Shape))
-	}
 	scale := float32(1 / math.Sqrt(float64(d)))
 	s := tensor.MatMulT(q, k)
-	if out == nil {
-		out = &Partial{O: tensor.Get(sq, d), M: make([]float32, sq), L: make([]float32, sq)}
-	} else {
-		if out.O == nil || out.O.Rows() != sq || out.O.Cols() != d {
-			tensor.Put(out.O)
-			out.O = tensor.Get(sq, d)
-		} else {
-			out.O.Zero()
-		}
-		if cap(out.M) < sq {
-			out.M = make([]float32, sq)
-			out.L = make([]float32, sq)
-		}
-		out.M = out.M[:sq]
-		out.L = out.L[:sq]
-	}
+	out = preparePartial(out, sq, d)
 	if workers := tensor.Workers(sq, sq*sk*d); workers <= 1 {
 		partialSweepRows(out, s, v, m, qPos, kOff, scale, 0, sq)
 	} else {
@@ -164,6 +195,28 @@ func PartialForwardInto(out *Partial, q, k, v *tensor.Tensor, m Mask, qPos []int
 		})
 	}
 	tensor.Put(s)
+	return out
+}
+
+// preparePartial returns out ready to accumulate an [sq, d] partial: a nil
+// out allocates from the tensor pool, an existing one has its O zeroed (or
+// reallocated on shape change) and its M/L slices resized.
+func preparePartial(out *Partial, sq, d int) *Partial {
+	if out == nil {
+		return &Partial{O: tensor.Get(sq, d), M: make([]float32, sq), L: make([]float32, sq)}
+	}
+	if out.O == nil || out.O.Rows() != sq || out.O.Cols() != d {
+		tensor.Put(out.O)
+		out.O = tensor.Get(sq, d)
+	} else {
+		out.O.Zero()
+	}
+	if cap(out.M) < sq {
+		out.M = make([]float32, sq)
+		out.L = make([]float32, sq)
+	}
+	out.M = out.M[:sq]
+	out.L = out.L[:sq]
 	return out
 }
 
@@ -301,36 +354,4 @@ func finalizeRows(out *tensor.Tensor, l []float32) {
 			oi[c] *= inv
 		}
 	}
-}
-
-// FlashForward computes attention by streaming key blocks of size blockSize
-// through PartialForwardInto/MergeInPlace — numerically equivalent to
-// Forward but with O(sq·d) working memory, the structure of Flash-Attention
-// V2 that serves as the paper's single-GPU baseline (§7.2). One scratch
-// Partial is recycled across blocks and the accumulator is finalised in
-// place, so the streaming costs two [sq, d] buffers total regardless of the
-// block count.
-func FlashForward(q, k, v *tensor.Tensor, m Mask, qPos []int, blockSize int) *tensor.Tensor {
-	sk := k.Rows()
-	if blockSize <= 0 {
-		blockSize = sk
-	}
-	var acc, scratch *Partial
-	for off := 0; off < sk; off += blockSize {
-		end := off + blockSize
-		if end > sk {
-			end = sk
-		}
-		if acc == nil {
-			acc = PartialForward(q, k.RowSlice(off, end), v.RowSlice(off, end), m, qPos, off)
-			continue
-		}
-		scratch = PartialForwardInto(scratch, q, k.RowSlice(off, end), v.RowSlice(off, end), m, qPos, off)
-		MergeInPlace(acc, scratch)
-	}
-	ReleasePartial(scratch)
-	if acc == nil {
-		return tensor.New(q.Rows(), q.Cols())
-	}
-	return FinalizeInPlace(acc)
 }

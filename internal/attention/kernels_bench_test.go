@@ -75,7 +75,7 @@ func seedMatMulT(a, b *tensor.Tensor) *tensor.Tensor {
 // BenchmarkKernelPartialForward runs the flash-style partial kernel on one
 // 256-key block at head dim 64, under the paper's document mask — the shape
 // and mask a CP rank sees per head. impl=after streams through a reused
-// scratch Partial the way FlashForward and ring attention do.
+// scratch Partial the way ring attention does.
 func BenchmarkKernelPartialForward(b *testing.B) {
 	const sq, sk, d = 256, 256, 64
 	q, k, v := randQKV(77, sq, sk, d)
@@ -105,9 +105,11 @@ func BenchmarkKernelPartialForward(b *testing.B) {
 	})
 }
 
-// BenchmarkKernelFlashForward measures the full streamed attention at CP
-// block granularity: 512 keys in 4 blocks of 128, document-masked.
-func BenchmarkKernelFlashForward(b *testing.B) {
+// BenchmarkKernelBlockedForward measures the mask-structured blocked engine
+// against the dense reference on a document-masked 512-key head — the
+// blocked-vs-dense bitwise guard runs before timing, so smoke-bench catches
+// any divergence between the two implementations.
+func BenchmarkKernelBlockedForward(b *testing.B) {
 	const sq, sk, d = 256, 512, 64
 	rng := rand.New(rand.NewSource(88))
 	q := tensor.RandN(rng, 0.5, sq, d)
@@ -115,7 +117,26 @@ func BenchmarkKernelFlashForward(b *testing.B) {
 	v := tensor.RandN(rng, 0.5, sk, d)
 	m := Document{DocID: DocIDsFromLengths([]int{200, 150, 162}, sk)}
 	qPos := Iota(sq)
-	for i := 0; i < b.N; i++ {
-		FlashForward(q, k, v, m, qPos, 128)
+
+	prev := SetBlocked(true)
+	defer SetBlocked(prev)
+	dense := DenseForward(q, k, v, m, qPos, 0)
+	blocked := Forward(q, k, v, m, qPos, 0)
+	if !tensor.BitwiseEqual(dense.O, blocked.O) || !tensor.BitwiseEqual(dense.P, blocked.P) {
+		b.Fatal("impl=dense and impl=blocked disagree")
 	}
+	tensor.Put(dense.O, dense.P, blocked.O, blocked.P)
+
+	b.Run("impl=dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := DenseForward(q, k, v, m, qPos, 0)
+			tensor.Put(out.O, out.P)
+		}
+	})
+	b.Run("impl=blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := Forward(q, k, v, m, qPos, 0)
+			tensor.Put(out.O, out.P)
+		}
+	})
 }

@@ -199,28 +199,34 @@ func TestFinalizeInPlaceMatchesFinalize(t *testing.T) {
 	}
 }
 
-// TestFlashForwardParallelBitwise checks the full streamed kernel stays
-// deterministic when its inner kernels dispatch to goroutines: the same
-// inputs at serial (GOMAXPROCS=1) and parallel (GOMAXPROCS=4) settings must
-// produce identical bits for every block size.
-func TestFlashForwardParallelBitwise(t *testing.T) {
+// TestStreamedForwardParallelBitwise checks the streamed block-merge path
+// and the blocked Forward engine stay deterministic when their inner kernels
+// dispatch to goroutines: the same inputs at serial (GOMAXPROCS=1) and
+// parallel (GOMAXPROCS=4) settings must produce identical bits for every
+// block size.
+func TestStreamedForwardParallelBitwise(t *testing.T) {
 	const sq, sk, d = 320, 320, 64
 	q, k, v := randQKV(606, sq, sk, d)
 	m := Document{DocID: DocIDsFromLengths([]int{130, 90, 100}, sk)}
 	qPos := Iota(sq)
 
 	prev := runtime.GOMAXPROCS(1)
-	serial := FlashForward(q, k, v, m, qPos, 0)
-	serialBlocked := FlashForward(q, k, v, m, qPos, 80)
+	serial := streamedForward(q, k, v, m, qPos, 0)
+	serialBlocked := streamedForward(q, k, v, m, qPos, 80)
+	serialFwd := Forward(q, k, v, m, qPos, 0)
 	runtime.GOMAXPROCS(4)
-	parallel := FlashForward(q, k, v, m, qPos, 0)
-	parallelBlocked := FlashForward(q, k, v, m, qPos, 80)
+	parallel := streamedForward(q, k, v, m, qPos, 0)
+	parallelBlocked := streamedForward(q, k, v, m, qPos, 80)
+	parallelFwd := Forward(q, k, v, m, qPos, 0)
 	runtime.GOMAXPROCS(prev)
 
 	if !tensor.BitwiseEqual(serial, parallel) {
-		t.Fatal("FlashForward (single block) differs across GOMAXPROCS")
+		t.Fatal("streamedForward (single block) differs across GOMAXPROCS")
 	}
 	if !tensor.BitwiseEqual(serialBlocked, parallelBlocked) {
-		t.Fatal("FlashForward (blocked) differs across GOMAXPROCS")
+		t.Fatal("streamedForward (blocked) differs across GOMAXPROCS")
+	}
+	if !tensor.BitwiseEqual(serialFwd.O, parallelFwd.O) || !tensor.BitwiseEqual(serialFwd.P, parallelFwd.P) {
+		t.Fatal("blocked Forward differs across GOMAXPROCS")
 	}
 }

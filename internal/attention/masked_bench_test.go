@@ -1,0 +1,85 @@
+package attention
+
+import (
+	"math/rand"
+	"testing"
+
+	"llama4d/internal/tensor"
+)
+
+// benchDocLengths draws a deterministic packed-document length distribution
+// with the given mean (uniform on 1..2·avg−1), covering at least seq tokens.
+func benchDocLengths(avg, seq int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	var out []int
+	total := 0
+	for total < seq {
+		n := 1 + rng.Intn(2*avg-1)
+		out = append(out, n)
+		total += n
+	}
+	return out
+}
+
+// BenchmarkAttentionMasked is the before/after sweep of the blocked engine on
+// the training hot path: one full forward+backward of a 1024-token head
+// (d=64) under document masks of varying mean length plus the plain causal
+// mask, each timed with the dense reference (impl=dense) and the blocked
+// engine (impl=blocked). A bitwise guard runs before timing for every
+// distribution, so smoke-bench catches any divergence; BENCH_attention.json
+// is generated from this sweep by make bench, and the ≥1.5× geomean speedup
+// acceptance is computed over the distribution sweep.
+func BenchmarkAttentionMasked(b *testing.B) {
+	const seq, d = 1024, 64
+	dists := []struct {
+		name   string
+		avgLen int // 0 means plain causal
+	}{
+		{"dist=docs64", 64},
+		{"dist=docs128", 128},
+		{"dist=docs256", 256},
+		{"dist=docs512", 512},
+		{"dist=causal", 0},
+	}
+
+	prev := SetBlocked(true)
+	defer SetBlocked(prev)
+	qPos := Iota(seq)
+	for di, dist := range dists {
+		var m Mask = Causal{}
+		if dist.avgLen > 0 {
+			m = Document{DocID: DocIDsFromLengths(benchDocLengths(dist.avgLen, seq, int64(1000+di)), seq)}
+		}
+		q, k, v := randQKV(int64(2000+di), seq, seq, d)
+		dO := tensor.RandN(rand.New(rand.NewSource(int64(3000+di))), 1, seq, d)
+
+		// Bitwise guard: the blocked engine must reproduce the dense kernels
+		// exactly on this distribution before any timing means anything.
+		dense := DenseForward(q, k, v, m, qPos, 0)
+		blocked := Forward(q, k, v, m, qPos, 0)
+		if !tensor.BitwiseEqual(dense.O, blocked.O) || !tensor.BitwiseEqual(dense.P, blocked.P) {
+			b.Fatalf("%s: impl=dense and impl=blocked forward disagree", dist.name)
+		}
+		wdq, wdk, wdv := DenseBackward(q, k, v, dense.P, dO)
+		gdq, gdk, gdv := Backward(q, k, v, blocked.P, dO, m, qPos, 0)
+		if !tensor.BitwiseEqual(wdq, gdq) || !tensor.BitwiseEqual(wdk, gdk) || !tensor.BitwiseEqual(wdv, gdv) {
+			b.Fatalf("%s: impl=dense and impl=blocked backward disagree", dist.name)
+		}
+		tensor.Put(dense.O, dense.P, blocked.O, blocked.P, wdq, wdk, wdv, gdq, gdk, gdv)
+
+		b.Run(dist.name+"/impl=dense", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := DenseForward(q, k, v, m, qPos, 0)
+				dq, dk, dv := DenseBackward(q, k, v, out.P, dO)
+				tensor.Put(out.O, out.P, dq, dk, dv)
+			}
+		})
+		b.Run(dist.name+"/impl=blocked", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := Forward(q, k, v, m, qPos, 0)
+				dq, dk, dv := Backward(q, k, v, out.P, dO, m, qPos, 0)
+				tensor.Put(out.O, out.P, dq, dk, dv)
+			}
+		})
+	}
+}

@@ -409,7 +409,7 @@ func TestRingBackwardMatchesOracle(t *testing.T) {
 	}
 	for name, mask := range masks {
 		out := attention.Forward(q, k, v, mask, attention.Iota(seq), 0)
-		wantDQ, wantDK, wantDV := attention.Backward(q, k, v, out.P, dO)
+		wantDQ, wantDK, wantDV := attention.Backward(q, k, v, out.P, dO, mask, attention.Iota(seq), 0)
 
 		for _, cpSize := range []int{2, 3} {
 			s := NewSharding(seq, cpSize)

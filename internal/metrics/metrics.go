@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"llama4d/internal/attention"
 	"llama4d/internal/comm"
 	"llama4d/internal/pp"
 	"llama4d/internal/tensor"
@@ -88,6 +89,17 @@ type StepReport struct {
 	// so attribution is per step, not per rank.
 	FLOPs int64 `json:"flops"`
 
+	// EffectiveFLOPs is the world-total mask-aware FLOP count of the step
+	// (tensor.EffectiveFLOPCount delta): nominal minus the work the blocked
+	// attention engine skipped as empty tiles. Equals FLOPs when nothing was
+	// block-skipped; xval asserts it against the closed-form tile prediction.
+	EffectiveFLOPs int64 `json:"effective_flops"`
+
+	// Attn is the step's attention-sparsity profile (attention.StatsSnapshot
+	// delta): kernel calls, allowed/total score pairs under the mask, and the
+	// full/partial/empty tile census of the blocked engine.
+	Attn attention.Stats `json:"attn"`
+
 	// Pool is the tensor arena traffic of the step (DefaultPoolStats delta).
 	Pool tensor.PoolStats `json:"pool"`
 
@@ -120,6 +132,8 @@ type Registry struct {
 	stepOffset float64 // seconds since start at BeginStep
 	step       int64
 	flops0     int64
+	effFlops0  int64
+	attn0      attention.Stats
 	pool0      tensor.PoolStats
 }
 
@@ -233,6 +247,8 @@ func (r *Registry) BeginStep(step int64) {
 	r.stepStart = time.Now()
 	r.stepOffset = r.now()
 	r.flops0 = tensor.FLOPCount()
+	r.effFlops0 = tensor.EffectiveFLOPCount()
+	r.attn0 = attention.StatsSnapshot()
 	r.pool0 = tensor.DefaultPoolStats()
 	for _, rs := range r.ranks {
 		rs.mu.Lock()
@@ -253,9 +269,11 @@ func (r *Registry) EndStep() *StepReport {
 	wall := time.Since(r.stepStart).Seconds()
 	pool := tensor.DefaultPoolStats()
 	rep := &StepReport{
-		Step:        r.step,
-		WallSeconds: wall,
-		FLOPs:       tensor.FLOPCount() - r.flops0,
+		Step:           r.step,
+		WallSeconds:    wall,
+		FLOPs:          tensor.FLOPCount() - r.flops0,
+		EffectiveFLOPs: tensor.EffectiveFLOPCount() - r.effFlops0,
+		Attn:           attention.StatsSnapshot().Sub(r.attn0),
 		Pool: tensor.PoolStats{
 			Gets: pool.Gets - r.pool0.Gets, Hits: pool.Hits - r.pool0.Hits,
 			Puts: pool.Puts - r.pool0.Puts, Rejects: pool.Rejects - r.pool0.Rejects,
@@ -367,6 +385,14 @@ func (s *StepReport) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "step %d: wall %.3fs, %s matmul FLOPs, pool gets=%d hits=%d puts=%d rejects=%d\n",
 		s.Step, s.WallSeconds, humanCount(s.FLOPs), s.Pool.Gets, s.Pool.Hits, s.Pool.Puts, s.Pool.Rejects)
+	if s.Attn.Calls > 0 {
+		fmt.Fprintf(&b, "attn: %d kernel calls, %d/%d pairs allowed (%.1f%%), tiles full=%d partial=%d empty=%d, effective FLOPs %s (%.1f%% of nominal)\n",
+			s.Attn.Calls, s.Attn.AllowedPairs, s.Attn.TotalPairs,
+			100*float64(s.Attn.AllowedPairs)/float64(max64(s.Attn.TotalPairs, 1)),
+			s.Attn.FullTiles, s.Attn.PartialTiles, s.Attn.EmptyTiles,
+			humanCount(s.EffectiveFLOPs),
+			100*float64(s.EffectiveFLOPs)/float64(max64(s.FLOPs, 1)))
+	}
 	fmt.Fprintf(&b, "%4s %12s %10s %10s %10s %10s %10s %10s %12s %6s\n",
 		"rank", "comm bytes", "comm s", "compute s", "p2p-wait s", "idle s", "exposed s", "hidden s", "peak act", "ctxs")
 	for _, rr := range s.Ranks {
@@ -414,6 +440,13 @@ func (s *StepReport) Table() string {
 		fmt.Fprintf(&b, "overlap fraction (hidden / async comm time): %.3f\n", f)
 	}
 	return b.String()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func humanCount(n int64) string {

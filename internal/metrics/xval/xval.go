@@ -12,7 +12,10 @@ package xval
 import (
 	"fmt"
 
+	"llama4d/internal/attention"
 	"llama4d/internal/core"
+	"llama4d/internal/cp"
+	"llama4d/internal/data"
 	"llama4d/internal/fsdp"
 	"llama4d/internal/metrics"
 	"llama4d/internal/model"
@@ -236,6 +239,58 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 		ex.Overlapped[r.ID] = om
 	}
 	return ex
+}
+
+// PredictAttention computes the exact attention-sparsity profile of one
+// training step under the blocked engine, from the configuration and data
+// stream alone: it rebuilds every sample's tile grid with the same
+// BuildGrid classifier the kernels dispatch through, counts how many kernel
+// calls see that grid (forward, recompute replay, backward — per head, per
+// layer, per rank), and sums the closed-form skipped-FLOP volume of the
+// empty tiles. Returns the predicted attention.Stats delta of the step and
+// the predicted effective-FLOP deficit (nominal FLOPs − effective FLOPs):
+// each forward-type call skips 2 matmuls × 2·hd FLOPs per empty pair, each
+// backward call 4 matmuls. The sweep test asserts both against the measured
+// StepReport with zero tolerance.
+func PredictAttention(cl *core.Cluster, src data.Batcher, step int64) (attention.Stats, int64) {
+	cfg := cl.Cfg
+	counts := pp.StageLayerCounts(cfg.Model.NLayers, cl.Sched.Stages(), cfg.Balanced)
+	nHl := cfg.Model.NHeads / cfg.Topo.TP
+	hd := int64(cfg.Model.HeadDim())
+	replay := 0
+	if cfg.Recompute != model.RecomputeNone {
+		// Both full and selective recomputation re-run attention.Forward once
+		// per layer during the backward replay.
+		replay = 1
+	}
+	var stats attention.Stats
+	var skipped int64
+	for _, r := range cl.Ranks {
+		// Layers this rank owns, summed over its virtual stages.
+		Lr := 0
+		for vs := 0; vs < cl.Sched.V; vs++ {
+			Lr += counts[cl.Sched.GlobalStage(r.Coord.PP, vs)]
+		}
+		var qPos []int
+		if cfg.Topo.CP > 1 {
+			sh := cp.NewSharding(cfg.Seq, cfg.Topo.CP)
+			qPos = sh.LocalPositions(r.Groups.CP.LocalRank(r.ID))
+		} else {
+			qPos = attention.Iota(cfg.Seq)
+		}
+		fwdCalls := int64(nHl * Lr * (1 + replay))
+		bwdCalls := int64(nHl * Lr)
+		for _, s := range src.DPBatch(step, cfg.GBS, cfg.Topo.DP, r.Coord.DP) {
+			var mask attention.Mask = attention.Causal{}
+			if cfg.UseDocMask {
+				mask = attention.Document{DocID: s.DocIDs}
+			}
+			g := attention.BuildGrid(mask, qPos, 0, cfg.Seq)
+			stats = stats.Add(g.Summary().Scale(fwdCalls + bwdCalls))
+			skipped += (4*fwdCalls + 8*bwdCalls) * hd * g.EmptyPairs
+		}
+	}
+	return stats, skipped
 }
 
 // MemConfig builds the memory-simulator configuration matching a cluster,

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"llama4d/internal/attention"
 	"llama4d/internal/core"
 	"llama4d/internal/data"
 	"llama4d/internal/fsdp"
@@ -343,6 +344,93 @@ func TestSweepOverlapBitwiseAndVolumes(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// runMaskedSteps is runMeasuredSteps with the document mask selectable,
+// returning the per-step losses, reports, and the data generator (so the
+// attention predictor can rebuild the exact sample stream).
+func runMaskedSteps(t *testing.T, sc sweepCase, docMask bool) (*core.Cluster, []float64, []*metrics.StepReport, *data.Generator) {
+	t.Helper()
+	cfg := sc.config()
+	cfg.UseDocMask = docMask
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	reg := metrics.NewRegistry(cfg.Topo.World())
+	cl.Attach(reg)
+	gen := &data.Generator{Vocab: cfg.Model.Vocab, Seq: cfg.Seq, AvgDocLen: 8, Seed: 7}
+	var losses []float64
+	var reps []*metrics.StepReport
+	for step := int64(0); step < 2; step++ {
+		reg.BeginStep(step)
+		losses = append(losses, cl.Step(gen, step))
+		reps = append(reps, reg.EndStep())
+	}
+	return cl, losses, reps, gen
+}
+
+// TestSweepBlockedAttentionExact is the blocked-attention half of the
+// conformance sweep, for both masks (causal and document) over every 4D
+// configuration, at a 4×4 tiling so the 16-token sweep sequence actually
+// tiles. It asserts the §6.2 determinism contract end to end — the blocked
+// engine's per-step losses and final weights are bitwise identical to the
+// dense reference — and the accounting contract: the measured attention
+// tile census and effective FLOPs equal PredictAttention's closed-form
+// values exactly, while the dense run records no tile stats and an
+// effective count equal to nominal.
+func TestSweepBlockedAttentionExact(t *testing.T) {
+	prevR, prevC := attention.SetTiling(4, 4)
+	defer attention.SetTiling(prevR, prevC)
+	for _, sc := range sweepCases() {
+		for _, docMask := range []bool{false, true} {
+			name := sc.name + "/causal"
+			if docMask {
+				name = sc.name + "/docmask"
+			}
+			t.Run(name, func(t *testing.T) {
+				blkCl, blkLoss, blkReps, gen := runMaskedSteps(t, sc, docMask)
+				prev := attention.SetBlocked(false)
+				denseCl, denseLoss, denseReps, _ := runMaskedSteps(t, sc, docMask)
+				attention.SetBlocked(prev)
+
+				for step := range blkLoss {
+					if math.Float64bits(blkLoss[step]) != math.Float64bits(denseLoss[step]) {
+						t.Errorf("step %d: blocked loss %v != dense loss %v (not bitwise equal)",
+							step, blkLoss[step], denseLoss[step])
+					}
+				}
+				assertClustersBitwiseEqual(t, denseCl, blkCl, "blocked vs dense weights")
+
+				for step, rep := range blkReps {
+					wantStats, skipped := PredictAttention(blkCl, gen, int64(step))
+					if rep.Attn != wantStats {
+						t.Errorf("step %d: measured attention stats %+v != predicted %+v",
+							step, rep.Attn, wantStats)
+					}
+					if skipped <= 0 {
+						t.Errorf("step %d: predicted zero skipped FLOPs — sweep config exercises no sparsity", step)
+					}
+					if got, want := rep.EffectiveFLOPs, rep.FLOPs-skipped; got != want {
+						t.Errorf("step %d: measured effective FLOPs %d != nominal %d - skipped %d = %d",
+							step, got, rep.FLOPs, skipped, want)
+					}
+					if ex := Predict(blkCl, step > 0); rep.FLOPs != ex.FLOPs {
+						t.Errorf("step %d: blocked run nominal FLOPs %d != predicted %d", step, rep.FLOPs, ex.FLOPs)
+					}
+				}
+				for step, rep := range denseReps {
+					if rep.Attn.Calls != 0 {
+						t.Errorf("step %d: dense run recorded %d blocked-kernel calls", step, rep.Attn.Calls)
+					}
+					if rep.EffectiveFLOPs != rep.FLOPs {
+						t.Errorf("step %d: dense run effective FLOPs %d != nominal %d",
+							step, rep.EffectiveFLOPs, rep.FLOPs)
+					}
+				}
+			})
+		}
 	}
 }
 

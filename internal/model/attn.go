@@ -150,7 +150,7 @@ func (a *Attention) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
 		headColsInto(kh, ctx.kFull, kv, a.HeadDim)
 		headColsInto(vh, ctx.vFull, kv, a.HeadDim)
 		headColsInto(dOh, dConcat, h, a.HeadDim)
-		dqh, dkh, dvh := attention.Backward(qh, kh, vh, ctx.probs[h], dOh)
+		dqh, dkh, dvh := attention.Backward(qh, kh, vh, ctx.probs[h], dOh, env.Mask, env.QPos, 0)
 		addHeadCols(dq, dqh, h, a.HeadDim)
 		addHeadCols(dKFull, dkh, kv, a.HeadDim)
 		addHeadCols(dVFull, dvh, kv, a.HeadDim)

@@ -38,6 +38,13 @@ type CPAttnResult struct {
 	CommTime      float64 // all-gather (or ring P2P) time
 	RelativeHFU   float64 // SingleGPUTime / (CP × PerRankTime)
 	AGBandwidth   float64 // achieved all-gather bandwidth, GB/s (Fig 12)
+
+	// Tiles is the tile census of the CP group's attention under the blocked
+	// training engine's classifier (one grid per rank, summed): the sweep
+	// point's modeled counterpart of the measured attention.StatsSnapshot. The
+	// ring comparator leaves it zero — its fragmented per-step kernels are
+	// modeled by pair counts, not grids.
+	Tiles attention.Stats
 }
 
 // docStartsFor samples a packed sequence's document starts with the given
@@ -53,13 +60,26 @@ func docStartsFor(seq int, docMask bool, avgDocLen int, seed int64) []int {
 	return attention.DocStarts(ids)
 }
 
-// perRankPairs returns each CP rank's allowed (q, k) pair count under the
-// 2×cp load-balanced sharding.
-func perRankPairs(seq, cpSize int, docStarts []int) []int64 {
+// rankGrids classifies each CP rank's local attention into tile grids with
+// the same BuildGridFromStarts classifier the blocked training kernels
+// dispatch through, under the 2×cp load-balanced sharding. The grids carry
+// both the exact allowed-pair counts the time model needs (identical to
+// FastAllowedPairs — asserted in tests) and the full/partial/empty census
+// the sweep reports.
+func rankGrids(seq, cpSize int, docStarts []int) []*attention.Grid {
 	sh := cp.NewSharding(seq, cpSize)
-	out := make([]int64, cpSize)
+	out := make([]*attention.Grid, cpSize)
 	for r := 0; r < cpSize; r++ {
-		out[r] = attention.FastAllowedPairs(sh.LocalPositions(r), docStarts)
+		out[r] = attention.BuildGridFromStarts(sh.LocalPositions(r), docStarts, 0, seq)
+	}
+	return out
+}
+
+// perRankPairs returns each CP rank's allowed (q, k) pair count.
+func perRankPairs(grids []*attention.Grid) []int64 {
+	out := make([]int64, len(grids))
+	for r, g := range grids {
+		out[r] = g.AllowedPairs
 	}
 	return out
 }
@@ -87,8 +107,13 @@ func AllGatherCPAttention(m cost.Model, shape AttnShape, seq, cpSize int, docMas
 	totalPairs := attention.FastAllowedPairs(attention.Iota(seq), ds)
 	single := m.Attention(int64(seq), int64(seq), totalPairs, int64(shape.Heads), int64(shape.HeadDim))
 
-	pairs := perRankPairs(seq, cpSize, ds)
+	grids := rankGrids(seq, cpSize, ds)
+	pairs := perRankPairs(grids)
 	slowest := maxI64(pairs)
+	var tiles attention.Stats
+	for _, g := range grids {
+		tiles = tiles.Add(g.Summary())
+	}
 	qLocal := int64(seq / cpSize)
 	compute := m.Attention(qLocal, int64(seq), slowest, int64(shape.Heads), int64(shape.HeadDim))
 	ranks := cluster.RanksOfGroup(0, cpSize, 1) // intra-node CP for the kernel study
@@ -100,6 +125,7 @@ func AllGatherCPAttention(m cost.Model, shape AttnShape, seq, cpSize int, docMas
 		SingleGPUTime: single, PerRankTime: per, CommTime: ag,
 		RelativeHFU: single / (float64(cpSize) * per),
 		AGBandwidth: cost.AchievedBandwidth(kvBytes(seq, shape)*float64(cpSize-1)/float64(cpSize), ag),
+		Tiles:       tiles,
 	}
 }
 

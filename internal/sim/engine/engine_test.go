@@ -3,10 +3,58 @@ package engine
 import (
 	"testing"
 
+	"llama4d/internal/attention"
+	"llama4d/internal/cp"
 	"llama4d/internal/model"
 	"llama4d/internal/sim/cluster"
 	"llama4d/internal/sim/cost"
 )
+
+// TestRankGridsMatchFastPairs pins the sim's tile classifier to the closed
+// forms the rest of the engine uses: every CP rank's grid must report exactly
+// the allowed-pair count of attention.FastAllowedPairs, the group's grids
+// must cover the full seq×seq score matrix, and a document mask must expose
+// strictly more empty tiles than plain causal at the same shape.
+func TestRankGridsMatchFastPairs(t *testing.T) {
+	for _, seq := range []int{4096, 8192} {
+		for _, cpSize := range []int{2, 4} {
+			for _, doc := range []bool{false, true} {
+				ds := docStartsFor(seq, doc, 512, 7)
+				grids := rankGrids(seq, cpSize, ds)
+				sh := cp.NewSharding(seq, cpSize)
+				var allowed, total, emptyCausal int64
+				for r, g := range grids {
+					if want := attention.FastAllowedPairs(sh.LocalPositions(r), ds); g.AllowedPairs != want {
+						t.Fatalf("seq=%d cp=%d doc=%v rank %d: grid %d allowed pairs, FastAllowedPairs %d",
+							seq, cpSize, doc, r, g.AllowedPairs, want)
+					}
+					allowed += g.AllowedPairs
+					total += g.TotalPairs()
+					emptyCausal += g.EmptyPairs
+					if g.EmptyTiles == 0 {
+						t.Fatalf("seq=%d cp=%d doc=%v rank %d: no empty tiles on a causal-family mask", seq, cpSize, doc, r)
+					}
+				}
+				if want := attention.FastAllowedPairs(attention.Iota(seq), ds); allowed != want {
+					t.Fatalf("seq=%d cp=%d doc=%v: group allowed pairs %d != full-sequence %d", seq, cpSize, doc, allowed, want)
+				}
+				if want := int64(seq) * int64(seq); total != want {
+					t.Fatalf("seq=%d cp=%d: group grids cover %d pairs, want %d", seq, cpSize, total, want)
+				}
+				if emptyCausal < total-allowed-total/8 {
+					// Sanity: tile-granular skipping captures most of the masked volume.
+					t.Fatalf("seq=%d cp=%d doc=%v: only %d of %d masked pairs fall in empty tiles",
+						seq, cpSize, doc, emptyCausal, total-allowed)
+				}
+			}
+		}
+	}
+	// The sweep points carry the group's summed census.
+	r := AllGatherCPAttention(cost.Default(), Llama405BTP8(), 8192, 2, true, 512, 7)
+	if r.Tiles.Calls != 2 || r.Tiles.EmptyTiles == 0 || r.Tiles.AllowedPairs == 0 {
+		t.Fatalf("AllGatherCPAttention tile census not populated: %+v", r.Tiles)
+	}
+}
 
 func TestFig11Shapes(t *testing.T) {
 	results := Fig11(cost.Default())

@@ -70,6 +70,7 @@ func (c *CrossAttention) Forward(x, img *tensor.Tensor) (*tensor.Tensor, any) {
 func (c *CrossAttention) Backward(ctxAny any, dy *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
 	ctx := ctxAny.(*xattnCtx)
 	dConcat := c.Wo.Backward(ctx.oc, dy)
+	qPos := make([]int, ctx.q.Rows()) // bidirectional: positions are irrelevant
 	dq := tensor.New(ctx.q.Rows(), c.NHeads*c.HeadDim)
 	dk := tensor.New(ctx.k.Rows(), c.NHeads*c.HeadDim)
 	dv := tensor.New(ctx.v.Rows(), c.NHeads*c.HeadDim)
@@ -78,7 +79,7 @@ func (c *CrossAttention) Backward(ctxAny any, dy *tensor.Tensor) (*tensor.Tensor
 		kh := headCols(ctx.k, h, c.HeadDim)
 		vh := headCols(ctx.v, h, c.HeadDim)
 		dOh := headCols(dConcat, h, c.HeadDim)
-		dqh, dkh, dvh := attention.Backward(qh, kh, vh, ctx.probs[h], dOh)
+		dqh, dkh, dvh := attention.Backward(qh, kh, vh, ctx.probs[h], dOh, attention.Full{}, qPos, 0)
 		addHeadCols(dq, dqh, h, c.HeadDim)
 		addHeadCols(dk, dkh, h, c.HeadDim)
 		addHeadCols(dv, dvh, h, c.HeadDim)
