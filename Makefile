@@ -22,7 +22,10 @@ race:
 # comm-compute overlap engine (mode=sync/mode=overlapped, plus a depth
 # sweep) into BENCH_overlap.json, and the blocked attention engine vs the
 # dense reference across document-length distributions (dist=*/impl=*)
-# into BENCH_attention.json. The temp files keep a go test failure from
+# into BENCH_attention.json, and the serving workload one-request-at-a-time
+# vs continuously batched (impl=before/impl=after over batch × prompt × TP)
+# into BENCH_serving.json — one iteration each, since every iteration is a
+# full multi-second workload. The temp files keep a go test failure from
 # being masked by the pipe.
 bench:
 	$(GO) test -bench='^BenchmarkKernel' -benchmem -run='^$$' \
@@ -37,18 +40,25 @@ bench:
 		./internal/attention > BENCH_attention.txt \
 		&& $(GO) run ./cmd/benchjson -o BENCH_attention.json < BENCH_attention.txt \
 		&& rm BENCH_attention.txt
+	$(GO) test -bench='^BenchmarkServe' -benchtime=1x -run='^$$' \
+		./internal/serve > BENCH_serving.txt \
+		&& $(GO) run ./cmd/benchjson -o BENCH_serving.json < BENCH_serving.txt \
+		&& rm BENCH_serving.txt
 
 # The paper-reproduction benchmarks (one per table/figure) plus the kernel
 # suite.
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
-# One iteration of every kernel, overlap, and masked-attention benchmark:
-# exercises the before/after, sync-vs-overlapped, and blocked-vs-dense
-# bitwise correctness guards without waiting for stable timings.
+# One iteration of every kernel, overlap, masked-attention, and serving
+# benchmark: exercises the before/after, sync-vs-overlapped, blocked-vs-dense,
+# and serial-vs-batched bitwise correctness guards without waiting for stable
+# timings. The serving sweep is restricted to its smallest case — the guards
+# are identical across cases and the big ones take most of a minute each.
 smoke-bench:
 	$(GO) test -bench='^(BenchmarkKernel|BenchmarkOverlap|BenchmarkAttentionMasked)' -benchtime=1x -run='^$$' \
 		./internal/tensor ./internal/attention ./internal/core .
+	$(GO) test -bench='^BenchmarkServe/bs=16' -benchtime=1x -run='^$$' ./internal/serve
 
 # The measured-vs-modeled gate: the xval conformance sweep (measured comm
 # bytes, FLOPs, activation peaks, and schedules against the analytic models

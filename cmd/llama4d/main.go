@@ -7,7 +7,7 @@
 //
 // where <experiment> is one of: table2, fig2, fig3, fig4, fig6, fig8, fig9,
 // fig10, fig11, fig12, fig13, fig14, e2e, numerics, train, losscurve, hw,
-// goodput, metrics, overlap, or all.
+// goodput, metrics, overlap, serve, or all.
 package main
 
 import (
@@ -57,11 +57,12 @@ var experiments = map[string]func(){
 	"goodput":   goodputStudy,
 	"metrics":   metricsStudy,
 	"overlap":   overlapStudy,
+	"serve":     serveStudy,
 }
 
 var order = []string{"table2", "fig2", "fig3", "fig4", "fig6", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "e2e", "numerics", "train", "losscurve", "hw", "goodput",
-	"metrics", "overlap"}
+	"metrics", "overlap", "serve"}
 
 func main() {
 	if len(os.Args) != 2 {
@@ -712,6 +713,51 @@ func overlapStudy() {
 		rep.DPCommTotal, rep.DPExposed, rep.ModeledOverlapFraction())
 	fmt.Println("(measured fraction is wall-clock on goroutine ranks, modeled is the v-stage")
 	fmt.Println(" pipelining bound — see EXPERIMENTS.md for the comparison across depths)")
+}
+
+// serveStudy projects the serving subsystem onto H100s: the roofline
+// serving-cost model (whose decode FLOP and TP-traffic accounting is pinned
+// exactly to the measured engine by internal/serve's xval sweep) sweeps the
+// three Llama 3 scales and a batch ladder at 8B.
+func serveStudy() {
+	fmt.Println("serving-cost model: req/sec per H100 at batch 32, 1K-token prompts, 256 generated")
+	fmt.Printf("%-8s %-4s %-10s %-12s %-12s %-14s\n",
+		"model", "tp", "ttft s", "tok/s", "req/s", "req/s/GPU")
+	for _, tc := range []struct {
+		name string
+		cfg  model.Config
+		tp   int
+	}{
+		{"8B", model.Llama3_8B(), 1},
+		{"70B", model.Llama3_70B(), 8},
+		{"405B", model.Llama3_405B(), 8},
+	} {
+		ss := engine.ServeSim{Cost: cost.Default(), Model: tc.cfg, TP: tc.tp,
+			Batch: 32, Prompt: 1024, Output: 256}
+		rep, err := ss.Simulate()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%-8s %-4d %-10.3f %-12.0f %-12.3f %-14.3f\n",
+			tc.name, tc.tp, rep.TTFTSeconds, rep.TokensPerSec, rep.ReqPerSec, rep.ReqPerSecPerGPU)
+	}
+
+	fmt.Println("\n8B tp=1 batch ladder (decode is weight-streaming bound until the GEMMs saturate):")
+	fmt.Printf("%-7s %-12s %-12s %-14s\n", "batch", "step ms", "tok/s", "tok/s/stream")
+	for _, b := range []int{1, 4, 16, 64, 256} {
+		ss := engine.ServeSim{Cost: cost.Default(), Model: model.Llama3_8B(), TP: 1,
+			Batch: b, Prompt: 1024, Output: 256}
+		rep, err := ss.Simulate()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%-7d %-12.3f %-12.0f %-14.1f\n",
+			b, 1e3*rep.StepSeconds, rep.TokensPerSec, rep.TokensPerSec/float64(b))
+	}
+	fmt.Println("(continuous batching rides the flat part of this ladder; internal/serve")
+	fmt.Println(" measures the same effect bitwise on the functional engine)")
 }
 
 // train runs a real (tiny) 4D-parallel training job on goroutine ranks.

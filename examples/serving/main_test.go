@@ -1,0 +1,49 @@
+package main
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"llama4d/internal/testutil"
+)
+
+// TestServingSmoke runs the example's real main and asserts the numbers it
+// prints: all 48 streams complete, the scheduler genuinely ran ≥32 of them
+// concurrently, the paged cache drained without leaking, and both bitwise
+// checks (oracle replay, serial-vs-batched token identity) passed.
+func TestServingSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(main)
+
+	head := regexp.MustCompile(`serve: (\d+) requests, (\d+) tokens in [\d.]+s`).FindStringSubmatch(out)
+	if head == nil {
+		t.Fatalf("no serve summary line:\n%s", out)
+	}
+	if head[1] != "48" {
+		t.Errorf("served %s requests, want 48", head[1])
+	}
+	if tokens, _ := strconv.Atoi(head[2]); tokens < 48*6 {
+		t.Errorf("generated %d tokens, want at least MaxNewMin per request (%d)", tokens, 48*6)
+	}
+
+	peak := regexp.MustCompile(`peak concurrent (\d+)`).FindStringSubmatch(out)
+	if peak == nil {
+		t.Fatalf("no peak-concurrent counter:\n%s", out)
+	}
+	if n, _ := strconv.Atoi(peak[1]); n < 32 {
+		t.Errorf("peak concurrent %d, want >= 32 streams in flight", n)
+	}
+
+	leak := regexp.MustCompile(`leaked=(-?\d+)`).FindStringSubmatch(out)
+	if leak == nil || leak[1] != "0" {
+		t.Errorf("kv pool leak counter missing or nonzero: %v", leak)
+	}
+
+	if !strings.Contains(out, "match the dense full forward exactly") {
+		t.Errorf("oracle replay line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "serial replay: identical tokens for every request") {
+		t.Errorf("serial-vs-batched identity line missing:\n%s", out)
+	}
+}

@@ -103,6 +103,12 @@ type StepReport struct {
 	// Pool is the tensor arena traffic of the step (DefaultPoolStats delta).
 	Pool tensor.PoolStats `json:"pool"`
 
+	// PoolTags breaks the arena traffic down by caller tag
+	// (DefaultPoolTagStats delta) — how KV-cache page churn stays
+	// distinguishable from the rest of the world's Get/Put traffic.
+	// Tags with no traffic during the step are omitted.
+	PoolTags map[string]tensor.PoolStats `json:"pool_tags,omitempty"`
+
 	Ranks []RankReport `json:"ranks"`
 }
 
@@ -135,6 +141,7 @@ type Registry struct {
 	effFlops0  int64
 	attn0      attention.Stats
 	pool0      tensor.PoolStats
+	poolTags0  map[string]tensor.PoolStats
 }
 
 // NewRegistry creates a registry for a world of nRanks ranks.
@@ -250,6 +257,7 @@ func (r *Registry) BeginStep(step int64) {
 	r.effFlops0 = tensor.EffectiveFLOPCount()
 	r.attn0 = attention.StatsSnapshot()
 	r.pool0 = tensor.DefaultPoolStats()
+	r.poolTags0 = tensor.DefaultPoolTagStats()
 	for _, rs := range r.ranks {
 		rs.mu.Lock()
 		rs.comm = make(map[comm.OpKey]OpVolume)
@@ -278,6 +286,20 @@ func (r *Registry) EndStep() *StepReport {
 			Gets: pool.Gets - r.pool0.Gets, Hits: pool.Hits - r.pool0.Hits,
 			Puts: pool.Puts - r.pool0.Puts, Rejects: pool.Rejects - r.pool0.Rejects,
 		},
+	}
+	for tag, v := range tensor.DefaultPoolTagStats() {
+		v0 := r.poolTags0[tag]
+		d := tensor.PoolStats{
+			Gets: v.Gets - v0.Gets, Hits: v.Hits - v0.Hits,
+			Puts: v.Puts - v0.Puts, Rejects: v.Rejects - v0.Rejects,
+		}
+		if d == (tensor.PoolStats{}) {
+			continue
+		}
+		if rep.PoolTags == nil {
+			rep.PoolTags = make(map[string]tensor.PoolStats)
+		}
+		rep.PoolTags[tag] = d
 	}
 	tr := r.col.Snapshot()
 	for rank, rs := range r.ranks {
@@ -385,6 +407,18 @@ func (s *StepReport) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "step %d: wall %.3fs, %s matmul FLOPs, pool gets=%d hits=%d puts=%d rejects=%d\n",
 		s.Step, s.WallSeconds, humanCount(s.FLOPs), s.Pool.Gets, s.Pool.Hits, s.Pool.Puts, s.Pool.Rejects)
+	if len(s.PoolTags) > 0 {
+		tags := make([]string, 0, len(s.PoolTags))
+		for tag := range s.PoolTags {
+			tags = append(tags, tag)
+		}
+		sort.Strings(tags)
+		for _, tag := range tags {
+			v := s.PoolTags[tag]
+			fmt.Fprintf(&b, "  pool[%s]: gets=%d hits=%d puts=%d rejects=%d (leaked=%d)\n",
+				tag, v.Gets, v.Hits, v.Puts, v.Rejects, v.Gets-v.Puts)
+		}
+	}
 	if s.Attn.Calls > 0 {
 		fmt.Fprintf(&b, "attn: %d kernel calls, %d/%d pairs allowed (%.1f%%), tiles full=%d partial=%d empty=%d, effective FLOPs %s (%.1f%% of nominal)\n",
 			s.Attn.Calls, s.Attn.AllowedPairs, s.Attn.TotalPairs,

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"llama4d/internal/comm"
+	"llama4d/internal/model"
+)
+
+// benchServeModel is a medium model sized so decode is weight-streaming
+// bound (weights far larger than cache, like real serving): the per-row cost
+// of every projection drops as the batch amortises the weight stream, which
+// is the effect continuous batching exists to exploit.
+var benchServeModel = sync.OnceValue(func() *model.Model {
+	cfg := model.Config{
+		Vocab: 8192, Dim: 512, Hidden: 1536, NHeads: 8, NKVHeads: 4,
+		NLayers: 4, MaxSeq: 128, RopeBase: 10000,
+	}
+	return model.New(cfg, rand.New(rand.NewSource(17)))
+})
+
+// benchRequests builds n identical-arrival requests with fixed prompt and
+// generation lengths; the same slice drives both scheduler variants.
+func benchRequests(n, prompt, maxNew, vocab int) []*Request {
+	rng := rand.New(rand.NewSource(23))
+	reqs := make([]*Request, n)
+	for i := range reqs {
+		reqs[i] = &Request{ID: i, Prompt: randPrompt(rng, prompt, vocab), MaxNew: maxNew}
+	}
+	return reqs
+}
+
+// benchServeRun drives the full admission/prefill/decode pipeline and
+// returns every request's generated tokens (rank 0 under TP).
+func benchServeRun(m *model.Model, reqs []*Request, tp, maxBatch int) (map[int][]int, int) {
+	outputs := map[int][]int{}
+	total := 0
+	run := func(group *comm.Group, rank int) {
+		e := NewEngine(m, Options{Group: group, Rank: rank})
+		s := NewScheduler(e.KV, e, maxBatch)
+		if err := s.Submit(reqs...); err != nil {
+			panic(err)
+		}
+		s.RunToCompletion()
+		if rank == 0 {
+			for _, seq := range s.Completed() {
+				outputs[seq.Req.ID] = append([]int(nil), seq.Output...)
+				total += len(seq.Output)
+			}
+		}
+	}
+	if tp <= 1 {
+		run(nil, 0)
+		return outputs, total
+	}
+	world := comm.NewWorld(tp)
+	group := tpGroup(world, tp)
+	if err := world.RunSPMD(func(rank int) { run(group, rank) }); err != nil {
+		panic(err)
+	}
+	return outputs, total
+}
+
+// BenchmarkServe is the continuous-batching before/after sweep over batch
+// size × prompt length × TP degree: the same request set served one request
+// at a time (impl=before, MaxBatch 1) and continuously batched (impl=after,
+// MaxBatch = batch). A bitwise guard runs before any timing: the decode
+// determinism contract means both variants must emit identical token
+// sequences, so the speedup is pure scheduling, not numerics. make bench
+// folds this sweep into BENCH_serving.json, whose acceptance bar is ≥2×
+// tokens/sec for the batched variant.
+func BenchmarkServe(b *testing.B) {
+	// Short prompts and long generations keep the decode phase — where the
+	// per-step weight stream amortises across the batch — dominant; prompt
+	// rows cost the same under either scheduler and only dilute the ratio.
+	cases := []struct {
+		bs, prompt, maxNew, tp int
+	}{
+		{bs: 16, prompt: 4, maxNew: 20, tp: 1},
+		{bs: 32, prompt: 4, maxNew: 20, tp: 1},
+		{bs: 32, prompt: 4, maxNew: 20, tp: 2},
+	}
+	m := benchServeModel()
+	for _, tc := range cases {
+		reqs := benchRequests(tc.bs, tc.prompt, tc.maxNew, m.Cfg.Vocab)
+		name := fmt.Sprintf("bs=%d/prompt=%d/tp=%d", tc.bs, tc.prompt, tc.tp)
+
+		// Bitwise guard: batched and serial serving must produce identical
+		// tokens before the timing comparison means anything. Runs lazily
+		// inside the first selected sub-benchmark (not the parent body) so a
+		// -bench filter on one case doesn't pay every case's guard.
+		var guardOnce sync.Once
+		guard := func(b *testing.B) {
+			serialOut, _ := benchServeRun(m, reqs, tc.tp, 1)
+			batchedOut, _ := benchServeRun(m, reqs, tc.tp, tc.bs)
+			for _, r := range reqs {
+				so, bo := serialOut[r.ID], batchedOut[r.ID]
+				if len(so) != tc.maxNew || len(bo) != tc.maxNew {
+					b.Fatalf("%s: request %d generated %d/%d tokens, want %d", name, r.ID, len(so), len(bo), tc.maxNew)
+				}
+				for j := range so {
+					if so[j] != bo[j] {
+						b.Fatalf("%s: request %d token %d: serial %d != batched %d (decode contract broken)",
+							name, r.ID, j, so[j], bo[j])
+					}
+				}
+			}
+		}
+
+		for _, impl := range []struct {
+			label    string
+			maxBatch int
+		}{
+			{"impl=before", 1},
+			{"impl=after", tc.bs},
+		} {
+			b.Run(name+"/"+impl.label, func(b *testing.B) {
+				guardOnce.Do(func() { guard(b) })
+				b.ResetTimer()
+				tokens := 0
+				for i := 0; i < b.N; i++ {
+					_, n := benchServeRun(m, reqs, tc.tp, impl.maxBatch)
+					tokens += n
+				}
+				b.ReportMetric(float64(tokens)/b.Elapsed().Seconds(), "tok/s")
+			})
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"llama4d/internal/comm"
+	"llama4d/internal/metrics"
+	simengine "llama4d/internal/sim/engine"
+)
+
+// syncBarrier is a reusable rendezvous for the xval harness. It deliberately
+// avoids comm.Barrier: a metered collective would pollute the measured
+// per-rank traffic the test asserts exactly.
+type syncBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *syncBarrier {
+	b := &syncBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *syncBarrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// TestServeDecodeXval is the serving half of the measured-vs-modeled loop:
+// for every configuration, one batched decode step's measured world FLOP
+// count and per-rank "tp/allreduce" byte/message counts (metrics.Registry
+// deltas) must equal ServeSim's closed-form DecodeFLOPs/DecodeTPTraffic
+// exactly — no tolerance. Prefill runs before BeginStep so the measured
+// window holds exactly one DecodeStep; every rank's barriers keep
+// BeginStep/EndStep outside any rank's engine activity.
+func TestServeDecodeXval(t *testing.T) {
+	cases := []struct {
+		tp, batch, nHeads, nKVHeads int
+	}{
+		{tp: 1, batch: 2, nHeads: 4, nKVHeads: 2},
+		{tp: 1, batch: 4, nHeads: 4, nKVHeads: 4},
+		{tp: 2, batch: 2, nHeads: 4, nKVHeads: 2},
+		{tp: 2, batch: 3, nHeads: 8, nKVHeads: 2},
+		{tp: 2, batch: 4, nHeads: 8, nKVHeads: 4},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("tp%d_b%d_gqa%d-%d", tc.tp, tc.batch, tc.nHeads, tc.nKVHeads), func(t *testing.T) {
+			m := testModel(tc.nHeads, tc.nKVHeads)
+			rng := rand.New(rand.NewSource(11))
+			prompts := make([][]int, tc.batch)
+			kvLens := make([]int, tc.batch)
+			for i := range prompts {
+				prompts[i] = randPrompt(rng, 3+2*i, m.Cfg.Vocab)
+				// At decode time sequence i attends its committed prompt
+				// plus the token staged this step.
+				kvLens[i] = len(prompts[i]) + 1
+			}
+
+			world := comm.NewWorld(tc.tp)
+			reg := metrics.NewRegistry(tc.tp)
+			world.Meter = reg
+			world.Recorder = reg
+			bar := newBarrier(tc.tp)
+			group := tpGroup(world, tc.tp)
+
+			var rep *metrics.StepReport
+			err := world.RunSPMD(func(rank int) {
+				e := NewEngine(m, Options{PageSize: 4, Group: group, Rank: rank})
+				seqs := make([]*SeqState, tc.batch)
+				for i, p := range prompts {
+					seqs[i] = &SeqState{Req: &Request{ID: i, Prompt: p, MaxNew: 4}, Cache: e.KV.NewSeq()}
+					if !e.KV.Reserve(seqs[i].Cache, len(p)+4) {
+						panic("xval: reservation failed under default budget")
+					}
+				}
+				e.Prefill(seqs)
+				bar.await()
+				if rank == 0 {
+					reg.BeginStep(0)
+				}
+				bar.await()
+				e.DecodeStep(seqs)
+				bar.await()
+				if rank == 0 {
+					rep = reg.EndStep()
+				}
+				for _, s := range seqs {
+					e.KV.Release(s.Cache)
+				}
+			})
+			if err != nil {
+				t.Fatalf("RunSPMD: %v", err)
+			}
+
+			ss := simengine.ServeSim{Model: m.Cfg, TP: tc.tp}
+			if got, want := rep.FLOPs, ss.DecodeFLOPs(kvLens); got != want {
+				t.Errorf("decode FLOPs: measured %d, modeled %d", got, want)
+			}
+			if rep.EffectiveFLOPs != rep.FLOPs {
+				t.Errorf("effective FLOPs %d != nominal %d: decode causal attention skipped tiles",
+					rep.EffectiveFLOPs, rep.FLOPs)
+			}
+			wantBytes, wantMsgs := ss.DecodeTPTraffic(tc.batch)
+			for _, rr := range rep.Ranks {
+				if tc.tp == 1 {
+					if len(rr.Comm) != 0 {
+						t.Errorf("rank %d: sequential decode recorded traffic %+v", rr.Rank, rr.Comm)
+					}
+					continue
+				}
+				if len(rr.Comm) != 1 {
+					t.Errorf("rank %d: want only tp/allreduce traffic, got %+v", rr.Rank, rr.Comm)
+				}
+				got := rr.Comm["tp/allreduce"]
+				if got.Bytes != wantBytes || got.Msgs != wantMsgs {
+					t.Errorf("rank %d tp/allreduce: measured %d bytes %d msgs, modeled %d bytes %d msgs",
+						rr.Rank, got.Bytes, got.Msgs, wantBytes, wantMsgs)
+				}
+				// Decode issues every all-reduce through a handle, so the
+				// nonblocking subset is the whole traffic.
+				if !reflect.DeepEqual(rr.Overlapped, rr.Comm) {
+					t.Errorf("rank %d: overlapped %+v != total %+v (decode all-reduces are all nonblocking)",
+						rr.Rank, rr.Overlapped, rr.Comm)
+				}
+			}
+		})
+	}
+}

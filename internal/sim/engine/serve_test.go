@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"testing"
+
+	"llama4d/internal/model"
+	"llama4d/internal/sim/cost"
+)
+
+// TestServeSimShape sanity-checks the roofline serving model: reports are
+// positive and finite, batching raises generated-token throughput (the
+// decode GEMMs are memory-bound, so weight streaming amortises), and TP
+// spreads a model over more GPUs at some per-GPU efficiency cost.
+func TestServeSimShape(t *testing.T) {
+	base := ServeSim{
+		Cost: cost.Default(), Model: model.Llama3_8B(),
+		TP: 1, Batch: 32, Prompt: 1024, Output: 256,
+	}
+	rep, err := base.Simulate()
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if rep.PrefillSeconds <= 0 || rep.StepSeconds <= 0 || rep.TokensPerSec <= 0 || rep.ReqPerSec <= 0 {
+		t.Fatalf("non-positive report: %+v", rep)
+	}
+	if rep.TTFTSeconds != rep.PrefillSeconds {
+		t.Errorf("TTFT %v != prefill %v with an empty queue", rep.TTFTSeconds, rep.PrefillSeconds)
+	}
+
+	serial := base
+	serial.Batch = 1
+	srep, err := serial.Simulate()
+	if err != nil {
+		t.Fatalf("Simulate serial: %v", err)
+	}
+	if rep.TokensPerSec <= 2*srep.TokensPerSec {
+		t.Errorf("batch-32 throughput %.1f tok/s not >2x batch-1 %.1f tok/s: decode should be weight-streaming bound",
+			rep.TokensPerSec, srep.TokensPerSec)
+	}
+
+	tp8 := base
+	tp8.Model = model.Llama3_70B()
+	tp8.TP = 8
+	trep, err := tp8.Simulate()
+	if err != nil {
+		t.Fatalf("Simulate tp8: %v", err)
+	}
+	if trep.TPCommSeconds <= 0 {
+		t.Errorf("tp8 decode reported zero allreduce time")
+	}
+	if trep.ReqPerSecPerGPU*8 != trep.ReqPerSec {
+		t.Errorf("per-GPU rate %v x8 != engine rate %v", trep.ReqPerSecPerGPU, trep.ReqPerSec)
+	}
+
+	bad := base
+	bad.TP = 3 // 32 heads not divisible
+	if _, err := bad.Simulate(); err == nil {
+		t.Errorf("tp=3 on 32 heads should fail divisibility validation")
+	}
+}
+
+// TestServeDecodeTrafficMirrorsChunks pins the exact traffic accounting to
+// the engine's chunk rule: one chunk (one allreduce pair per layer) when
+// tp=1 or batch=1, two otherwise, with the odd row landing in the first
+// chunk and per-op integer truncation matching comm.Group.IAllReduce.
+func TestServeDecodeTrafficMirrorsChunks(t *testing.T) {
+	cfg := model.Config{Vocab: 61, Dim: 32, Hidden: 48, NHeads: 4, NKVHeads: 2, NLayers: 2}
+	ss := ServeSim{Model: cfg, TP: 2}
+
+	if b, m := ss.DecodeTPTraffic(1); m != 2*2*1 {
+		t.Errorf("batch 1: got %d msgs %d bytes, want one chunk (4 msgs)", m, b)
+	}
+	perOp := func(rows int) int64 { return int64(rows*cfg.Dim) * 4 * 2 * 1 / 2 }
+	wantBytes := 2 * int64(cfg.NLayers) * (perOp(2) + perOp(1))
+	if b, m := ss.DecodeTPTraffic(3); b != wantBytes || m != 2*2*2 {
+		t.Errorf("batch 3: got %d bytes %d msgs, want %d bytes 8 msgs (chunks 2+1)", b, m, wantBytes)
+	}
+
+	seq := ServeSim{Model: cfg, TP: 1}
+	if b, m := seq.DecodeTPTraffic(8); b != 0 || m != 0 {
+		t.Errorf("tp1: got %d bytes %d msgs, want none", b, m)
+	}
+}

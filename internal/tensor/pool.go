@@ -27,6 +27,12 @@ type Pool struct {
 	free map[int][]*Tensor
 
 	gets, hits, puts, rejects int64 // guarded by mu
+
+	// tags breaks the traffic down by caller-supplied tag for the
+	// GetTag/PutTag entry points. Tagged ops count in both the global
+	// counters and their tag's counters, so a tag's share of the arena
+	// traffic is directly comparable to the totals.
+	tags map[string]*PoolStats // guarded by mu
 }
 
 // PoolStats reports pool traffic: Gets (and how many were served from the
@@ -54,6 +60,41 @@ func (p *Pool) Get(shape ...int) *Tensor {
 // for destinations the caller fully overwrites (MatMulTInto, Transpose,
 // Clone). A nil pool degrades to New (which zeroes).
 func (p *Pool) GetUninit(shape ...int) *Tensor {
+	return p.getUninitTagged("", shape)
+}
+
+// GetTag is Get with the traffic attributed to tag in addition to the
+// global counters — how a subsystem (the serving KV-cache's page frames,
+// for instance) keeps its arena footprint distinguishable from the rest of
+// the world's Get/Put churn.
+func (p *Pool) GetTag(tag string, shape ...int) *Tensor {
+	t := p.getUninitTagged(tag, shape)
+	if t != nil {
+		t.Zero()
+	}
+	return t
+}
+
+// GetUninitTag is GetUninit with the traffic attributed to tag.
+func (p *Pool) GetUninitTag(tag string, shape ...int) *Tensor {
+	return p.getUninitTagged(tag, shape)
+}
+
+// tagLocked returns tag's counter block, creating it on first use.
+// Caller holds p.mu.
+func (p *Pool) tagLocked(tag string) *PoolStats {
+	if p.tags == nil {
+		p.tags = make(map[string]*PoolStats)
+	}
+	s := p.tags[tag]
+	if s == nil {
+		s = &PoolStats{}
+		p.tags[tag] = s
+	}
+	return s
+}
+
+func (p *Pool) getUninitTagged(tag string, shape []int) *Tensor {
 	if p == nil {
 		return New(shape...)
 	}
@@ -66,6 +107,11 @@ func (p *Pool) GetUninit(shape ...int) *Tensor {
 	}
 	p.mu.Lock()
 	p.gets++
+	var ts *PoolStats
+	if tag != "" {
+		ts = p.tagLocked(tag)
+		ts.Gets++
+	}
 	l := p.free[n]
 	if len(l) == 0 {
 		p.mu.Unlock()
@@ -75,6 +121,9 @@ func (p *Pool) GetUninit(shape ...int) *Tensor {
 	l[len(l)-1] = nil
 	p.free[n] = l[:len(l)-1]
 	p.hits++
+	if ts != nil {
+		ts.Hits++
+	}
 	p.mu.Unlock()
 	t.setShape(shape)
 	return t
@@ -85,6 +134,16 @@ func (p *Pool) GetUninit(shape ...int) *Tensor {
 // (len != cap) — the cheap guard against retiring a view whose parent is
 // still live. A nil pool discards everything.
 func (p *Pool) Put(ts ...*Tensor) {
+	p.putTagged("", ts)
+}
+
+// PutTag is Put with the traffic attributed to tag. Pair it with GetTag
+// so a tag's Gets−Puts delta reads as that subsystem's leak count.
+func (p *Pool) PutTag(tag string, ts ...*Tensor) {
+	p.putTagged(tag, ts)
+}
+
+func (p *Pool) putTagged(tag string, ts []*Tensor) {
 	if p == nil {
 		return
 	}
@@ -95,12 +154,18 @@ func (p *Pool) Put(ts ...*Tensor) {
 		if len(t.Data) != cap(t.Data) {
 			p.mu.Lock()
 			p.rejects++
+			if tag != "" {
+				p.tagLocked(tag).Rejects++
+			}
 			p.mu.Unlock()
 			continue
 		}
 		n := len(t.Data)
 		p.mu.Lock()
 		p.puts++
+		if tag != "" {
+			p.tagLocked(tag).Puts++
+		}
 		p.free[n] = append(p.free[n], t)
 		p.mu.Unlock()
 	}
@@ -116,8 +181,26 @@ func (p *Pool) Stats() PoolStats {
 	return PoolStats{Gets: p.gets, Hits: p.hits, Puts: p.puts, Rejects: p.rejects}
 }
 
+// TagStats returns a snapshot of the per-tag counters: one PoolStats per
+// tag that has seen at least one GetTag/PutTag. The map is a copy.
+func (p *Pool) TagStats() map[string]PoolStats {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.tags) == 0 {
+		return nil
+	}
+	out := make(map[string]PoolStats, len(p.tags))
+	for k, v := range p.tags {
+		out[k] = *v
+	}
+	return out
+}
+
 // Reset drops every retired tensor (releasing the memory to the GC) and
-// clears the counters.
+// clears the counters, including the per-tag breakdown.
 func (p *Pool) Reset() {
 	if p == nil {
 		return
@@ -126,6 +209,7 @@ func (p *Pool) Reset() {
 	defer p.mu.Unlock()
 	p.free = make(map[int][]*Tensor)
 	p.gets, p.hits, p.puts, p.rejects = 0, 0, 0, 0
+	p.tags = nil
 }
 
 // setShape points t at a (possibly different) shape with the same element
@@ -194,8 +278,39 @@ func Put(ts ...*Tensor) {
 	defaultPool.Put(ts...)
 }
 
+// GetTag returns a zeroed tensor from the default pool with the traffic
+// attributed to tag. With pooling disabled it degrades to New and the tag
+// counters stay untouched (so Gets == Puts still holds trivially).
+func GetTag(tag string, shape ...int) *Tensor {
+	if !poolingOn.Load() {
+		return New(shape...)
+	}
+	return defaultPool.GetTag(tag, shape...)
+}
+
+// GetUninitTag returns an uninitialized tensor from the default pool with
+// the traffic attributed to tag. Callers must fully overwrite.
+func GetUninitTag(tag string, shape ...int) *Tensor {
+	if !poolingOn.Load() {
+		return New(shape...)
+	}
+	return defaultPool.GetUninitTag(tag, shape...)
+}
+
+// PutTag retires tensors into the default pool with the traffic attributed
+// to tag (a no-op when pooling is disabled).
+func PutTag(tag string, ts ...*Tensor) {
+	if !poolingOn.Load() {
+		return
+	}
+	defaultPool.PutTag(tag, ts...)
+}
+
 // DefaultPoolStats returns the default pool's counters.
 func DefaultPoolStats() PoolStats { return defaultPool.Stats() }
+
+// DefaultPoolTagStats returns the default pool's per-tag counters.
+func DefaultPoolTagStats() map[string]PoolStats { return defaultPool.TagStats() }
 
 // ResetDefaultPool drops the default pool's retired tensors and counters.
 func ResetDefaultPool() { defaultPool.Reset() }
