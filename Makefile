@@ -25,8 +25,12 @@ race:
 # into BENCH_attention.json, and the serving workload one-request-at-a-time
 # vs continuously batched (impl=before/impl=after over batch × prompt × TP)
 # into BENCH_serving.json — one iteration each, since every iteration is a
-# full multi-second workload. The temp files keep a go test failure from
-# being masked by the pipe.
+# full multi-second workload — and the workload-balance planner vs the
+# sequential baseline across document-length distributions
+# (dist=*/impl=unbalanced|balanced, with per-rank idle, P2P-wait, step-time,
+# and imbalance-ratio metrics behind bitwise placement guards) into
+# BENCH_balance.json. The temp files keep a go test failure from being
+# masked by the pipe.
 bench:
 	$(GO) test -bench='^BenchmarkKernel' -benchmem -run='^$$' \
 		./internal/tensor ./internal/attention . > BENCH_kernels.txt \
@@ -44,21 +48,28 @@ bench:
 		./internal/serve > BENCH_serving.txt \
 		&& $(GO) run ./cmd/benchjson -o BENCH_serving.json < BENCH_serving.txt \
 		&& rm BENCH_serving.txt
+	$(GO) test -bench='^BenchmarkBalance' -benchtime=3x -run='^$$' \
+		. > BENCH_balance.txt \
+		&& $(GO) run ./cmd/benchjson -o BENCH_balance.json < BENCH_balance.txt \
+		&& rm BENCH_balance.txt
 
 # The paper-reproduction benchmarks (one per table/figure) plus the kernel
 # suite.
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
-# One iteration of every kernel, overlap, masked-attention, and serving
-# benchmark: exercises the before/after, sync-vs-overlapped, blocked-vs-dense,
-# and serial-vs-batched bitwise correctness guards without waiting for stable
-# timings. The serving sweep is restricted to its smallest case — the guards
-# are identical across cases and the big ones take most of a minute each.
+# One iteration of every kernel, overlap, masked-attention, serving, and
+# balance benchmark: exercises the before/after, sync-vs-overlapped,
+# blocked-vs-dense, serial-vs-batched, and balanced-vs-sequential bitwise
+# correctness guards without waiting for stable timings. The serving sweep is
+# restricted to its smallest case — the guards are identical across cases and
+# the big ones take most of a minute each — and the balance sweep to the
+# heavy-tail mix, where the skew-reduction guard is strict.
 smoke-bench:
 	$(GO) test -bench='^(BenchmarkKernel|BenchmarkOverlap|BenchmarkAttentionMasked)' -benchtime=1x -run='^$$' \
 		./internal/tensor ./internal/attention ./internal/core .
 	$(GO) test -bench='^BenchmarkServe/bs=16' -benchtime=1x -run='^$$' ./internal/serve
+	$(GO) test -bench='^BenchmarkBalance/dist=heavytail' -benchtime=1x -run='^$$' .
 
 # The measured-vs-modeled gate: the xval conformance sweep (measured comm
 # bytes, FLOPs, activation peaks, and schedules against the analytic models

@@ -1,8 +1,9 @@
 // Command benchjson converts `go test -bench -benchmem` text output into the
-// machine-readable BENCH_kernels.json baseline. It reads benchmark lines from
-// stdin, records ns/op, B/op and allocs/op per benchmark, and pairs
-// before/after variants (impl=before vs impl=after, pool=off vs pool=on)
-// into comparisons with speedup and allocation-reduction ratios.
+// machine-readable BENCH_*.json baselines. It reads benchmark lines from
+// stdin, records ns/op, B/op, allocs/op, and any custom b.ReportMetric
+// columns per benchmark, and pairs before/after variants (impl=before vs
+// impl=after, pool=off vs pool=on, impl=unbalanced vs impl=balanced) into
+// comparisons with speedup and allocation-reduction ratios.
 //
 // Usage:
 //
@@ -29,6 +30,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds the benchmark's b.ReportMetric columns (e.g. the
+	// balance sweep's per-rank idle/P2P-wait milliseconds and imbalance
+	// ratio), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Comparison pairs a baseline variant with its optimised counterpart.
@@ -61,10 +66,12 @@ var benchLine = regexp.MustCompile(
 
 // variantPairs maps a sub-benchmark label to its role in a comparison.
 var variantPairs = map[string]string{
-	"impl=before": "before",
-	"impl=after":  "after",
-	"pool=off":    "before",
-	"pool=on":     "after",
+	"impl=before":     "before",
+	"impl=after":      "after",
+	"pool=off":        "before",
+	"pool=on":         "after",
+	"impl=unbalanced": "before",
+	"impl=balanced":   "after",
 }
 
 func main() {
@@ -97,6 +104,19 @@ func main() {
 		if mm[4] != "" {
 			r.BPerOp, _ = strconv.ParseFloat(mm[4], 64)
 			r.AllocsPerOp, _ = strconv.ParseFloat(mm[5], 64)
+		}
+		// Any remaining "value unit" column pairs are custom b.ReportMetric
+		// outputs; record them keyed by unit.
+		rest := strings.Fields(line[len(mm[0]):])
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				break
+			}
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[rest[i+1]] = v
 		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 

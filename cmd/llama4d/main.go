@@ -18,7 +18,9 @@ import (
 	"sort"
 
 	"llama4d/internal/attention"
+	"llama4d/internal/balance"
 	"llama4d/internal/core"
+	"llama4d/internal/cp"
 	"llama4d/internal/data"
 	"llama4d/internal/debug"
 	"llama4d/internal/fsdp"
@@ -58,11 +60,12 @@ var experiments = map[string]func(){
 	"metrics":   metricsStudy,
 	"overlap":   overlapStudy,
 	"serve":     serveStudy,
+	"balance":   balanceStudy,
 }
 
 var order = []string{"table2", "fig2", "fig3", "fig4", "fig6", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "e2e", "numerics", "train", "losscurve", "hw", "goodput",
-	"metrics", "overlap", "serve"}
+	"metrics", "overlap", "serve", "balance"}
 
 func main() {
 	if len(os.Args) != 2 {
@@ -713,6 +716,98 @@ func overlapStudy() {
 		rep.DPCommTotal, rep.DPExposed, rep.ModeledOverlapFraction())
 	fmt.Println("(measured fraction is wall-clock on goroutine ranks, modeled is the v-stage")
 	fmt.Println(" pipelining bound — see EXPERIMENTS.md for the comparison across depths)")
+}
+
+// balanceStudy runs the workload-balance planner live (§4 / Fig 14's
+// imbalance, attacked): the same heavy-tail document-packed batch once with
+// the sequential assignment on even zigzag CP shards, and once with the
+// census-driven planner — effective-FLOP LPT packing across DP ranks,
+// schedule-simulated micro-batch ordering, and per-document ragged CP
+// shards — comparing the measured per-rank skew and wait time, plus the
+// modeled shard skew of the slowest sample.
+func balanceStudy() {
+	fmt.Println("workload balance: census-driven planning on a live 8-rank step (cp=2 pp=2 dp=2, heavy-tail docs)")
+	// 8×8 tiles so the 128-token demo sequences tile at useful resolution
+	// (training-scale sequences use the default 64×64).
+	prevR, prevC := attention.SetTiling(8, 8)
+	defer attention.SetTiling(prevR, prevC)
+	base := core.Config{
+		Model: model.Config{Vocab: 64, Dim: 32, Hidden: 64, NHeads: 4, NKVHeads: 2,
+			NLayers: 4, MaxSeq: 128, RopeBase: 10000},
+		Topo: core.Topology{TP: 1, CP: 2, PP: 2, DP: 2},
+		V:    1, NMB: 2, NC: 2,
+		ZeRO: fsdp.ZeRO1, Seq: 128, GBS: 8, LR: 2e-3,
+		UseDocMask: true, Seed: 11,
+	}
+	run := func(balanced bool) (*metrics.StepReport, *data.PackedSet, *core.Cluster) {
+		cfg := base
+		if balanced {
+			cfg.ShardPlanner = func(s *model.Sample, cpSize int) [][]int {
+				return balance.PlanShards(attention.DocStarts(s.DocIDs), cfg.Seq, cpSize)
+			}
+		}
+		cl, err := core.NewCluster(cfg)
+		if err != nil {
+			fmt.Println("error:", err)
+			os.Exit(1)
+		}
+		src := data.BuildPacked(data.PackConfig{
+			Dist: "heavytail", Seq: cfg.Seq, GBS: cfg.GBS, NDP: cfg.Topo.DP,
+			NMB: cfg.NMB, Vocab: cfg.Model.Vocab, Seed: 5,
+			Balanced: balanced, Sched: cl.Sched, P2P: 0.1,
+		})
+		reg := metrics.NewRegistry(cfg.Topo.World())
+		cl.Attach(reg)
+		reg.BeginStep(0)
+		cl.Step(src, 0)
+		return reg.EndStep(), src, cl
+	}
+	uRep, uSrc, _ := run(false)
+	bRep, bSrc, bCl := run(true)
+
+	sumWait := func(rep *metrics.StepReport) (idle, p2p float64) {
+		for _, rr := range rep.Ranks {
+			idle += rr.IdleSeconds
+			p2p += rr.P2PWaitSeconds
+		}
+		n := float64(len(rep.Ranks))
+		return idle / n, p2p / n
+	}
+	uIdle, uP2P := sumWait(uRep)
+	bIdle, bP2P := sumWait(bRep)
+	fmt.Printf("\n%-12s %-18s %-10s %-14s %-14s\n", "arm", "max/mean effFLOPs", "straggler", "mean idle s", "mean p2p-wait s")
+	fmt.Printf("%-12s %-18.4f %-10d %-14.5f %-14.5f\n", "sequential",
+		uRep.Imbalance.MaxMeanRatio, uRep.Imbalance.Straggler, uIdle, uP2P)
+	fmt.Printf("%-12s %-18.4f %-10d %-14.5f %-14.5f\n", "planned",
+		bRep.Imbalance.MaxMeanRatio, bRep.Imbalance.Straggler, bIdle, bP2P)
+	fmt.Println("(idle/p2p-wait are wall-clock and jitter between runs; ratio + straggler are deterministic)")
+
+	// Planner-side (modeled) rank skew from the same census costs.
+	uRatio := balance.MaxMeanRatio(uSrc.Assign.RankCosts(uSrc.Costs))
+	bRatio := balance.MaxMeanRatio(bSrc.Assign.RankCosts(bSrc.Costs))
+	fmt.Printf("\nplanner assignment skew (swept pairs): sequential %.4f → LPT %.4f\n", uRatio, bRatio)
+
+	// Modeled CP shard skew of the batch's worst zigzag sample: the planner's
+	// per-document layout vs the fixed zigzag.
+	zig := cp.ZigzagRagged(cp.NewSharding(base.Seq, base.Topo.CP))
+	worstZig, worst := 0.0, 0
+	for i, s := range bSrc.Samples {
+		if z := engine.ShardSkew(zig.Pos, attention.DocStarts(s.DocIDs), base.Seq); z > worstZig {
+			worstZig, worst = z, i
+		}
+	}
+	starts := attention.DocStarts(bSrc.Samples[worst].DocIDs)
+	fmt.Printf("worst sample's CP shard skew: zigzag %.4f → planned %.4f\n",
+		worstZig, engine.ShardSkew(balance.PlanShards(starts, base.Seq, base.Topo.CP), starts, base.Seq))
+
+	// Measured == modeled on the balanced arm's imbalance summary.
+	wantImb := xval.PredictImbalance(xval.PredictAttentionPerRank(bCl, bSrc, 0))
+	match := "exact match"
+	if bRep.Imbalance == nil || wantImb == nil || *bRep.Imbalance != *wantImb {
+		match = "MISMATCH (bug!)"
+	}
+	fmt.Printf("measured vs modeled imbalance summary: %s\n", match)
+	fmt.Println("(BenchmarkBalance sweeps three length distributions with bitwise placement guards)")
 }
 
 // serveStudy projects the serving subsystem onto H100s: the roofline

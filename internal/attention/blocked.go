@@ -368,12 +368,13 @@ func sweptWork(g *Grid, d int) int {
 // only non-empty tiles, and every accumulation preserves the dense kernels'
 // ordering and zero-skips, so the result is bitwise identical to
 // DenseForward.
-func blockedForward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Output {
+func blockedForward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int, rec *Recorder) *Output {
 	sq, d := q.Rows(), q.Cols()
 	sk := k.Rows()
 	scale := float32(1 / math.Sqrt(float64(d)))
 	g := BuildGrid(m, qPos, kOff, sk)
 	recordGrid(g)
+	rec.Record(g, 2, d)
 	eff := effFLOPs(g, d)
 	tensor.CountMatMulFLOPs(sq, d, sk, eff) // scores q@kᵀ
 	tensor.CountMatMulFLOPs(sq, sk, d, eff) // output p@v
@@ -704,12 +705,13 @@ func blockedKeyRows(out, sT, b *tensor.Tensor, g *Grid, lo, hi int) {
 // skips their terms value-by-value; the grid skips them tile-by-tile
 // (including the dP and dS sweeps dense pays in full) without changing a
 // bit.
-func blockedBackward(q, k, v, p, dO *tensor.Tensor, m Mask, qPos []int, kOff int) (dQ, dK, dV *tensor.Tensor) {
+func blockedBackward(q, k, v, p, dO *tensor.Tensor, m Mask, qPos []int, kOff int, rec *Recorder) (dQ, dK, dV *tensor.Tensor) {
 	sq, d := q.Rows(), q.Cols()
 	sk := k.Rows()
 	scale := float32(1 / math.Sqrt(float64(d)))
 	g := BuildGrid(m, qPos, kOff, sk)
 	recordGrid(g)
+	rec.Record(g, 4, d)
 	eff := effFLOPs(g, d)
 	tensor.CountMatMulFLOPs(sk, sq, d, eff) // dV = pᵀ@dO
 	tensor.CountMatMulFLOPs(sq, d, sk, eff) // dP = dO@vᵀ

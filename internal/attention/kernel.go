@@ -25,9 +25,17 @@ type Output struct {
 // threshold: each query row is masked and normalised independently, so the
 // split is bitwise invisible (the §6.2 determinism contract).
 func Forward(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int) *Output {
+	return ForwardRecorded(q, k, v, m, qPos, kOff, nil)
+}
+
+// ForwardRecorded is Forward with a per-rank census recorder: when the
+// blocked engine runs, the call's tile grid is folded into rec (2 sweeps —
+// scores and P·V). A nil rec records nothing; the dense path never records,
+// matching the global Stats counters.
+func ForwardRecorded(q, k, v *tensor.Tensor, m Mask, qPos []int, kOff int, rec *Recorder) *Output {
 	checkShapes(q, k, v, qPos)
 	if blockedEnabled {
-		return blockedForward(q, k, v, m, qPos, kOff)
+		return blockedForward(q, k, v, m, qPos, kOff, rec)
 	}
 	return denseForward(q, k, v, m, qPos, kOff)
 }
@@ -96,8 +104,15 @@ func maskedSoftmaxRows(s *tensor.Tensor, m Mask, qPos []int, kOff int, scale flo
 // and keeps the measured skipped-tile volume equal to the closed-form
 // prediction (metrics/xval) rather than dependent on float underflow.
 func Backward(q, k, v, p, dO *tensor.Tensor, m Mask, qPos []int, kOff int) (dQ, dK, dV *tensor.Tensor) {
+	return BackwardRecorded(q, k, v, p, dO, m, qPos, kOff, nil)
+}
+
+// BackwardRecorded is Backward with a per-rank census recorder: when the
+// blocked engine runs, the call's tile grid is folded into rec (4 sweeps —
+// dV, dP, dQ, dK). A nil rec records nothing.
+func BackwardRecorded(q, k, v, p, dO *tensor.Tensor, m Mask, qPos []int, kOff int, rec *Recorder) (dQ, dK, dV *tensor.Tensor) {
 	if blockedEnabled {
-		return blockedBackward(q, k, v, p, dO, m, qPos, kOff)
+		return blockedBackward(q, k, v, p, dO, m, qPos, kOff, rec)
 	}
 	return DenseBackward(q, k, v, p, dO)
 }

@@ -1,0 +1,383 @@
+// Package balance is the workload-aware planner: it turns the blocked
+// attention engine's tile census (attention.BuildGridFromStarts) into
+// scheduling decisions that equalise *effective* — post-sparsity — FLOPs
+// across ranks instead of token counts. Document masking makes equal-token
+// micro-batches unequal work: a sequence packed from one long document sweeps
+// nearly the full causal triangle while one packed from many short documents
+// sweeps a sliver, and whichever rank draws the heavy sequences pins the
+// step while the rest idle (the skew WLB-LLM, arXiv 2503.17924, quantifies
+// at production scale).
+//
+// The planner makes three decisions, all driven by the same census the
+// kernels and the closed-form predictor share — so "balanced by the model"
+// is the same statement as "balanced as measured":
+//
+//  1. PackDocs — variable-length documents into fixed-capacity sequences
+//     (first-fit decreasing).
+//  2. Assign — packed sequences onto (DP rank, micro-batch) slots by
+//     longest-processing-time placement over per-sequence effective pair
+//     counts, with per-slot capacity so every rank still runs the same
+//     schedule shape.
+//  3. PlanShards / OrderMicrobatches — per-document CP row partitions that
+//     split each sequence's causal-skewed rows evenly by cost, and pipeline
+//     micro-batch orderings chosen by simulating candidate permutations
+//     through pp.Simulate's per-micro-batch cost hook.
+//
+// Every function is deterministic in its inputs (ties break on index), so
+// planning never perturbs the bitwise reproducibility contract: the plan
+// only chooses *where* a sample runs, and per-sample losses are placement
+// invariant.
+package balance
+
+import (
+	"fmt"
+	"sort"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/pp"
+)
+
+// PackDocs packs document lengths into bins of the given token capacity by
+// first-fit decreasing: documents in decreasing length order (ties by index)
+// each go to the first bin with room, opening a new bin when none fits.
+// Returns the bins as document-index lists, each document placed exactly
+// once, every bin's length sum ≤ capacity, bins and their contents in
+// deterministic order (bin contents ascending by index). Lengths must be in
+// [1, capacity].
+func PackDocs(lengths []int, capacity int) [][]int {
+	if capacity < 1 {
+		panic(fmt.Sprintf("balance: capacity %d < 1", capacity))
+	}
+	order := make([]int, len(lengths))
+	for i, l := range lengths {
+		if l < 1 || l > capacity {
+			panic(fmt.Sprintf("balance: doc %d length %d outside [1, %d]", i, l, capacity))
+		}
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if lengths[ia] != lengths[ib] {
+			return lengths[ia] > lengths[ib]
+		}
+		return ia < ib
+	})
+	var bins [][]int
+	var room []int
+	for _, i := range order {
+		placed := false
+		for b := range bins {
+			if room[b] >= lengths[i] {
+				bins[b] = append(bins[b], i)
+				room[b] -= lengths[i]
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, []int{i})
+			room = append(room, capacity-lengths[i])
+		}
+	}
+	for _, b := range bins {
+		sort.Ints(b)
+	}
+	return bins
+}
+
+// CostFromStarts returns the effective attention cost of a full sequence
+// with the given DocStarts index: the pairs the blocked engine actually
+// sweeps (total minus provably-empty tiles) at the current tile geometry.
+// This is the per-sweep unit every kernel invocation pays, so it orders
+// sequences by real work; nil starts means plain causal.
+func CostFromStarts(starts []int, seq int) int64 {
+	g := attention.BuildGridFromStarts(attention.Iota(seq), starts, 0, seq)
+	return g.TotalPairs() - g.EmptyPairs
+}
+
+// CostFromDocIDs is CostFromStarts over a per-token document-ID vector.
+func CostFromDocIDs(docIDs []int) int64 {
+	return CostFromStarts(attention.DocStarts(docIDs), len(docIDs))
+}
+
+// Assignment maps samples of one global batch onto DP ranks: Rank[r] lists
+// the sample indices rank r runs, micro-batch-major — entries
+// [m·mbs, (m+1)·mbs) form micro-batch m, in the order the trainer consumes
+// them.
+type Assignment struct {
+	Rank [][]int
+	MBS  int // samples per micro-batch
+}
+
+// Sequential returns the unbalanced baseline assignment: contiguous corpus
+// order, rank r taking samples [r·bs, (r+1)·bs) — exactly what
+// data.Batcher.DPBatch hands each rank.
+func Sequential(n, ndp, nmb, mbs int) *Assignment {
+	checkSlots(n, ndp, nmb, mbs)
+	bs := nmb * mbs
+	a := &Assignment{Rank: make([][]int, ndp), MBS: mbs}
+	for r := 0; r < ndp; r++ {
+		for i := 0; i < bs; i++ {
+			a.Rank[r] = append(a.Rank[r], r*bs+i)
+		}
+	}
+	return a
+}
+
+// Assign places n = ndp·nmb·mbs sample costs onto DP ranks and micro-batch
+// slots by two-level longest-processing-time: samples in decreasing cost
+// order go to the least-loaded rank with a free slot, then each rank's
+// samples to its least-loaded micro-batch with a free slot (ties: lower
+// index). Capacities keep the schedule shape identical to the sequential
+// baseline — every rank still runs nmb micro-batches of mbs samples — so
+// only the sample→slot binding changes. Deterministic in costs.
+func Assign(costs []int64, ndp, nmb, mbs int) *Assignment {
+	checkSlots(len(costs), ndp, nmb, mbs)
+	bs := nmb * mbs
+	order := costOrder(costs)
+
+	a := &Assignment{Rank: make([][]int, ndp), MBS: mbs}
+	loads := make([]int64, ndp)
+	for _, i := range order {
+		best := -1
+		for r := 0; r < ndp; r++ {
+			if len(a.Rank[r]) >= bs {
+				continue
+			}
+			if best < 0 || loads[r] < loads[best] {
+				best = r
+			}
+		}
+		a.Rank[best] = append(a.Rank[best], i)
+		loads[best] += costs[i]
+	}
+
+	// Second level: spread each rank's draw across its micro-batches.
+	for r := range a.Rank {
+		ranked := costOrder64(a.Rank[r], costs)
+		mbLoad := make([]int64, nmb)
+		mbOf := make([][]int, nmb)
+		for _, i := range ranked {
+			best := -1
+			for m := 0; m < nmb; m++ {
+				if len(mbOf[m]) >= mbs {
+					continue
+				}
+				if best < 0 || mbLoad[m] < mbLoad[best] {
+					best = m
+				}
+			}
+			mbOf[best] = append(mbOf[best], i)
+			mbLoad[best] += costs[i]
+		}
+		out := a.Rank[r][:0]
+		for m := 0; m < nmb; m++ {
+			sort.Ints(mbOf[m])
+			out = append(out, mbOf[m]...)
+		}
+		a.Rank[r] = out
+	}
+	return a
+}
+
+func checkSlots(n, ndp, nmb, mbs int) {
+	if ndp < 1 || nmb < 1 || mbs < 1 || n != ndp*nmb*mbs {
+		panic(fmt.Sprintf("balance: %d samples do not fill %d ranks × %d mbs × %d samples", n, ndp, nmb, mbs))
+	}
+}
+
+// costOrder returns 0..n-1 sorted by decreasing cost, ties ascending.
+func costOrder(costs []int64) []int {
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if costs[ia] != costs[ib] {
+			return costs[ia] > costs[ib]
+		}
+		return ia < ib
+	})
+	return order
+}
+
+// costOrder64 sorts a copy of idx by decreasing costs[i], ties ascending.
+func costOrder64(idx []int, costs []int64) []int {
+	out := append([]int(nil), idx...)
+	sort.Slice(out, func(a, b int) bool {
+		if costs[out[a]] != costs[out[b]] {
+			return costs[out[a]] > costs[out[b]]
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// RankCosts sums the per-rank cost loads of an assignment.
+func (a *Assignment) RankCosts(costs []int64) []int64 {
+	out := make([]int64, len(a.Rank))
+	for r, idx := range a.Rank {
+		for _, i := range idx {
+			out[r] += costs[i]
+		}
+	}
+	return out
+}
+
+// MBCosts sums rank r's per-micro-batch cost loads.
+func (a *Assignment) MBCosts(r int, costs []int64) []int64 {
+	nmb := len(a.Rank[r]) / a.MBS
+	out := make([]int64, nmb)
+	for m := 0; m < nmb; m++ {
+		for _, i := range a.Rank[r][m*a.MBS : (m+1)*a.MBS] {
+			out[m] += costs[i]
+		}
+	}
+	return out
+}
+
+// ReorderMB permutes rank r's micro-batches so slot m runs the samples of
+// old micro-batch perm[m] (a pipeline-schedule reordering: the schedule
+// itself is untouched, only the sample→slot binding moves).
+func (a *Assignment) ReorderMB(r int, perm []int) {
+	old := append([]int(nil), a.Rank[r]...)
+	for m, src := range perm {
+		copy(a.Rank[r][m*a.MBS:(m+1)*a.MBS], old[src*a.MBS:(src+1)*a.MBS])
+	}
+}
+
+// MaxMeanRatio returns max(loads)/mean(loads) — the imbalance statistic the
+// planner minimises and metrics.StepReport surfaces. Degenerate inputs (no
+// loads, or all-zero loads: an empty world has nothing to imbalance) return
+// exactly 1.
+func MaxMeanRatio(loads []int64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(loads))
+	return float64(max) / mean
+}
+
+// PlanShards partitions the rows of one sequence across cp context-parallel
+// ranks into equal-size shards balanced by per-row attention cost: row q of
+// a document-masked causal sequence attends q−starts[q]+1 keys, so
+// contiguous (or even zigzag) shards of a batch with ragged documents load
+// ranks unevenly. Rows are dealt in decreasing cost order to the least-
+// loaded rank with room (ties: lower rank, then lower row), and each shard
+// is returned in ascending row order. cp must divide seq; nil starts means
+// plain causal. Shard sizes stay exactly seq/cp so activation shapes and
+// collective volumes match the even baseline.
+func PlanShards(starts []int, seq, cp int) [][]int {
+	if cp < 1 || seq%cp != 0 {
+		panic(fmt.Sprintf("balance: seq %d not divisible by cp %d", seq, cp))
+	}
+	capPer := seq / cp
+	rowCost := make([]int64, seq)
+	for q := 0; q < seq; q++ {
+		if starts == nil {
+			rowCost[q] = int64(q + 1)
+		} else {
+			rowCost[q] = int64(q - starts[q] + 1)
+		}
+	}
+	order := costOrder(rowCost)
+	shards := make([][]int, cp)
+	loads := make([]int64, cp)
+	for _, q := range order {
+		best := -1
+		for r := 0; r < cp; r++ {
+			if len(shards[r]) >= capPer {
+				continue
+			}
+			if best < 0 || loads[r] < loads[best] {
+				best = r
+			}
+		}
+		shards[best] = append(shards[best], q)
+		loads[best] += rowCost[q]
+	}
+	for _, s := range shards {
+		sort.Ints(s)
+	}
+	return shards
+}
+
+// ShardCosts returns the per-shard swept-pair cost of a row partition under
+// the census: each shard's queries against the full gathered key sequence —
+// the work each CP rank's attention call actually performs.
+func ShardCosts(starts []int, seq int, shards [][]int) []int64 {
+	out := make([]int64, len(shards))
+	for r, pos := range shards {
+		g := attention.BuildGridFromStarts(pos, starts, 0, seq)
+		out[r] = g.TotalPairs() - g.EmptyPairs
+	}
+	return out
+}
+
+// OrderMicrobatches picks the micro-batch execution order for one pipeline
+// by simulating a small set of candidate permutations (identity, heavy-
+// first, light-first, heavy/light interleave) of the per-micro-batch costs
+// through the schedule's timing model and keeping the shortest makespan
+// (ties: earliest candidate — so the identity wins when order is
+// irrelevant, e.g. pp=1). Returns the winning permutation (slot m runs old
+// micro-batch perm[m]) and its simulated makespan. Costs are relative
+// per-micro-batch forward times; backward is modeled at the standard 2×.
+func OrderMicrobatches(sched *pp.Schedule, mbCost []float64, p2p float64) ([]int, float64) {
+	nmb := len(mbCost)
+	if nmb != sched.NMB {
+		panic(fmt.Sprintf("balance: %d micro-batch costs for schedule with nmb=%d", nmb, sched.NMB))
+	}
+	identity := make([]int, nmb)
+	for i := range identity {
+		identity[i] = i
+	}
+	heavy := append([]int(nil), identity...)
+	sort.Slice(heavy, func(a, b int) bool {
+		if mbCost[heavy[a]] != mbCost[heavy[b]] {
+			return mbCost[heavy[a]] > mbCost[heavy[b]]
+		}
+		return heavy[a] < heavy[b]
+	})
+	light := make([]int, nmb)
+	for i := range light {
+		light[i] = heavy[nmb-1-i]
+	}
+	weave := make([]int, 0, nmb)
+	for lo, hi := 0, nmb-1; lo <= hi; lo, hi = lo+1, hi-1 {
+		weave = append(weave, heavy[lo])
+		if lo != hi {
+			weave = append(weave, heavy[hi])
+		}
+	}
+
+	bestPerm, bestSpan := identity, simulatePerm(sched, mbCost, p2p, identity)
+	for _, perm := range [][]int{heavy, light, weave} {
+		if span := simulatePerm(sched, mbCost, p2p, perm); span < bestSpan {
+			bestPerm, bestSpan = perm, span
+		}
+	}
+	return bestPerm, bestSpan
+}
+
+func simulatePerm(sched *pp.Schedule, mbCost []float64, p2p float64, perm []int) float64 {
+	tl, err := sched.Simulate(pp.Costs{
+		FwdMB: func(_, mb int) float64 { return mbCost[perm[mb]] },
+		BwdMB: func(_, mb int) float64 { return 2 * mbCost[perm[mb]] },
+		P2P:   p2p,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("balance: %v", err))
+	}
+	return tl.Makespan
+}

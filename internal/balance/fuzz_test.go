@@ -1,0 +1,58 @@
+package balance
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPackDocs checks the sequence packer's invariants over arbitrary
+// document-length vectors: every document placed exactly once, no bin over
+// the token capacity, and byte-identical output for identical input. Bytes
+// map to lengths in [1, capacity] so the packer's own domain check never
+// trips — the fuzzer probes packing decisions, not argument validation.
+func FuzzPackDocs(f *testing.F) {
+	f.Add([]byte{7, 3, 3, 2, 8, 1, 5, 4}, 8) // mixed lengths, perfect pack exists
+	f.Add([]byte{8, 8, 8}, 8)                // every doc fills a bin exactly
+	f.Add([]byte{1, 1, 1, 1, 1, 1}, 4)       // many tiny docs
+	f.Add([]byte{200, 1, 199, 2}, 200)       // heavy tail: near-capacity docs
+	f.Add([]byte{}, 16)                      // no documents at all
+	f.Fuzz(func(t *testing.T, lensBytes []byte, capacity int) {
+		if capacity < 1 || capacity > 1<<12 || len(lensBytes) > 1<<10 {
+			t.Skip("outside the packing domain")
+		}
+		lengths := make([]int, len(lensBytes))
+		total := 0
+		for i, b := range lensBytes {
+			lengths[i] = 1 + int(b)%capacity
+			total += lengths[i]
+		}
+		bins := PackDocs(lengths, capacity)
+		seen := make(map[int]int)
+		packed := 0
+		for _, bin := range bins {
+			if len(bin) == 0 {
+				t.Fatalf("empty bin in %v", bins)
+			}
+			sum := 0
+			for _, i := range bin {
+				seen[i]++
+				sum += lengths[i]
+			}
+			if sum > capacity {
+				t.Fatalf("bin %v sums to %d > capacity %d", bin, sum, capacity)
+			}
+			packed += sum
+		}
+		for i := range lengths {
+			if seen[i] != 1 {
+				t.Fatalf("doc %d placed %d times", i, seen[i])
+			}
+		}
+		if packed != total {
+			t.Fatalf("packed %d tokens of %d", packed, total)
+		}
+		if again := PackDocs(lengths, capacity); !reflect.DeepEqual(bins, again) {
+			t.Fatalf("non-deterministic: %v vs %v", bins, again)
+		}
+	})
+}

@@ -46,6 +46,14 @@ type Config struct {
 	// nonblocking (§7.3.1). The zero value is fully synchronous, and any
 	// overlapped run is bitwise identical to the synchronous one.
 	Overlap OverlapConfig
+
+	// ShardPlanner, when set and CP > 1, chooses a per-sample CP row
+	// partition (e.g. balance.PlanShards over the sample's document starts)
+	// instead of the fixed zigzag sharding. The returned shards must exactly
+	// partition 0..Seq-1 (cp.NewRaggedSharding validates). Per-row attention
+	// outputs are bitwise independent of the layout — only cross-rank
+	// reduction grouping moves — so the planner trades nothing but skew.
+	ShardPlanner func(s *model.Sample, cpSize int) [][]int
 }
 
 // OverlapConfig enables comm–compute overlap in the functional layer. Each
@@ -126,6 +134,8 @@ type Cluster struct {
 	World *comm.World
 	Sched *pp.Schedule
 	Ranks []*Rank
+
+	reg *metrics.Registry // set by Attach; nil disables per-rank census
 }
 
 // NewCluster builds every rank's model shard, pipeline stages, process
@@ -227,6 +237,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // stepping; bracket each step with reg.BeginStep/reg.EndStep to obtain a
 // StepReport.
 func (cl *Cluster) Attach(reg *metrics.Registry) {
+	cl.reg = reg
 	cl.World.Recorder = reg
 	cl.World.Meter = reg
 	for _, r := range cl.Ranks {
@@ -279,6 +290,19 @@ func allRanks(n int) []int {
 func (r *Rank) buildMicrobatches(src data.Batcher, step int64) []*pp.Microbatch {
 	cfg := r.cluster.Cfg
 	samples := src.DPBatch(step, cfg.GBS, cfg.Topo.DP, r.Coord.DP)
+	// Stable per-sample tags (corpus indices), when the source can name them:
+	// they ride the micro-batches so per-sample losses stay comparable across
+	// different sample→rank placements.
+	var tags []int64
+	if tg, ok := src.(data.Tagger); ok {
+		tags = tg.DPTags(step, cfg.GBS, cfg.Topo.DP, r.Coord.DP)
+	}
+	// Per-rank attention census: one recorder per rank goroutine, shared by
+	// all of the rank's environments this step.
+	var rec *attention.Recorder
+	if r.cluster.reg != nil {
+		rec = r.cluster.reg.AttnRecorder(r.ID)
+	}
 	mbs := make([]*pp.Microbatch, cfg.NMB)
 	mbsSamples := cfg.MBS()
 	for i := 0; i < cfg.NMB; i++ {
@@ -292,19 +316,34 @@ func (r *Rank) buildMicrobatches(src data.Batcher, step int64) []*pp.Microbatch 
 			totalValid := validTargets(full.Targets)
 
 			if cfg.Topo.CP > 1 {
-				local := cp.LocalSample(r.cpShard, full, r.Groups.CP.LocalRank(r.ID))
+				var local *model.Sample
+				var env *model.Env
+				if cfg.ShardPlanner != nil {
+					rs := cp.NewRaggedSharding(cfg.Seq, cfg.ShardPlanner(full, cfg.Topo.CP))
+					local = cp.RaggedLocalSample(rs, full, r.Groups.CP.LocalRank(r.ID))
+					env = cp.RaggedEnv(rs, mask, r.Groups.CP, r.ID)
+				} else {
+					local = cp.LocalSample(r.cpShard, full, r.Groups.CP.LocalRank(r.ID))
+					env = cp.Env(r.cpShard, mask, r.Groups.CP, r.ID)
+				}
 				localValid := validTargets(local.Targets)
+				env.Rec = rec
 				mb.Samples = append(mb.Samples, local)
-				mb.Envs = append(mb.Envs, cp.Env(r.cpShard, mask, r.Groups.CP, r.ID))
+				mb.Envs = append(mb.Envs, env)
 				// Head divides by localValid; the net per-token gradient
 				// coefficient must be 1/(gbs·totalValid).
 				mb.Scales = append(mb.Scales, float32(localValid)/(float32(cfg.GBS)*float32(totalValid)))
 				mb.Weights = append(mb.Weights, float64(localValid)/float64(totalValid))
 			} else {
+				env := model.SeqEnv(cfg.Seq, mask)
+				env.Rec = rec
 				mb.Samples = append(mb.Samples, full)
-				mb.Envs = append(mb.Envs, model.SeqEnv(cfg.Seq, mask))
+				mb.Envs = append(mb.Envs, env)
 				mb.Scales = append(mb.Scales, 1/float32(cfg.GBS))
 				mb.Weights = append(mb.Weights, 1)
+			}
+			if tags != nil {
+				mb.Tags = append(mb.Tags, tags[i*mbsSamples+j])
 			}
 		}
 		mbs[i] = mb

@@ -1,0 +1,227 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/balance"
+	"llama4d/internal/model"
+	"llama4d/internal/pp"
+)
+
+// Tagger is the optional companion to Batcher: data sources that can name
+// their samples stably (by corpus index) expose per-rank tags alongside
+// DPBatch, and the trainer threads them to pp.Microbatch.Tags so per-sample
+// losses can be compared across different sample→rank placements.
+type Tagger interface {
+	// DPTags returns the tags of the samples DPBatch returns for the same
+	// arguments, in the same order.
+	DPTags(step int64, gbs, ndp, dpRank int) []int64
+}
+
+// DocLengthPool draws n document lengths in [1, seq] from a named
+// distribution, deterministically in (dist, n, seq, seed) with the prefix
+// property (the first k draws are independent of n):
+//
+//   - "uniform":   uniform over [1, seq/2] — mild spread, near-equal packing.
+//   - "lognormal": exp(N(ln(seq/16), 1)) clamped to [1, seq] — the
+//     many-short/some-long shape of web corpora.
+//   - "heavytail": 85% geometric with mean seq/32, 15% uniform over
+//     [seq/2, seq] — a few documents spanning most of the context window,
+//     the regime where the paper notes the slowest CP rank "often processes
+//     the full long sequence without an eos_id" (§4).
+func DocLengthPool(dist string, n, seq int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	clamp := func(l int) int {
+		if l < 1 {
+			return 1
+		}
+		if l > seq {
+			return seq
+		}
+		return l
+	}
+	out := make([]int, n)
+	for i := range out {
+		switch dist {
+		case "uniform":
+			out[i] = 1 + rng.Intn(seq/2)
+		case "lognormal":
+			out[i] = clamp(int(math.Exp(math.Log(float64(seq)/16) + rng.NormFloat64())))
+		case "heavytail":
+			if rng.Float64() < 0.15 {
+				out[i] = seq/2 + rng.Intn(seq-seq/2+1)
+			} else {
+				p := 32.0 / float64(seq)
+				l := 1
+				for rng.Float64() > p {
+					l++
+				}
+				out[i] = clamp(l)
+			}
+		default:
+			panic(fmt.Sprintf("data: unknown length distribution %q", dist))
+		}
+	}
+	return out
+}
+
+// PackConfig parameterises BuildPacked.
+type PackConfig struct {
+	Dist  string // document-length distribution (DocLengthPool)
+	Seq   int    // tokens per packed sequence
+	GBS   int    // sequences in the planned global batch
+	NDP   int    // data-parallel group count
+	NMB   int    // micro-batches per rank
+	Vocab int
+	Seed  int64
+
+	// Balanced selects the planner assignment (effective-FLOP LPT packing,
+	// plus micro-batch reordering when Sched is set); false keeps the
+	// sequential corpus-order baseline. Both settings build the *same*
+	// samples from the same document pool — only the sample→slot binding
+	// differs, which is what makes per-sample losses comparable bit for bit.
+	Balanced bool
+
+	// Sched and P2P, when Sched is non-nil and Balanced is set, enable
+	// census-driven micro-batch reordering: each rank's micro-batch order is
+	// chosen by simulating candidate permutations through the schedule's
+	// timing model (balance.OrderMicrobatches).
+	Sched *pp.Schedule
+	P2P   float64
+}
+
+// PackedSet is one planned global batch: GBS sequences packed from a shared
+// document pool, their per-sequence effective-pair costs, and an assignment
+// of sequences to (DP rank, micro-batch) slots. It implements Batcher and
+// Tagger for exactly that batch — DPBatch ignores step, because the planner
+// plans one batch at a time (the benchmarks re-run the same planned batch
+// every iteration, and a training loop would rebuild the set per step).
+type PackedSet struct {
+	Seq     int
+	Samples []*model.Sample // corpus order
+	Costs   []int64         // per-sample swept-pair cost (balance.CostFromDocIDs)
+	Assign  *balance.Assignment
+}
+
+// BuildPacked draws a document pool, packs it into exactly cfg.GBS
+// sequences (first-fit decreasing; the pool is grown — deterministically,
+// via the prefix property — until it fills the batch, surplus bins
+// dropped), synthesizes the token content, and assigns sequences to slots.
+func BuildPacked(cfg PackConfig) *PackedSet {
+	if cfg.GBS%(cfg.NDP*cfg.NMB) != 0 {
+		panic(fmt.Sprintf("data: gbs %d not divisible by ndp×nmb=%d", cfg.GBS, cfg.NDP*cfg.NMB))
+	}
+	mbs := cfg.GBS / (cfg.NDP * cfg.NMB)
+
+	var bins [][]int
+	var lengths []int
+	for n := 2 * cfg.GBS; ; n *= 2 {
+		lengths = DocLengthPool(cfg.Dist, n, cfg.Seq, cfg.Seed)
+		bins = balance.PackDocs(lengths, cfg.Seq)
+		if len(bins) >= cfg.GBS {
+			bins = bins[:cfg.GBS]
+			break
+		}
+	}
+
+	ps := &PackedSet{Seq: cfg.Seq}
+	for i, bin := range bins {
+		docLens := make([]int, len(bin))
+		for j, d := range bin {
+			docLens[j] = lengths[d]
+		}
+		s := synthesizeSample(docLens, cfg.Seq, cfg.Vocab, cfg.Seed*1_000_003+int64(i))
+		ps.Samples = append(ps.Samples, s)
+		ps.Costs = append(ps.Costs, balance.CostFromDocIDs(s.DocIDs))
+	}
+
+	if cfg.Balanced {
+		ps.Assign = balance.Assign(ps.Costs, cfg.NDP, cfg.NMB, mbs)
+		if cfg.Sched != nil {
+			for r := range ps.Assign.Rank {
+				mbCosts := ps.Assign.MBCosts(r, ps.Costs)
+				rel := make([]float64, len(mbCosts))
+				for m, c := range mbCosts {
+					rel[m] = float64(c)
+				}
+				perm, _ := balance.OrderMicrobatches(cfg.Sched, rel, cfg.P2P)
+				ps.Assign.ReorderMB(r, perm)
+			}
+		}
+	} else {
+		ps.Assign = balance.Sequential(cfg.GBS, cfg.NDP, cfg.NMB, mbs)
+	}
+	return ps
+}
+
+// synthesizeSample packs the given document lengths into one sequence using
+// the Generator's content process: an affine in-document walk, EOS after
+// each document, EOS padding to Seq.
+func synthesizeSample(docLens []int, seq, vocab int, seed int64) *model.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	eos := vocab - 1
+	tokens := make([]int, 0, seq)
+	for _, l := range docLens {
+		cur := rng.Intn(eos)
+		step := 1 + rng.Intn(6)
+		for i := 0; i < l-1 && len(tokens) < seq; i++ {
+			tokens = append(tokens, cur)
+			cur = (cur*3 + step) % eos
+		}
+		if len(tokens) < seq {
+			tokens = append(tokens, eos)
+		}
+	}
+	for len(tokens) < seq {
+		tokens = append(tokens, eos)
+	}
+	targets := make([]int, seq)
+	for i := 0; i < seq-1; i++ {
+		targets[i] = tokens[i+1]
+	}
+	targets[seq-1] = -1
+	return &model.Sample{
+		Tokens:  tokens,
+		DocIDs:  attention.DocIDsFromEOS(tokens, eos),
+		Targets: targets,
+	}
+}
+
+// DPBatch implements Batcher for the planned batch (step is ignored — see
+// the type comment). Samples come back in the assignment's micro-batch-major
+// rank order.
+func (p *PackedSet) DPBatch(step int64, gbs, ndp, dpRank int) []*model.Sample {
+	p.check(gbs, ndp)
+	idx := p.Assign.Rank[dpRank]
+	out := make([]*model.Sample, len(idx))
+	for i, s := range idx {
+		out[i] = p.Samples[s]
+	}
+	return out
+}
+
+// DPTags implements Tagger: the corpus index of each sample DPBatch returns.
+func (p *PackedSet) DPTags(step int64, gbs, ndp, dpRank int) []int64 {
+	p.check(gbs, ndp)
+	idx := p.Assign.Rank[dpRank]
+	out := make([]int64, len(idx))
+	for i, s := range idx {
+		out[i] = int64(s)
+	}
+	return out
+}
+
+func (p *PackedSet) check(gbs, ndp int) {
+	if gbs != len(p.Samples) || ndp != len(p.Assign.Rank) {
+		panic(fmt.Sprintf("data: packed set planned for gbs=%d ndp=%d, asked for gbs=%d ndp=%d",
+			len(p.Samples), len(p.Assign.Rank), gbs, ndp))
+	}
+}
+
+var (
+	_ Batcher = (*PackedSet)(nil)
+	_ Tagger  = (*PackedSet)(nil)
+)

@@ -1,0 +1,75 @@
+package data
+
+import (
+	"reflect"
+	"testing"
+
+	"llama4d/internal/attention"
+	"llama4d/internal/balance"
+)
+
+func TestDocLengthPoolDomains(t *testing.T) {
+	const seq = 256
+	for _, dist := range []string{"uniform", "lognormal", "heavytail"} {
+		pool := DocLengthPool(dist, 500, seq, 11)
+		for i, l := range pool {
+			if l < 1 || l > seq {
+				t.Fatalf("%s: length[%d]=%d outside [1, %d]", dist, i, l, seq)
+			}
+		}
+		if !reflect.DeepEqual(pool, DocLengthPool(dist, 500, seq, 11)) {
+			t.Fatalf("%s: non-deterministic pool", dist)
+		}
+		// Prefix property: a longer draw extends, never changes, a shorter one.
+		if !reflect.DeepEqual(pool[:100], DocLengthPool(dist, 100, seq, 11)) {
+			t.Fatalf("%s: pool lacks the prefix property", dist)
+		}
+	}
+}
+
+func TestBuildPackedBalancedSharesSamples(t *testing.T) {
+	pr, pc := attention.SetTiling(8, 8)
+	defer attention.SetTiling(pr, pc)
+	base := PackConfig{Dist: "heavytail", Seq: 128, GBS: 16, NDP: 2, NMB: 4, Vocab: 64, Seed: 5}
+	bal := base
+	bal.Balanced = true
+	u, b := BuildPacked(base), BuildPacked(bal)
+
+	// Same pool, same packing: the two arms must hold identical samples and
+	// costs — only the assignment differs.
+	if len(u.Samples) != 16 || len(b.Samples) != 16 {
+		t.Fatalf("sample counts %d/%d, want 16", len(u.Samples), len(b.Samples))
+	}
+	for i := range u.Samples {
+		if !reflect.DeepEqual(u.Samples[i].Tokens, b.Samples[i].Tokens) {
+			t.Fatalf("sample %d tokens differ between arms", i)
+		}
+		if u.Costs[i] != b.Costs[i] {
+			t.Fatalf("sample %d cost differs: %d vs %d", i, u.Costs[i], b.Costs[i])
+		}
+		if len(u.Samples[i].Tokens) != 128 {
+			t.Fatalf("sample %d has %d tokens", i, len(u.Samples[i].Tokens))
+		}
+	}
+
+	rU := balance.MaxMeanRatio(u.Assign.RankCosts(u.Costs))
+	rB := balance.MaxMeanRatio(b.Assign.RankCosts(b.Costs))
+	if rB > rU {
+		t.Fatalf("balanced rank ratio %.4f above unbalanced %.4f", rB, rU)
+	}
+
+	// DPBatch/DPTags agree: tag i names the corpus sample handed out at the
+	// same position.
+	for r := 0; r < 2; r++ {
+		samples := b.DPBatch(0, 16, 2, r)
+		tags := b.DPTags(0, 16, 2, r)
+		if len(samples) != 8 || len(tags) != 8 {
+			t.Fatalf("rank %d: %d samples, %d tags", r, len(samples), len(tags))
+		}
+		for i := range samples {
+			if samples[i] != b.Samples[tags[i]] {
+				t.Fatalf("rank %d pos %d: tag %d does not name the handed-out sample", r, i, tags[i])
+			}
+		}
+	}
+}

@@ -77,6 +77,62 @@ type RankReport struct {
 	// schedule, replayable through the analytic Timeline for bubble-ratio
 	// conformance.
 	Ops []pp.Op `json:"ops"`
+
+	// Attn is this rank's own blocked-attention census for the step (the
+	// per-rank attention.Recorder threaded through the model environments),
+	// with the rank's effective and nominal attention-matmul FLOPs. Unlike
+	// StepReport.Attn — a world-global counter delta — this attributes the
+	// sparsity-adjusted work to individual ranks, which is what the
+	// workload-balance planner equalises and the imbalance summary ranks.
+	// All-zero when the rank ran no recorded attention (dense engine, or a
+	// pipeline stage with no transformer layers).
+	Attn             attention.Stats `json:"rank_attn"`
+	AttnEffFLOPs     int64           `json:"attn_eff_flops"`
+	AttnNominalFLOPs int64           `json:"attn_nominal_flops"`
+}
+
+// ImbalanceSummary is the per-rank workload-skew digest of one step: how
+// unevenly the mask-aware effective attention FLOPs landed across the ranks
+// that performed attention. MaxMeanRatio is 1.0 for perfect balance; the
+// straggler is the rank pinning the step.
+type ImbalanceSummary struct {
+	MaxMeanRatio float64 `json:"max_mean_ratio"`
+	Straggler    int     `json:"straggler_rank"`
+	MaxEffFLOPs  int64   `json:"max_eff_flops"`
+	MeanEffFLOPs float64 `json:"mean_eff_flops"`
+}
+
+// ComputeImbalance builds the summary from per-rank effective-FLOP loads
+// (index = rank id). Ranks with zero load carry no attention (e.g. pipeline
+// stages holding only the embedding or head) and are excluded from the mean
+// so structural placement doesn't masquerade as workload skew. Returns nil
+// when no rank recorded any attention — degenerate worlds have no imbalance
+// to report. Exported so the closed-form predictor can produce the modeled
+// summary with identical arithmetic (xval asserts the two equal).
+func ComputeImbalance(eff []int64) *ImbalanceSummary {
+	var sum, maxv int64
+	n := 0
+	straggler := -1
+	for rank, e := range eff {
+		if e == 0 {
+			continue
+		}
+		sum += e
+		n++
+		if e > maxv {
+			maxv, straggler = e, rank
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	mean := float64(sum) / float64(n)
+	return &ImbalanceSummary{
+		MaxMeanRatio: float64(maxv) / mean,
+		Straggler:    straggler,
+		MaxEffFLOPs:  maxv,
+		MeanEffFLOPs: mean,
+	}
 }
 
 // StepReport is the measured profile of one training step.
@@ -109,6 +165,11 @@ type StepReport struct {
 	// Tags with no traffic during the step are omitted.
 	PoolTags map[string]tensor.PoolStats `json:"pool_tags,omitempty"`
 
+	// Imbalance summarises the per-rank effective-FLOP skew of the step
+	// (from the per-rank attention recorders); nil when no rank recorded
+	// attention work.
+	Imbalance *ImbalanceSummary `json:"imbalance,omitempty"`
+
 	Ranks []RankReport `json:"ranks"`
 }
 
@@ -130,9 +191,10 @@ type rankState struct {
 // goroutines never contend on one mutex; BeginStep/EndStep must be called
 // while no ranks are running (between steps).
 type Registry struct {
-	col   trace.Collector
-	start time.Time
-	ranks []*rankState
+	col      trace.Collector
+	start    time.Time
+	ranks    []*rankState
+	attnRecs []*attention.Recorder
 
 	stepStart  time.Time
 	stepOffset float64 // seconds since start at BeginStep
@@ -146,14 +208,30 @@ type Registry struct {
 
 // NewRegistry creates a registry for a world of nRanks ranks.
 func NewRegistry(nRanks int) *Registry {
-	r := &Registry{start: time.Now(), ranks: make([]*rankState, nRanks)}
+	r := &Registry{
+		start:    time.Now(),
+		ranks:    make([]*rankState, nRanks),
+		attnRecs: make([]*attention.Recorder, nRanks),
+	}
 	for i := range r.ranks {
 		r.ranks[i] = &rankState{
 			comm:       make(map[comm.OpKey]OpVolume),
 			overlapped: make(map[comm.OpKey]OpVolume),
 		}
+		r.attnRecs[i] = &attention.Recorder{}
 	}
 	return r
+}
+
+// AttnRecorder returns rank's per-rank attention census recorder. The
+// trainer threads it into the rank's model environments; the recorder is
+// written only by that rank's goroutine and read by EndStep after the
+// step's goroutines have joined.
+func (r *Registry) AttnRecorder(rank int) *attention.Recorder {
+	if rank < 0 || rank >= len(r.attnRecs) {
+		panic(fmt.Sprintf("metrics: rank %d outside registry of %d ranks", rank, len(r.attnRecs)))
+	}
+	return r.attnRecs[rank]
 }
 
 func (r *Registry) rank(rank int) *rankState {
@@ -258,6 +336,9 @@ func (r *Registry) BeginStep(step int64) {
 	r.attn0 = attention.StatsSnapshot()
 	r.pool0 = tensor.DefaultPoolStats()
 	r.poolTags0 = tensor.DefaultPoolTagStats()
+	for _, rec := range r.attnRecs {
+		rec.Reset()
+	}
 	for _, rs := range r.ranks {
 		rs.mu.Lock()
 		rs.comm = make(map[comm.OpKey]OpVolume)
@@ -302,7 +383,10 @@ func (r *Registry) EndStep() *StepReport {
 		rep.PoolTags[tag] = d
 	}
 	tr := r.col.Snapshot()
+	effs := make([]int64, len(r.ranks))
 	for rank, rs := range r.ranks {
+		rec := r.attnRecs[rank]
+		effs[rank] = rec.EffFLOPs
 		rs.mu.Lock()
 		rr := RankReport{
 			Rank:                rank,
@@ -313,6 +397,9 @@ func (r *Registry) EndStep() *StepReport {
 			PeakActivationBytes: rs.peakByte,
 			PeakLiveContexts:    rs.peakCtx,
 			Ops:                 append([]pp.Op(nil), rs.ops...),
+			Attn:                rec.Stats,
+			AttnEffFLOPs:        rec.EffFLOPs,
+			AttnNominalFLOPs:    rec.NominalFLOPs,
 		}
 		for k, v := range rs.comm {
 			rr.Comm[k.Group+"/"+k.Op] = v
@@ -343,6 +430,7 @@ func (r *Registry) EndStep() *StepReport {
 		rr.IdleSeconds = idle
 		rep.Ranks = append(rep.Ranks, rr)
 	}
+	rep.Imbalance = ComputeImbalance(effs)
 	return rep
 }
 
@@ -426,6 +514,11 @@ func (s *StepReport) Table() string {
 			s.Attn.FullTiles, s.Attn.PartialTiles, s.Attn.EmptyTiles,
 			humanCount(s.EffectiveFLOPs),
 			100*float64(s.EffectiveFLOPs)/float64(max64(s.FLOPs, 1)))
+	}
+	if s.Imbalance != nil {
+		fmt.Fprintf(&b, "attn imbalance: max/mean eff FLOPs %.3f, straggler rank %d (max %s, mean %s)\n",
+			s.Imbalance.MaxMeanRatio, s.Imbalance.Straggler,
+			humanCount(s.Imbalance.MaxEffFLOPs), humanCount(int64(s.Imbalance.MeanEffFLOPs)))
 	}
 	fmt.Fprintf(&b, "%4s %12s %10s %10s %10s %10s %10s %10s %12s %6s\n",
 		"rank", "comm bytes", "comm s", "compute s", "p2p-wait s", "idle s", "exposed s", "hidden s", "peak act", "ctxs")

@@ -241,18 +241,27 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 	return ex
 }
 
-// PredictAttention computes the exact attention-sparsity profile of one
-// training step under the blocked engine, from the configuration and data
-// stream alone: it rebuilds every sample's tile grid with the same
-// BuildGrid classifier the kernels dispatch through, counts how many kernel
-// calls see that grid (forward, recompute replay, backward — per head, per
-// layer, per rank), and sums the closed-form skipped-FLOP volume of the
-// empty tiles. Returns the predicted attention.Stats delta of the step and
-// the predicted effective-FLOP deficit (nominal FLOPs − effective FLOPs):
-// each forward-type call skips 2 matmuls × 2·hd FLOPs per empty pair, each
-// backward call 4 matmuls. The sweep test asserts both against the measured
-// StepReport with zero tolerance.
-func PredictAttention(cl *core.Cluster, src data.Batcher, step int64) (attention.Stats, int64) {
+// RankAttn is one rank's predicted attention census for a step: the tile
+// Stats and the effective/nominal attention-matmul FLOPs — exactly what the
+// per-rank attention.Recorder measures (metrics.RankReport.Attn and friends).
+type RankAttn struct {
+	Stats        attention.Stats
+	EffFLOPs     int64
+	NominalFLOPs int64
+}
+
+// PredictAttentionPerRank computes the exact per-rank attention-sparsity
+// profile of one training step under the blocked engine, from the
+// configuration and data stream alone: it rebuilds every sample's tile grid
+// with the same BuildGrid classifier the kernels dispatch through, counts
+// how many kernel calls see that grid (forward, recompute replay, backward —
+// per head, per layer), and applies the recorder's FLOP arithmetic
+// (2·hd FLOPs per pair per matmul sweep: 2 sweeps per forward-type call,
+// 4 per backward). When the cluster plans per-sample CP shards
+// (Config.ShardPlanner), the predicted query rows follow the planned layout,
+// as the kernels do. Indexed by rank id; the sweep test asserts each entry
+// against the measured RankReport with zero tolerance.
+func PredictAttentionPerRank(cl *core.Cluster, src data.Batcher, step int64) []RankAttn {
 	cfg := cl.Cfg
 	counts := pp.StageLayerCounts(cfg.Model.NLayers, cl.Sched.Stages(), cfg.Balanced)
 	nHl := cfg.Model.NHeads / cfg.Topo.TP
@@ -263,34 +272,64 @@ func PredictAttention(cl *core.Cluster, src data.Batcher, step int64) (attention
 		// per layer during the backward replay.
 		replay = 1
 	}
-	var stats attention.Stats
-	var skipped int64
+	out := make([]RankAttn, len(cl.Ranks))
 	for _, r := range cl.Ranks {
 		// Layers this rank owns, summed over its virtual stages.
 		Lr := 0
 		for vs := 0; vs < cl.Sched.V; vs++ {
 			Lr += counts[cl.Sched.GlobalStage(r.Coord.PP, vs)]
 		}
-		var qPos []int
+		var evenQPos []int
 		if cfg.Topo.CP > 1 {
 			sh := cp.NewSharding(cfg.Seq, cfg.Topo.CP)
-			qPos = sh.LocalPositions(r.Groups.CP.LocalRank(r.ID))
+			evenQPos = sh.LocalPositions(r.Groups.CP.LocalRank(r.ID))
 		} else {
-			qPos = attention.Iota(cfg.Seq)
+			evenQPos = attention.Iota(cfg.Seq)
 		}
 		fwdCalls := int64(nHl * Lr * (1 + replay))
 		bwdCalls := int64(nHl * Lr)
+		perPair := 2 * hd * (2*fwdCalls + 4*bwdCalls)
 		for _, s := range src.DPBatch(step, cfg.GBS, cfg.Topo.DP, r.Coord.DP) {
 			var mask attention.Mask = attention.Causal{}
 			if cfg.UseDocMask {
 				mask = attention.Document{DocID: s.DocIDs}
 			}
+			qPos := evenQPos
+			if cfg.ShardPlanner != nil && cfg.Topo.CP > 1 {
+				qPos = cfg.ShardPlanner(s, cfg.Topo.CP)[r.Groups.CP.LocalRank(r.ID)]
+			}
 			g := attention.BuildGrid(mask, qPos, 0, cfg.Seq)
-			stats = stats.Add(g.Summary().Scale(fwdCalls + bwdCalls))
-			skipped += (4*fwdCalls + 8*bwdCalls) * hd * g.EmptyPairs
+			out[r.ID].Stats = out[r.ID].Stats.Add(g.Summary().Scale(fwdCalls + bwdCalls))
+			out[r.ID].NominalFLOPs += perPair * g.TotalPairs()
+			out[r.ID].EffFLOPs += perPair * (g.TotalPairs() - g.EmptyPairs)
 		}
 	}
+	return out
+}
+
+// PredictAttention is the world-global view of PredictAttentionPerRank:
+// the summed attention.Stats delta of the step and the predicted
+// effective-FLOP deficit (nominal FLOPs − effective FLOPs). The sweep test
+// asserts both against the measured StepReport with zero tolerance.
+func PredictAttention(cl *core.Cluster, src data.Batcher, step int64) (attention.Stats, int64) {
+	var stats attention.Stats
+	var skipped int64
+	for _, ra := range PredictAttentionPerRank(cl, src, step) {
+		stats = stats.Add(ra.Stats)
+		skipped += ra.NominalFLOPs - ra.EffFLOPs
+	}
 	return stats, skipped
+}
+
+// PredictImbalance builds the modeled per-rank imbalance summary from the
+// per-rank prediction, with the same arithmetic as the measured side
+// (metrics.ComputeImbalance over per-rank effective FLOPs).
+func PredictImbalance(perRank []RankAttn) *metrics.ImbalanceSummary {
+	effs := make([]int64, len(perRank))
+	for i, ra := range perRank {
+		effs[i] = ra.EffFLOPs
+	}
+	return metrics.ComputeImbalance(effs)
 }
 
 // MemConfig builds the memory-simulator configuration matching a cluster,

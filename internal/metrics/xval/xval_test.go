@@ -409,6 +409,30 @@ func TestSweepBlockedAttentionExact(t *testing.T) {
 						t.Errorf("step %d: measured attention stats %+v != predicted %+v",
 							step, rep.Attn, wantStats)
 					}
+					// Per-rank census: each rank's measured recorder equals the
+					// closed-form per-rank prediction exactly, and the report's
+					// imbalance summary equals the modeled one (same arithmetic
+					// over the same effective-FLOP loads).
+					perRank := PredictAttentionPerRank(blkCl, gen, int64(step))
+					for _, rr := range rep.Ranks {
+						want := perRank[rr.Rank]
+						if rr.Attn != want.Stats {
+							t.Errorf("step %d rank %d: measured rank attention stats %+v != predicted %+v",
+								step, rr.Rank, rr.Attn, want.Stats)
+						}
+						if rr.AttnEffFLOPs != want.EffFLOPs {
+							t.Errorf("step %d rank %d: measured eff FLOPs %d != predicted %d",
+								step, rr.Rank, rr.AttnEffFLOPs, want.EffFLOPs)
+						}
+						if rr.AttnNominalFLOPs != want.NominalFLOPs {
+							t.Errorf("step %d rank %d: measured nominal FLOPs %d != predicted %d",
+								step, rr.Rank, rr.AttnNominalFLOPs, want.NominalFLOPs)
+						}
+					}
+					if wantImb := PredictImbalance(perRank); !reflect.DeepEqual(rep.Imbalance, wantImb) {
+						t.Errorf("step %d: measured imbalance %+v != modeled %+v",
+							step, rep.Imbalance, wantImb)
+					}
 					if skipped <= 0 {
 						t.Errorf("step %d: predicted zero skipped FLOPs — sweep config exercises no sparsity", step)
 					}
@@ -423,6 +447,14 @@ func TestSweepBlockedAttentionExact(t *testing.T) {
 				for step, rep := range denseReps {
 					if rep.Attn.Calls != 0 {
 						t.Errorf("step %d: dense run recorded %d blocked-kernel calls", step, rep.Attn.Calls)
+					}
+					if rep.Imbalance != nil {
+						t.Errorf("step %d: dense run reported an imbalance summary %+v", step, rep.Imbalance)
+					}
+					for _, rr := range rep.Ranks {
+						if rr.Attn.Calls != 0 || rr.AttnEffFLOPs != 0 || rr.AttnNominalFLOPs != 0 {
+							t.Errorf("step %d rank %d: dense run recorded a per-rank census", step, rr.Rank)
+						}
 					}
 					if rep.EffectiveFLOPs != rep.FLOPs {
 						t.Errorf("step %d: dense run effective FLOPs %d != nominal %d",

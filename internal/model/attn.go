@@ -115,7 +115,7 @@ func (a *Attention) Forward(x *tensor.Tensor, env *Env) (*tensor.Tensor, any) {
 		kv := h / group
 		headColsInto(kh, ctx.kFull, kv, a.HeadDim)
 		headColsInto(vh, ctx.vFull, kv, a.HeadDim)
-		out := attention.Forward(qh, kh, vh, env.Mask, env.QPos, 0)
+		out := attention.ForwardRecorded(qh, kh, vh, env.Mask, env.QPos, 0, env.Rec)
 		ctx.probs[h] = out.P
 		addHeadCols(concat, out.O, h, a.HeadDim)
 		tensor.Put(out.O)
@@ -150,7 +150,7 @@ func (a *Attention) Backward(ctxAny any, dy *tensor.Tensor) *tensor.Tensor {
 		headColsInto(kh, ctx.kFull, kv, a.HeadDim)
 		headColsInto(vh, ctx.vFull, kv, a.HeadDim)
 		headColsInto(dOh, dConcat, h, a.HeadDim)
-		dqh, dkh, dvh := attention.Backward(qh, kh, vh, ctx.probs[h], dOh, env.Mask, env.QPos, 0)
+		dqh, dkh, dvh := attention.BackwardRecorded(qh, kh, vh, ctx.probs[h], dOh, env.Mask, env.QPos, 0, env.Rec)
 		addHeadCols(dq, dqh, h, a.HeadDim)
 		addHeadCols(dKFull, dkh, kv, a.HeadDim)
 		addHeadCols(dVFull, dvh, kv, a.HeadDim)

@@ -68,6 +68,12 @@ type Env struct {
 	QPos []int  // global position of each local row
 	KV   KVComm // nil unless context parallelism is active
 
+	// Rec, when non-nil, receives the blocked attention engine's tile census
+	// for every self-attention call under this environment — the per-rank
+	// effective-FLOP accounting the workload-balance planner and the metrics
+	// registry consume. Owned by one rank goroutine; nil disables recording.
+	Rec *attention.Recorder
+
 	Aux     *tensor.Tensor // encoder output shared by cross-attention layers
 	AuxGrad *tensor.Tensor // accumulated ∂loss/∂Aux (allocated by the caller)
 }

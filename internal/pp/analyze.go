@@ -15,6 +15,13 @@ type Costs struct {
 	Fwd func(globalStage int) float64 // forward compute time of one micro-batch
 	Bwd func(globalStage int) float64 // backward compute time
 	P2P float64                       // exposed point-to-point latency between ranks
+
+	// FwdMB/BwdMB, when non-nil, override Fwd/Bwd with per-micro-batch costs:
+	// document-masked workloads make micro-batches heterogeneous (ragged
+	// effective-FLOP loads), and the balance planner simulates candidate
+	// micro-batch orderings through exactly this hook.
+	FwdMB func(globalStage, mb int) float64
+	BwdMB func(globalStage, mb int) float64
 }
 
 // UniformCosts returns a cost model with identical stages and backward =
@@ -101,9 +108,16 @@ func (s *Schedule) Simulate(c Costs) (*Timeline, error) {
 					break // rank blocks in-order on this op
 				}
 				start := math.Max(rankFree[r], ready)
-				dur := c.Fwd(g)
-				if op.Kind == Bwd {
+				var dur float64
+				switch {
+				case op.Kind == Bwd && c.BwdMB != nil:
+					dur = c.BwdMB(g, op.MB)
+				case op.Kind == Bwd:
 					dur = c.Bwd(g)
+				case c.FwdMB != nil:
+					dur = c.FwdMB(g, op.MB)
+				default:
+					dur = c.Fwd(g)
 				}
 				end := start + dur
 				finish[key{op.Kind, g, op.MB}] = end

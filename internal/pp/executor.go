@@ -71,6 +71,11 @@ type Microbatch struct {
 	// loss sum (context parallelism weights by local/total token counts so
 	// that summing across CP ranks yields the full-sample token mean).
 	Weights []float64
+	// Tags, if non-nil, give each sample a caller-chosen stable identity
+	// (e.g. its corpus index) reported through Executor.OnLoss — how the
+	// balance benchmarks compare per-sample losses across placements that
+	// assign samples to different ranks and micro-batches.
+	Tags []int64
 }
 
 func (m *Microbatch) scale(i int) float32 {
@@ -103,6 +108,11 @@ type Executor struct {
 	// Obs, if set, observes every executed op with timing and the live
 	// activation footprint (internal/metrics). Set it before RunStep.
 	Obs Observer
+
+	// OnLoss, if set, receives each tagged sample's unweighted head loss as
+	// it is computed (last-stage ranks only, and only for micro-batches whose
+	// Tags field is populated). Called from this rank's goroutine.
+	OnLoss func(tag int64, loss float64)
 
 	// Gather, if set, is called before each model fragment's compute so a
 	// ZeRO-3 shard can overlap parameter all-gathers with execution.
@@ -242,6 +252,9 @@ func (e *Executor) RunStep(mbs []*Microbatch) (lossSum float64, nSamples int) {
 				for i, out := range outs {
 					loss, hc := stage.Head.ForwardLoss(out, mb.Samples[i].Targets, mb.scale(i), mb.Envs[i])
 					st.headCtx = append(st.headCtx, hc)
+					if e.OnLoss != nil && mb.Tags != nil {
+						e.OnLoss(mb.Tags[i], loss)
+					}
 					w := 1.0
 					if mb.Weights != nil {
 						w = mb.Weights[i]

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 
 	"llama4d/internal/attention"
+	"llama4d/internal/balance"
 	"llama4d/internal/cp"
 	"llama4d/internal/data"
 	"llama4d/internal/model"
@@ -29,6 +31,12 @@ type ImbalanceReport struct {
 // each step drawing a fresh document-packed sequence, and accounts per-rank
 // compute (balanced GEMMs + imbalanced attention) and CP communication.
 func DocMaskImbalance(m cost.Model, cfg model.Config, tp int, seq, cpSize, avgDocLen, nGroups, steps int, seed int64) ImbalanceReport {
+	// Degenerate windows — no groups, no ranks, or no steps — simulate no
+	// work: report perfect balance over an empty distribution instead of
+	// indexing into empty slices or dividing zero by zero.
+	if nGroups <= 0 || cpSize <= 0 || steps <= 0 {
+		return ImbalanceReport{SlowFastRatio: 1, AttnSlowFastRatio: 1}
+	}
 	sh := cp.NewSharding(seq, cpSize)
 	qLocal := seq / cpSize
 	heads := int64(cfg.NHeads / tp)
@@ -96,15 +104,48 @@ func DocMaskImbalance(m cost.Model, cfg model.Config, tp int, seq, cpSize, avgDo
 	}
 	sortPair(compute, attn)
 	rep := ImbalanceReport{ComputeTimes: compute, AttnTimes: attn}
-	rep.SlowFastRatio = compute[len(compute)-1] / compute[0]
-	rep.AttnSlowFastRatio = attn[len(attn)-1] / attn[0]
-	rep.CPExposedFrac = totalExposed / totalElapsed
+	rep.SlowFastRatio = slowFastRatio(compute)
+	rep.AttnSlowFastRatio = slowFastRatio(attn)
+	if totalElapsed > 0 {
+		rep.CPExposedFrac = totalExposed / totalElapsed
+	}
 	wait := totalExposed - 2*agTime*float64(nGroups*steps)
-	rep.WaitFracOfExposed = wait / totalExposed
-	// A perfect overlap scheme still waits for the slowest rank: at best it
-	// hides the all-gather, bounding the end-to-end gain (§7.3.2).
-	rep.OverlapUpperBound = (totalExposed - wait) / totalElapsed
+	if totalExposed > 0 {
+		rep.WaitFracOfExposed = wait / totalExposed
+		// A perfect overlap scheme still waits for the slowest rank: at best
+		// it hides the all-gather, bounding the end-to-end gain (§7.3.2).
+		rep.OverlapUpperBound = (totalExposed - wait) / totalElapsed
+	}
 	return rep
+}
+
+// slowFastRatio is last/first of a sorted non-empty slice, guarded for the
+// all-zero case (a zero-document window performs no attention anywhere —
+// that is perfect balance, ratio 1, not 0/0). A zero fastest rank with a
+// nonzero slowest one is genuinely unbounded skew and reports +Inf.
+func slowFastRatio(sorted []float64) float64 {
+	slow, fast := sorted[len(sorted)-1], sorted[0]
+	if fast > 0 {
+		return slow / fast
+	}
+	if slow == 0 {
+		return 1
+	}
+	return math.Inf(1)
+}
+
+// ShardSkew models the per-rank swept-pair imbalance of one CP row layout
+// over one document-masked sequence: the max/mean ratio of each shard's
+// blocked-attention tile census (TotalPairs − EmptyPairs) — the same
+// quantity the per-rank attention.Recorder measures and balance.PlanShards
+// minimises, so measured and modeled skew compare directly.
+func ShardSkew(shards [][]int, starts []int, seq int) float64 {
+	loads := make([]int64, len(shards))
+	for r, pos := range shards {
+		g := attention.BuildGridFromStarts(pos, starts, 0, seq)
+		loads[r] = g.TotalPairs() - g.EmptyPairs
+	}
+	return balance.MaxMeanRatio(loads)
 }
 
 func mean(xs []float64) float64 {
