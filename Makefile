@@ -29,7 +29,10 @@ race:
 # sequential baseline across document-length distributions
 # (dist=*/impl=unbalanced|balanced, with per-rank idle, P2P-wait, step-time,
 # and imbalance-ratio metrics behind bitwise placement guards) into
-# BENCH_balance.json. The temp files keep a go test failure from being
+# BENCH_balance.json, and the flat single-ring collectives vs the two-level
+# hierarchical transport (world × hostSize × op, impl=flat|hier, each hier
+# cell behind a pre-timing bitwise flat-equivalence guard) into
+# BENCH_comm.json. The temp files keep a go test failure from being
 # masked by the pipe.
 bench:
 	$(GO) test -bench='^BenchmarkKernel' -benchmem -run='^$$' \
@@ -52,6 +55,10 @@ bench:
 		. > BENCH_balance.txt \
 		&& $(GO) run ./cmd/benchjson -o BENCH_balance.json < BENCH_balance.txt \
 		&& rm BENCH_balance.txt
+	$(GO) test -bench='^BenchmarkComm' -benchmem -benchtime=3x -run='^$$' \
+		./internal/comm > BENCH_comm.txt \
+		&& $(GO) run ./cmd/benchjson -o BENCH_comm.json < BENCH_comm.txt \
+		&& rm BENCH_comm.txt
 
 # The paper-reproduction benchmarks (one per table/figure) plus the kernel
 # suite.
@@ -64,12 +71,15 @@ bench-all:
 # correctness guards without waiting for stable timings. The serving sweep is
 # restricted to its smallest case — the guards are identical across cases and
 # the big ones take most of a minute each — and the balance sweep to the
-# heavy-tail mix, where the skew-reduction guard is strict.
+# heavy-tail mix, where the skew-reduction guard is strict. The collective
+# sweep replays its 256-rank cells: big enough to cover multi-host carrier
+# escalation, small enough to finish in well under a second.
 smoke-bench:
 	$(GO) test -bench='^(BenchmarkKernel|BenchmarkOverlap|BenchmarkAttentionMasked)' -benchtime=1x -run='^$$' \
 		./internal/tensor ./internal/attention ./internal/core .
 	$(GO) test -bench='^BenchmarkServe/bs=16' -benchtime=1x -run='^$$' ./internal/serve
 	$(GO) test -bench='^BenchmarkBalance/dist=heavytail' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='^BenchmarkComm/world=256' -benchtime=1x -run='^$$' ./internal/comm
 
 # The measured-vs-modeled gate: the xval conformance sweep (measured comm
 # bytes, FLOPs, activation peaks, and schedules against the analytic models

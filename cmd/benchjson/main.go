@@ -3,7 +3,9 @@
 // stdin, records ns/op, B/op, allocs/op, and any custom b.ReportMetric
 // columns per benchmark, and pairs before/after variants (impl=before vs
 // impl=after, pool=off vs pool=on, impl=unbalanced vs impl=balanced) into
-// comparisons with speedup and allocation-reduction ratios.
+// comparisons with speedup and allocation-reduction ratios. The collective
+// transport sweep pairs impl=flat (single-ring baseline) with impl=hier
+// (two-level hierarchical) the same way.
 //
 // Usage:
 //
@@ -72,6 +74,8 @@ var variantPairs = map[string]string{
 	"pool=on":         "after",
 	"impl=unbalanced": "before",
 	"impl=balanced":   "after",
+	"impl=flat":       "before",
+	"impl=hier":       "after",
 }
 
 func main() {

@@ -1,0 +1,117 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"llama4d/internal/tensor"
+)
+
+// BenchmarkComm times one full collective round (all ranks issue once and the
+// last arriver combines) on functional worlds at the paper's node scales,
+// flat single-ring (impl=flat) against the two-level hierarchical transport
+// (impl=hier, hosts of 8 — the Grand Teton NVLink island). Before any timing,
+// every cell asserts the two transports agree bitwise, the same guard the
+// conformance grid enforces: a benchmark of a wrong answer is noise.
+// make bench emits these as the flat-vs-hier pairs in BENCH_comm.json;
+// make check's smoke run replays the 256-rank cells once.
+func BenchmarkComm(b *testing.B) {
+	const hostSize = 8
+	const elems = 256
+	for _, world := range []int{64, 256, 1024} {
+		for _, op := range []string{"allgather", "reducescatter", "allreduce", "broadcast"} {
+			for _, impl := range []struct {
+				name string
+				host int
+			}{{"flat", 0}, {"hier", hostSize}} {
+				name := fmt.Sprintf("world=%d/host=%d/op=%s/impl=%s", world, hostSize, op, impl.name)
+				b.Run(name, func(b *testing.B) {
+					if impl.host > 0 {
+						guard := commBenchRound(b, world, 0, op, elems, nil)
+						commBenchRound(b, world, impl.host, op, elems, guard)
+					}
+					w := NewWorld(world)
+					w.Topo = Topology{HostSize: impl.host}
+					g := w.NewGroup(rankRange(world))
+					g.Label = "bench"
+					contribs := benchContribs(world, op, elems)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := w.RunSPMD(func(rank int) {
+							benchIssue(g, rank, op, contribs)
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// benchContribs builds each rank's deterministic contribution once, outside
+// the timed loop. For reducescatter each rank contributes world rows so every
+// rank keeps one; for broadcast only the root contributes.
+func benchContribs(world int, op string, elems int) []*tensor.Tensor {
+	rows, cols := 1, elems
+	if op == "reducescatter" {
+		rows, cols = world, elems/world+1
+	}
+	out := make([]*tensor.Tensor, world)
+	for r := range out {
+		if op == "broadcast" && r != 0 {
+			continue
+		}
+		x := tensor.New(rows, cols)
+		for i := range x.Data {
+			v := math.Sin(float64(r*2654435761 + i*40503))
+			x.Data[i] = float32(v) * float32(math.Exp2(float64((r+i)%9-4)))
+		}
+		out[r] = x
+	}
+	return out
+}
+
+func benchIssue(g *Group, rank int, op string, contribs []*tensor.Tensor) *tensor.Tensor {
+	switch op {
+	case "allgather":
+		return g.AllGather(rank, contribs[rank])
+	case "reducescatter":
+		return g.ReduceScatter(rank, contribs[rank])
+	case "allreduce":
+		return g.AllReduce(rank, contribs[rank])
+	case "broadcast":
+		return g.Broadcast(rank, 0, contribs[rank])
+	}
+	panic("comm: unknown bench op " + op)
+}
+
+// commBenchRound runs one round of the op on a world with the given host size
+// and returns the per-rank results; when guard is non-nil it instead asserts
+// the round reproduces guard bitwise (the pre-timing conformance check).
+func commBenchRound(b *testing.B, world, hostSize int, op string, elems int, guard []*tensor.Tensor) []*tensor.Tensor {
+	b.Helper()
+	w := NewWorld(world)
+	w.Topo = Topology{HostSize: hostSize}
+	g := w.NewGroup(rankRange(world))
+	g.Label = "bench"
+	contribs := benchContribs(world, op, elems)
+	out := make([]*tensor.Tensor, world)
+	if err := w.RunSPMD(func(rank int) {
+		out[rank] = benchIssue(g, rank, op, contribs)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if guard != nil {
+		for r := range guard {
+			for i := range guard[r].Data {
+				if math.Float32bits(guard[r].Data[i]) != math.Float32bits(out[r].Data[i]) {
+					b.Fatalf("world=%d op=%s rank %d: hier diverges from flat before timing", world, op, r)
+				}
+			}
+		}
+	}
+	return out
+}

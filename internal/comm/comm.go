@@ -57,6 +57,12 @@ type FaultInjector interface {
 type World struct {
 	size int
 
+	// Topo, when set (HostSize > 0), gives the world a physical host
+	// layout: groups created afterwards run their bulk collectives
+	// hierarchically with tier-split accounting (see Topology). Set it
+	// before creating groups — each group snapshots its layout.
+	Topo Topology
+
 	// Recorder, if non-nil, receives per-rank collective timings. Set it
 	// before spawning ranks; implementations must be safe for concurrent
 	// use.

@@ -1,0 +1,160 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"llama4d/internal/tensor"
+)
+
+// FuzzTopologyMapping throws arbitrary (world, hostSize, member mask) triples
+// at the host-layout machinery and checks the structural invariants every
+// other layer leans on: LayoutOf must partition the group's local ranks into
+// hosts exactly (no rank dropped, none double-mapped), leader election must
+// be deterministic and one-per-host, and TierVolumes must attribute bytes
+// without negatives or double counts — including groups that straddle hosts
+// and ragged last hosts. For small worlds it also runs a real hierarchical
+// all-reduce against the flat transport to confirm the mapping feeds a
+// bitwise-identical collective. The committed corpus
+// (testdata/fuzz/FuzzTopologyMapping) pins the shapes that exercised every
+// branch: dense worlds, singleton hosts, strided masks, ragged tails.
+func FuzzTopologyMapping(f *testing.F) {
+	f.Add(8, 4, []byte{0xff})
+	f.Add(64, 8, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(16, 3, []byte{0b01010101, 0b00110011})
+	f.Add(9, 2, []byte{0b10000001, 0b1})
+	f.Add(12, 16, []byte{0xf0, 0x0f})
+	f.Add(5, 1, []byte{0x1f})
+	f.Fuzz(func(t *testing.T, world, hostSize int, mask []byte) {
+		// Clamp the raw fuzz inputs to a functional-run envelope; the mask
+		// picks which global ranks join the group.
+		if world < 1 {
+			world = 1
+		}
+		if world > 512 {
+			world = world%512 + 1
+		}
+		if hostSize < 1 {
+			hostSize = 1
+		}
+		if hostSize > world {
+			hostSize = hostSize%world + 1
+		}
+		var ranks []int
+		for r := 0; r < world; r++ {
+			if len(mask) > 0 && mask[(r/8)%len(mask)]&(1<<(r%8)) != 0 {
+				ranks = append(ranks, r)
+			}
+		}
+		if len(ranks) == 0 {
+			return
+		}
+
+		l := LayoutOf(ranks, hostSize)
+		if l.N != len(ranks) {
+			t.Fatalf("layout N %d != group size %d", l.N, len(ranks))
+		}
+		if len(l.Leaders) != len(l.Hosts) {
+			t.Fatalf("%d leaders for %d hosts", len(l.Leaders), len(l.Hosts))
+		}
+		seen := make([]bool, l.N)
+		total := 0
+		for h, members := range l.Hosts {
+			if len(members) == 0 {
+				t.Fatalf("host %d has no members", h)
+			}
+			if l.Leaders[h] != members[0] {
+				t.Fatalf("host %d leader %d != first member %d", h, l.Leaders[h], members[0])
+			}
+			for pos, lr := range members {
+				if lr < 0 || lr >= l.N {
+					t.Fatalf("host %d member %d out of range", h, lr)
+				}
+				if seen[lr] {
+					t.Fatalf("local rank %d mapped to two hosts", lr)
+				}
+				seen[lr] = true
+				if l.HostOf[lr] != h || l.PosOf[lr] != pos {
+					t.Fatalf("local rank %d: HostOf/PosOf (%d,%d) != actual (%d,%d)",
+						lr, l.HostOf[lr], l.PosOf[lr], h, pos)
+				}
+				// All of a host's members must really share a physical host.
+				if ranks[lr]/hostSize != ranks[members[0]]/hostSize {
+					t.Fatalf("local rank %d on host row %d but physical host differs from leader", lr, h)
+				}
+			}
+			total += len(members)
+		}
+		if total != l.N {
+			t.Fatalf("hosts hold %d members, group has %d", total, l.N)
+		}
+
+		// Tier attribution: never negative, leader flag matches the layout,
+		// deterministic across calls, and inter bytes only ever on leaders.
+		const elems = 24
+		for _, op := range []string{"allgather", "reducescatter", "allreduce"} {
+			leaders := 0
+			for lr := 0; lr < l.N; lr++ {
+				intra, inter, leader := l.TierVolumes(op, lr, elems)
+				i2, e2, l2 := l.TierVolumes(op, lr, elems)
+				if intra != i2 || inter != e2 || leader != l2 {
+					t.Fatalf("%s lr %d: TierVolumes not deterministic", op, lr)
+				}
+				if intra < 0 || inter < 0 {
+					t.Fatalf("%s lr %d: negative tier volume (%d, %d)", op, lr, intra, inter)
+				}
+				if leader != (l.Leaders[l.HostOf[lr]] == lr) {
+					t.Fatalf("%s lr %d: leader flag disagrees with layout", op, lr)
+				}
+				if !leader && inter != 0 {
+					t.Fatalf("%s lr %d: non-leader attributed %d inter bytes", op, lr, inter)
+				}
+				if leader {
+					leaders++
+				}
+			}
+			if leaders != len(l.Hosts) {
+				t.Fatalf("%s: %d leader attributions for %d hosts", op, leaders, len(l.Hosts))
+			}
+		}
+
+		// End to end on small shapes: the mapping must carry a real all-reduce
+		// bitwise identically to the flat transport.
+		if world > 64 || len(ranks) < 2 {
+			return
+		}
+		contrib := func(lr int) *tensor.Tensor {
+			x := tensor.New(4)
+			for i := range x.Data {
+				v := math.Sin(float64(lr*2654435761 + i*40503))
+				x.Data[i] = float32(v) * float32(math.Exp2(float64((lr+i)%9-4)))
+			}
+			return x
+		}
+		results := func(hs int) []*tensor.Tensor {
+			w := NewWorld(world)
+			w.Topo = Topology{HostSize: hs}
+			g := w.NewGroup(ranks)
+			out := make([]*tensor.Tensor, len(ranks))
+			if err := w.RunSPMD(func(rank int) {
+				if !g.Contains(rank) {
+					return
+				}
+				lr := g.LocalRank(rank)
+				out[lr] = g.AllReduce(rank, contrib(lr))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		flat, hier := results(0), results(hostSize)
+		for lr := range ranks {
+			for i := range flat[lr].Data {
+				if math.Float32bits(flat[lr].Data[i]) != math.Float32bits(hier[lr].Data[i]) {
+					t.Fatalf("lr %d elem %d: flat %x hier %x", lr, i,
+						math.Float32bits(flat[lr].Data[i]), math.Float32bits(hier[lr].Data[i]))
+				}
+			}
+		}
+	})
+}

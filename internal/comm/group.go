@@ -2,7 +2,6 @@ package comm
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"llama4d/internal/tensor"
@@ -21,23 +20,15 @@ type Group struct {
 	// "cp", "pp", "dp"); recorded timings are attributed to it.
 	Label string
 
-	mu    sync.Mutex
-	slots map[int]*collSlot // keyed by per-group op sequence number
-	next  []int             // per-local-rank op counters
-}
-
-type collSlot struct {
-	seq      int
-	op       string
-	contribs []*tensor.Tensor
-	arrived  int
-	readers  int
-	result   []*tensor.Tensor // per-local-rank results (views into shared data allowed)
-	done     chan struct{}
+	rv   *rendezvous // flat (single-level) slot space
+	seq  []rankSeq   // per-local-rank op counters, owned by each rank's goroutine
+	hier *hierState  // two-level transport; nil without a tiered host layout
 }
 
 // NewGroup creates a process group over the given global ranks. Rank order
 // defines local rank order and therefore the deterministic reduction order.
+// If the world carries a Topology whose host layout is tiered for these
+// ranks, the group's bulk collectives run hierarchically (see Topology).
 func (w *World) NewGroup(ranks []int) *Group {
 	if len(ranks) == 0 {
 		panic("comm: empty group")
@@ -46,8 +37,8 @@ func (w *World) NewGroup(ranks []int) *Group {
 		world: w,
 		ranks: append([]int(nil), ranks...),
 		local: make(map[int]int, len(ranks)),
-		slots: make(map[int]*collSlot),
-		next:  make([]int, len(ranks)),
+		rv:    &rendezvous{},
+		seq:   make([]rankSeq, len(ranks)),
 	}
 	for i, r := range ranks {
 		w.checkRank(r)
@@ -55,6 +46,11 @@ func (w *World) NewGroup(ranks []int) *Group {
 			panic(fmt.Sprintf("comm: duplicate rank %d in group", r))
 		}
 		g.local[r] = i
+	}
+	if w.Topo.HostSize > 0 {
+		if l := LayoutOf(g.ranks, w.Topo.HostSize); l.Tiered() {
+			g.hier = newHierState(l)
+		}
 	}
 	return g
 }
@@ -95,36 +91,27 @@ func (g *Group) Contains(globalRank int) bool {
 // Fault injection happens here, before the contribution registers: a
 // crashing rank never arrives, so its peers block — exactly the production
 // failure mode the world's detection machinery must catch.
+//
+// The contribution is staged into an arena-backed copy at deposit (so the
+// caller keeps ownership of its tensor) and released back to the pool the
+// moment the last arriver's combine has consumed it — the slot never pins
+// contributions until retirement.
 func (g *Group) post(globalRank int, op string, contrib *tensor.Tensor, combine func(contribs []*tensor.Tensor, results []*tensor.Tensor)) (slot *collSlot, lr int, last bool) {
 	lr = g.LocalRank(globalRank)
 	g.world.beforeOp(globalRank, g.Label+"."+op, contrib)
 
-	g.mu.Lock()
-	seq := g.next[lr]
-	g.next[lr]++
-	slot, ok := g.slots[seq]
-	if !ok {
-		slot = &collSlot{
-			seq:      seq,
-			op:       op,
-			contribs: make([]*tensor.Tensor, len(g.ranks)),
-			result:   make([]*tensor.Tensor, len(g.ranks)),
-			done:     make(chan struct{}),
-		}
-		g.slots[seq] = slot
+	seq := g.seq[lr].flat
+	g.seq[lr].flat++
+	n := len(g.ranks)
+	slot = g.rv.claim(seq, op, n, n)
+	st, pooled := stageContrib(contrib)
+	slot.contribs[lr] = st
+	if pooled {
+		slot.staged[lr] = st
 	}
-	if slot.op != op {
-		g.mu.Unlock()
-		panic(fmt.Sprintf("comm: collective mismatch at seq %d: rank %d called %s, group is running %s",
-			seq, globalRank, op, slot.op))
-	}
-	slot.contribs[lr] = contrib
-	slot.arrived++
-	last = slot.arrived == len(g.ranks)
-	g.mu.Unlock()
-
-	if last {
+	if last = int(slot.arrived.Add(1)) == n; last {
 		combine(slot.contribs, slot.result)
+		slot.releaseStaged()
 		close(slot.done)
 	}
 	return slot, lr, last
@@ -134,12 +121,7 @@ func (g *Group) post(globalRank int, op string, contrib *tensor.Tensor, combine 
 // the slot once every member has read. slot.done must be closed.
 func (g *Group) finishSlot(slot *collSlot, lr int) *tensor.Tensor {
 	res := slot.result[lr]
-	g.mu.Lock()
-	slot.readers++
-	if slot.readers == len(g.ranks) {
-		delete(g.slots, slot.seq)
-	}
-	g.mu.Unlock()
+	g.rv.retire(slot)
 	return res
 }
 
@@ -165,7 +147,12 @@ func (g *Group) enter(globalRank int, op string, contrib *tensor.Tensor, combine
 // peers can proceed and the combine runs as soon as the last member posts),
 // and the returned handle clones the caller's result out of the shared slot
 // in Wait. The op string matches the blocking variant, so blocking and
-// nonblocking callers interoperate within one collective.
+// nonblocking callers interoperate within one collective on flat groups.
+// Nonblocking collectives always take the flat transport — overlap-engine
+// traffic is latency-hidden by design, so the hierarchy would buy nothing —
+// which means a group with a tiered host layout must not mix blocking and
+// nonblocking members within one collective (they would rendezvous in
+// different slot spaces).
 func (g *Group) iColl(globalRank int, op string, bytes int64, contrib *tensor.Tensor, combine func(contribs []*tensor.Tensor, results []*tensor.Tensor)) *Handle {
 	slot, lr, _ := g.post(globalRank, op, contrib, combine)
 	h := &Handle{
@@ -266,8 +253,9 @@ func (g *Group) AllGatherCols(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 func (g *Group) AllGather(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.AllGatherOps.Add(1)
 	g.world.stats.AllGatherBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1))
-	g.account(globalRank, "allgather", int64(x.Len())*4*int64(len(g.ranks)-1))
-	return g.enter(globalRank, "allgather", x, combineConcatRows).Clone()
+	hier := g.collAccount(globalRank, "allgather", int64(x.Len()),
+		int64(x.Len())*4*int64(len(g.ranks)-1))
+	return g.collEnter(globalRank, "allgather", hier, x, combineConcatRows).Clone()
 }
 
 // IAllGather is the nonblocking AllGather: the contribution registers
@@ -288,8 +276,9 @@ func (g *Group) IAllGather(globalRank int, x *tensor.Tensor) *Handle {
 func (g *Group) ReduceScatter(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.ReduceScatterOps.Add(1)
 	g.world.stats.ReduceScatterBytes.Add(int64(x.Len()) * 4 * int64(len(g.ranks)-1) / int64(len(g.ranks)))
-	g.account(globalRank, "reducescatter", int64(x.Len())*4*int64(len(g.ranks)-1)/int64(len(g.ranks)))
-	return g.enter(globalRank, "reducescatter", x, combineReduceScatter(len(g.ranks))).Clone()
+	hier := g.collAccount(globalRank, "reducescatter", int64(x.Len()),
+		int64(x.Len())*4*int64(len(g.ranks)-1)/int64(len(g.ranks)))
+	return g.collEnter(globalRank, "reducescatter", hier, x, combineReduceScatter(len(g.ranks))).Clone()
 }
 
 // IReduceScatter is the nonblocking ReduceScatter — the backward-overlapped
@@ -308,8 +297,9 @@ func (g *Group) IReduceScatter(globalRank int, x *tensor.Tensor) *Handle {
 func (g *Group) AllReduce(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.AllReduceOps.Add(1)
 	g.world.stats.AllReduceBytes.Add(int64(x.Len()) * 4 * 2 * int64(len(g.ranks)-1) / int64(len(g.ranks)))
-	g.account(globalRank, "allreduce", int64(x.Len())*4*2*int64(len(g.ranks)-1)/int64(len(g.ranks)))
-	return g.enter(globalRank, "allreduce", x, combineSum).Clone()
+	hier := g.collAccount(globalRank, "allreduce", int64(x.Len()),
+		int64(x.Len())*4*2*int64(len(g.ranks)-1)/int64(len(g.ranks)))
+	return g.collEnter(globalRank, "allreduce", hier, x, combineSum).Clone()
 }
 
 // IAllReduce is the nonblocking AllReduce, with the blocking op's local-rank
@@ -344,7 +334,9 @@ func (g *Group) AllReduceMax(globalRank int, x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Broadcast distributes root's tensor (root is a local rank) to all members.
-// Non-root callers may pass nil.
+// Non-root callers may pass nil. Under a tiered host layout the root's own
+// volume is attributed intra-host, plus one inter-host issue from the root
+// (the hop that fans its tensor out across hosts).
 func (g *Group) Broadcast(globalRank, rootLocal int, x *tensor.Tensor) *tensor.Tensor {
 	g.world.stats.BroadcastOps.Add(1)
 	var bytes int64
@@ -352,14 +344,25 @@ func (g *Group) Broadcast(globalRank, rootLocal int, x *tensor.Tensor) *tensor.T
 		bytes = int64(x.Len()) * 4
 		g.world.stats.BroadcastBytes.Add(bytes)
 	}
-	g.account(globalRank, "broadcast", bytes)
-	return g.enter(globalRank, "broadcast", x, func(contribs, results []*tensor.Tensor) {
+	hier := g.hierOn()
+	if hier {
+		g.account(globalRank, "broadcast.intra", bytes)
+		if g.LocalRank(globalRank) == rootLocal {
+			g.account(globalRank, "broadcast.inter", bytes)
+		}
+	} else {
+		g.account(globalRank, "broadcast", bytes)
+	}
+	return g.collEnter(globalRank, "broadcast", hier, x, func(contribs, results []*tensor.Tensor) {
 		src := contribs[rootLocal]
 		if src == nil {
 			panic(fmt.Sprintf("comm: broadcast root local rank %d passed nil", rootLocal))
 		}
+		// Clone once: results must not alias the staged contribution, which
+		// returns to the arena as soon as this combine returns.
+		shared := src.Clone()
 		for i := range results {
-			results[i] = src
+			results[i] = shared
 		}
 	}).Clone()
 }
@@ -395,7 +398,10 @@ func (g *Group) Scatter(globalRank, rootLocal int, x *tensor.Tensor) *tensor.Ten
 		if src == nil {
 			panic(fmt.Sprintf("comm: scatter root local rank %d passed nil", rootLocal))
 		}
-		chunks := tensor.SplitRows(src, n)
+		// Clone before splitting: the chunks handed out are views, and the
+		// staged contribution they would otherwise view into returns to the
+		// arena as soon as this combine returns.
+		chunks := tensor.SplitRows(src.Clone(), n)
 		for i := range results {
 			results[i] = chunks[i]
 		}

@@ -30,6 +30,14 @@ type Config struct {
 	ZeRO     fsdp.Mode
 	Balanced bool // remove one layer from first/last stage (§3.1.2)
 
+	// HostSize models the physical host granularity: that many consecutive
+	// global ranks share one host (8 on the paper's Grand Teton nodes).
+	// When > 0, the comm layer runs bulk collectives hierarchically
+	// (intra-host rendezvous + inter-host exchange) with byte accounting
+	// split into ".intra"/".inter" tiers — bitwise identical to the flat
+	// path. 0 keeps every collective single-level.
+	HostSize int
+
 	// Recompute selects the blocks' activation-recomputation mode (§6.3):
 	// none, selective (replay attention), or full (keep only block inputs).
 	Recompute model.RecomputeMode
@@ -86,6 +94,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Model.Validate(); err != nil {
 		return err
+	}
+	if c.HostSize < 0 {
+		return fmt.Errorf("core: host size %d", c.HostSize)
 	}
 	if c.GBS%c.Topo.DP != 0 {
 		return fmt.Errorf("core: gbs %d not divisible by dp %d", c.GBS, c.Topo.DP)
@@ -146,6 +157,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	world := comm.NewWorld(cfg.Topo.World())
+	world.Topo = comm.Topology{HostSize: cfg.HostSize} // before any group exists
 	sched := pp.NewFlexible(cfg.Topo.PP, cfg.V, cfg.NMB, cfg.NC)
 	cache := newGroupCache(world)
 	cl := &Cluster{Cfg: cfg, World: world, Sched: sched}

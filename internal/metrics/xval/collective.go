@@ -1,0 +1,143 @@
+package xval
+
+import (
+	"llama4d/internal/comm"
+	"llama4d/internal/metrics"
+)
+
+// This file is the predictor's independent model of the hierarchical
+// collective tiers: the role arithmetic (host membership, leader election)
+// and the closed-form ".intra"/".inter" volumes are re-derived from the
+// topology definition alone, never read out of comm's HostLayout — the same
+// deliberate duplication that keeps allReduceBytes &co. an oracle for the
+// flat path. The conformance grid asserts comm's measured tier bytes against
+// these formulas exactly, at every swept world size.
+
+// commRole is one rank's position in a group under a host topology: group
+// size n, its own host's member count m, the group's host count H, and
+// whether the rank leads its host (is the host's first member in local-rank
+// order). tiered reports whether the group runs the hierarchical path at
+// all: more than one host and at least one host with several members —
+// otherwise the transport and the accounting stay flat.
+type commRole struct {
+	n, m, H int64
+	leader  bool
+	tiered  bool
+}
+
+// roleOf computes the commRole of global rank `global` within the group over
+// `ranks` (position = local rank) under hosts of hostSize consecutive global
+// ranks. hostSize <= 0 means no topology: a flat role.
+func roleOf(ranks []int, global, hostSize int) commRole {
+	ro := commRole{n: int64(len(ranks))}
+	if hostSize <= 0 {
+		return ro
+	}
+	firstOf := make(map[int]int, len(ranks)) // host id -> leader's local rank
+	sizeOf := make(map[int]int, len(ranks))  // host id -> member count
+	myHost, myLR := -1, -1
+	for lr, r := range ranks {
+		h := r / hostSize
+		if _, ok := firstOf[h]; !ok {
+			firstOf[h] = lr
+		}
+		sizeOf[h]++
+		if r == global {
+			myHost, myLR = h, lr
+		}
+	}
+	if myHost < 0 {
+		panic("xval: rank not in group")
+	}
+	ro.m = int64(sizeOf[myHost])
+	ro.H = int64(len(sizeOf))
+	ro.leader = firstOf[myHost] == myLR
+	ro.tiered = ro.H > 1 && ro.H < ro.n
+	return ro
+}
+
+// tierBytes is the closed-form per-rank issue volume of one hierarchical
+// collective, split by tier, with comm's truncating int64 arithmetic
+// (B = 4·elems; see comm.HostLayout.TierVolumes for the derivation).
+// inter is meaningful only for the host leader — non-leaders never issue
+// inter-host traffic.
+func tierBytes(op string, elems int64, ro commRole) (intra, inter int64) {
+	b := elems * 4
+	switch op {
+	case "allgather":
+		if ro.leader {
+			return b * (ro.m - 1), b * ro.m * (ro.H - 1)
+		}
+		return b * (ro.n - 1), 0
+	case "reducescatter":
+		if ro.leader {
+			return b * (ro.m - 1) / ro.m, b * (ro.H - 1) / ro.H
+		}
+		return b*(ro.m-1)/ro.m + b/ro.n, 0
+	case "allreduce":
+		if ro.leader {
+			return 2 * b * (ro.m - 1) / ro.m, 2 * b * (ro.H - 1) / ro.H
+		}
+		return 2 * b * (ro.m - 1) / ro.m, 0
+	}
+	panic("xval: no tier formula for op " + op)
+}
+
+// flatCollBytes is the flat single-ring volume of one collective issue.
+func flatCollBytes(op string, elems, n int64) int64 {
+	switch op {
+	case "allgather":
+		return allGatherBytes(elems, n)
+	case "reducescatter":
+		return reduceScatterBytes(elems, n)
+	case "allreduce":
+		return allReduceBytes(elems, n)
+	}
+	panic("xval: no flat formula for op " + op)
+}
+
+// PredictCollective returns the exact expected per-member accounting of ONE
+// collective issue over a group of the given global ranks on a world with
+// hosts of hostSize consecutive ranks: a map keyed like the metrics
+// registry's Comm entries but without the group-label prefix (e.g.
+// "allreduce.intra", or plain "allreduce" when the layout is untiered or
+// hierarchical collectives are globally disabled), indexed by local rank.
+//
+// elems is each member's contribution element count. For "broadcast" it is
+// the root's (local rank 0's) element count: the flat convention attributes
+// a broadcast's bytes to the root only, and the tiered convention splits the
+// root's volume into one intra-host and one inter-host issue, with non-root
+// members recording a zero-byte intra message.
+func PredictCollective(groupRanks []int, hostSize int, op string, elems int64) []map[string]metrics.OpVolume {
+	out := make([]map[string]metrics.OpVolume, len(groupRanks))
+	hier := comm.HierarchicalEnabled()
+	for lr, r := range groupRanks {
+		m := make(map[string]metrics.OpVolume)
+		ro := roleOf(groupRanks, r, hostSize)
+		tiered := hier && ro.tiered
+		if op == "broadcast" {
+			var b int64
+			if lr == 0 {
+				b = elems * 4
+			}
+			if tiered {
+				m["broadcast.intra"] = metrics.OpVolume{Bytes: b, Msgs: 1}
+				if lr == 0 {
+					m["broadcast.inter"] = metrics.OpVolume{Bytes: b, Msgs: 1}
+				}
+			} else {
+				m["broadcast"] = metrics.OpVolume{Bytes: b, Msgs: 1}
+			}
+		} else if tiered {
+			intra, inter := tierBytes(op, elems, ro)
+			m[op+".intra"] = metrics.OpVolume{Bytes: intra, Msgs: 1}
+			if ro.leader {
+				m[op+".inter"] = metrics.OpVolume{Bytes: inter, Msgs: 1}
+			}
+		} else {
+			m[op] = metrics.OpVolume{Bytes: flatCollBytes(op, elems, ro.n), Msgs: 1}
+		}
+		out[lr] = m
+	}
+	return out
+}

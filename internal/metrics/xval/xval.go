@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"llama4d/internal/attention"
+	"llama4d/internal/comm"
 	"llama4d/internal/core"
 	"llama4d/internal/cp"
 	"llama4d/internal/data"
@@ -70,7 +71,6 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 	hd := int64(cfg.Model.HeadDim())
 	Hl := int64(cfg.Model.Hidden / topo.TP)
 	vl := int64(cfg.Model.Vocab / topo.TP)
-	world := int64(topo.World())
 	fs := int64(topo.DP * topo.CP) // FSDP group spans DP×CP (§4)
 
 	// Per-sample matmul FLOPs of one transformer block on one rank, local
@@ -86,6 +86,11 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 	case model.RecomputeSelective:
 		replay = attnPath
 	}
+
+	// With a host topology, blocking bulk collectives run hierarchically and
+	// meter under tier-split keys; nonblocking (overlap-engine) issues and
+	// the non-hierarchical ops keep flat keys.
+	hier := cfg.HostSize > 0 && comm.HierarchicalEnabled()
 
 	ex := &Expected{
 		Comm:       make([]map[string]metrics.OpVolume, len(cl.Ranks)),
@@ -110,6 +115,31 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 			addTo(m, group, op, bytesPerMsg, msgs)
 			addTo(om, group, op, bytesPerMsg, msgs)
 		}
+		// addC predicts one blocking bulk collective (allgather /
+		// reducescatter / allreduce) of elems per-rank elements: flat key
+		// and ring volume normally, ".intra"/".inter" tier keys with the
+		// two-level volumes when the group's host layout is tiered.
+		roles := make(map[*comm.Group]commRole, 4)
+		addC := func(g *comm.Group, op string, elems, msgs int64) {
+			ro, ok := roles[g]
+			if !ok {
+				hs := 0
+				if hier {
+					hs = cfg.HostSize
+				}
+				ro = roleOf(g.Ranks(), r.ID, hs)
+				roles[g] = ro
+			}
+			if !(hier && ro.tiered) {
+				add(g.Label, op, flatCollBytes(op, elems, ro.n), msgs)
+				return
+			}
+			intra, inter := tierBytes(op, elems, ro)
+			add(g.Label, op+".intra", intra, msgs)
+			if ro.leader {
+				add(g.Label, op+".inter", inter, msgs)
+			}
+		}
 		// FSDP state is partitioned into per-unit shards (embed, blocks,
 		// head); each unit runs its own collectives, so volumes — including
 		// the per-unit truncating division — are summed per unit.
@@ -124,11 +154,11 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 		// The cluster's group cache deduplicates groups by rank set, so a
 		// singleton dimension's group may alias an earlier-created one and
 		// carry its label (e.g. with DP=CP=1 the FSDP group IS the TP
-		// group). Predict against the labels the ranks actually hold.
+		// group). Predict against the labels the ranks actually hold —
+		// addC reads g.Label itself; only the flat-keyed entries (the
+		// non-hierarchical allreducemax, overlap-engine issues) use these.
 		tpG := r.Groups.TP.Label
-		cpG := r.Groups.CP.Label
 		dpG := r.Groups.FSDP.Label
-		worldG := r.Groups.World.Label
 
 		lr := r.Coord.PP
 		for _, op := range sched.Ranks[lr] {
@@ -139,18 +169,18 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 				if tp > 1 {
 					// Wo and W2 row-parallel forward all-reduces (§5.2's
 					// "four communications per layer", forward half).
-					add(tpG, "allreduce", allReduceBytes(R*dim, tp), 2*L*mbs)
+					addC(r.Groups.TP, "allreduce", R*dim, 2*L*mbs)
 					if g == 0 {
-						add(tpG, "allreduce", allReduceBytes(R*dim, tp), mbs) // vocab-parallel embed
+						addC(r.Groups.TP, "allreduce", R*dim, mbs) // vocab-parallel embed
 					}
 					if g == lastG {
 						// Distributed softmax: max, exp-sum, target-prob.
 						add(tpG, "allreducemax", allReduceBytes(R, tp), mbs)
-						add(tpG, "allreduce", allReduceBytes(R, tp), 2*mbs)
+						addC(r.Groups.TP, "allreduce", R, 2*mbs)
 					}
 				}
 				if cpN > 1 {
-					add(cpG, "allgather", allGatherBytes(R*nKVl*hd, cpN), 2*L*mbs) // gather K and V
+					addC(r.Groups.CP, "allgather", R*nKVl*hd, 2*L*mbs) // gather K and V
 				}
 				if g > 0 {
 					addP2P("p2p", "recv", p2p, 1)
@@ -166,29 +196,29 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 			case pp.Bwd:
 				if tp > 1 {
 					// Wq/Wk/Wv and W1/W3 column-parallel dx all-reduces.
-					add(tpG, "allreduce", allReduceBytes(R*dim, tp), 5*L*mbs)
+					addC(r.Groups.TP, "allreduce", R*dim, 5*L*mbs)
 					if g == lastG {
-						add(tpG, "allreduce", allReduceBytes(R*dim, tp), mbs) // head dn
+						addC(r.Groups.TP, "allreduce", R*dim, mbs) // head dn
 					}
 				}
 				if cpN > 1 {
-					add(cpG, "allreduce", allReduceBytes(S*nKVl*hd, cpN), 2*L*mbs) // reduce dK, dV
+					addC(r.Groups.CP, "allreduce", S*nKVl*hd, 2*L*mbs) // reduce dK, dV
 				}
 				// Recompute replay re-issues the forward's collectives.
 				switch cfg.Recompute {
 				case model.RecomputeFull:
 					if tp > 1 {
-						add(tpG, "allreduce", allReduceBytes(R*dim, tp), 2*L*mbs)
+						addC(r.Groups.TP, "allreduce", R*dim, 2*L*mbs)
 					}
 					if cpN > 1 {
-						add(cpG, "allgather", allGatherBytes(R*nKVl*hd, cpN), 2*L*mbs)
+						addC(r.Groups.CP, "allgather", R*nKVl*hd, 2*L*mbs)
 					}
 				case model.RecomputeSelective:
 					if tp > 1 {
-						add(tpG, "allreduce", allReduceBytes(R*dim, tp), L*mbs)
+						addC(r.Groups.TP, "allreduce", R*dim, L*mbs)
 					}
 					if cpN > 1 {
-						add(cpG, "allgather", allGatherBytes(R*nKVl*hd, cpN), 2*L*mbs)
+						addC(r.Groups.CP, "allgather", R*nKVl*hd, 2*L*mbs)
 					}
 				}
 				if g < lastG {
@@ -200,13 +230,13 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 				if cfg.ZeRO == fsdp.ZeRO2 {
 					// Per-backward gradient reduce-scatter, one per unit
 					// (Fig 4c); overlapped behind subsequent compute when
-					// Overlap.Grads.
-					addRS := add
-					if cfg.Overlap.Grads {
-						addRS = addO
-					}
+					// Overlap.Grads (nonblocking issues stay flat-keyed).
 					for _, sl := range unitLens {
-						addRS(dpG, "reducescatter", reduceScatterBytes(int64(sl)*fs, fs), 1)
+						if cfg.Overlap.Grads {
+							addO(dpG, "reducescatter", reduceScatterBytes(int64(sl)*fs, fs), 1)
+						} else {
+							addC(r.Groups.FSDP, "reducescatter", int64(sl)*fs, 1)
+						}
 					}
 				}
 				ex.FLOPs += mbs * L * (2*blkFwd + replay)
@@ -221,19 +251,19 @@ func Predict(cl *core.Cluster, steadyState bool) *Expected {
 		// ZeRO-3's re-gather of released parameters at the start of every
 		// steady-state step, which the prefetch engine issues nonblocking
 		// when Overlap.Params > 0.
-		addAG := add
-		if cfg.ZeRO == fsdp.ZeRO3 && cfg.Overlap.Params > 0 {
-			addAG = addO
-		}
 		for _, sl := range unitLens {
-			add(dpG, "reducescatter", reduceScatterBytes(int64(sl)*fs, fs), 1)
-			add(dpG, "allgather", allGatherBytes(int64(sl), fs), 1)
+			addC(r.Groups.FSDP, "reducescatter", int64(sl)*fs, 1)
+			addC(r.Groups.FSDP, "allgather", int64(sl), 1)
 			if cfg.ZeRO == fsdp.ZeRO3 && steadyState {
-				addAG(dpG, "allgather", allGatherBytes(int64(sl), fs), 1)
+				if cfg.Overlap.Params > 0 {
+					addO(dpG, "allgather", allGatherBytes(int64(sl), fs), 1)
+				} else {
+					addC(r.Groups.FSDP, "allgather", int64(sl), 1)
+				}
 			}
 		}
 		// Loss aggregation: one world all-reduce of a single float per rank.
-		add(worldG, "allreduce", allReduceBytes(1, world), 1)
+		addC(r.Groups.World, "allreduce", 1, 1)
 
 		ex.Comm[r.ID] = m
 		ex.Overlapped[r.ID] = om

@@ -24,6 +24,7 @@ type sweepCase struct {
 	rec        model.RecomputeMode
 	balanced   bool
 	gbs        int
+	host       int // Config.HostSize: 0 = flat, >0 = hierarchical collectives
 }
 
 func sweepModel() model.Config {
@@ -51,6 +52,15 @@ func sweepCases() []sweepCase {
 		{name: "4d_16rank", topo: t(2, 2, 2, 2), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO1, gbs: 4},
 		{name: "pp2_v3_balanced", topo: t(1, 1, 2, 1), v: 3, nmb: 2, nc: 2, zero: fsdp.ZeRO1, balanced: true, gbs: 4},
 		{name: "pp2_afab_ragged", topo: t(1, 1, 2, 1), v: 1, nmb: 3, nc: 1, zero: fsdp.ZeRO1, gbs: 6},
+		// Hierarchical-collective cases (appended so earlier indices stay
+		// stable for tests that pick cases by position). host4 tiles the 16
+		// ranks into 4 hosts of 4; host6 leaves a ragged last host of 4;
+		// host32 swallows the whole world into one host and must fall back
+		// to flat transport and accounting end to end.
+		{name: "4d_16rank_host4", topo: t(2, 2, 2, 2), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO1, gbs: 4, host: 4},
+		{name: "tp2_cp2_host2_zero3", topo: t(2, 2, 1, 1), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO3, gbs: 4, host: 2},
+		{name: "4d_16rank_host6_ragged", topo: t(2, 2, 2, 2), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO2, rec: model.RecomputeSelective, gbs: 4, host: 6},
+		{name: "4d_16rank_host32_flat", topo: t(2, 2, 2, 2), v: 1, nmb: 2, nc: 2, zero: fsdp.ZeRO1, gbs: 4, host: 32},
 	}
 }
 
@@ -68,6 +78,7 @@ func (sc sweepCase) config() core.Config {
 		GBS:       sc.gbs,
 		LR:        0.01,
 		Seed:      42,
+		HostSize:  sc.host,
 	}
 }
 

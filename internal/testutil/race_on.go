@@ -1,0 +1,9 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Large-world conformance sweeps consult it to cap world size — the
+// dedicated -race storm test covers the thousand-rank path, so the full grid
+// need not pay the detector's per-goroutine cost twice.
+const RaceEnabled = true
