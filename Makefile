@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-all smoke-bench test-metrics cover check
+.PHONY: all build test vet race bench bench-all smoke-bench test-metrics check-planner cover check
 
 all: check
 
@@ -32,7 +32,9 @@ race:
 # BENCH_balance.json, and the flat single-ring collectives vs the two-level
 # hierarchical transport (world × hostSize × op, impl=flat|hier, each hier
 # cell behind a pre-timing bitwise flat-equivalence guard) into
-# BENCH_comm.json. The temp files keep a go test failure from being
+# BENCH_comm.json, and the full-space auto-parallelism search (enumerated /
+# pruned / feasible census plus wall time as extra metric columns) into
+# BENCH_planner.json. The temp files keep a go test failure from being
 # masked by the pipe.
 bench:
 	$(GO) test -bench='^BenchmarkKernel' -benchmem -run='^$$' \
@@ -59,6 +61,10 @@ bench:
 		./internal/comm > BENCH_comm.txt \
 		&& $(GO) run ./cmd/benchjson -o BENCH_comm.json < BENCH_comm.txt \
 		&& rm BENCH_comm.txt
+	$(GO) test -bench='^BenchmarkPlannerSearch' -benchtime=1x -run='^$$' \
+		./internal/planner > BENCH_planner.txt \
+		&& $(GO) run ./cmd/benchjson -o BENCH_planner.json < BENCH_planner.txt \
+		&& rm BENCH_planner.txt
 
 # The paper-reproduction benchmarks (one per table/figure) plus the kernel
 # suite.
@@ -87,6 +93,14 @@ smoke-bench:
 test-metrics:
 	$(GO) test ./internal/metrics/... ./examples/...
 
+# The planner loop-closure guard: the search winner for a small world is
+# replayed through a real functional cluster and its measured comm bytes,
+# tier volumes, and FLOPs must equal the planner's closed-form prediction
+# exactly; the memory-prune configuration is pinned against the live
+# cluster's memsim view.
+check-planner:
+	$(GO) test -run 'TestSearchWinnerSpotCheckExact|TestMemConfigPinnedToLiveCluster' ./internal/planner
+
 # Per-package coverage summary plus the total (the number quoted in
 # README.md). cover.out is left behind for `go tool cover -html`.
 cover:
@@ -99,4 +113,4 @@ cover:
 # the race detector (all collectives and the ft subsystem exercise real
 # cross-goroutine communication), run the measured-vs-modeled gate, and
 # smoke the kernel benchmarks' correctness guards.
-check: build vet race test-metrics smoke-bench
+check: build vet race test-metrics smoke-bench check-planner

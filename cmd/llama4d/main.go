@@ -7,7 +7,7 @@
 //
 // where <experiment> is one of: table2, fig2, fig3, fig4, fig6, fig8, fig9,
 // fig10, fig11, fig12, fig13, fig14, e2e, numerics, train, losscurve, hw,
-// goodput, metrics, overlap, serve, or all.
+// goodput, metrics, overlap, serve, balance, planner, or all.
 package main
 
 import (
@@ -61,11 +61,12 @@ var experiments = map[string]func(){
 	"overlap":   overlapStudy,
 	"serve":     serveStudy,
 	"balance":   balanceStudy,
+	"planner":   plannerStudy,
 }
 
 var order = []string{"table2", "fig2", "fig3", "fig4", "fig6", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "e2e", "numerics", "train", "losscurve", "hw", "goodput",
-	"metrics", "overlap", "serve", "balance"}
+	"metrics", "overlap", "serve", "balance", "planner"}
 
 func main() {
 	if len(os.Args) != 2 {
@@ -275,7 +276,7 @@ func fig10() {
 	fmt.Printf("max: no-balance %.1f GiB, balance %.1f GiB (paper: ≈5 GB saved)\n",
 		memsim.MaxTotalGiB(unbal), memsim.MaxTotalGiB(bal))
 
-	sim := func(layers int, balanced, recompute bool) float64 {
+	sim := func(layers int, balanced bool, recompute model.RecomputeMode) float64 {
 		ts := engine.TrainSim{
 			Cost:  cost.Default(),
 			Model: func() model.Config { c := cfg; c.NLayers = layers; return c }(),
@@ -289,7 +290,7 @@ func fig10() {
 		}
 		return rep.TFLOPsPerGPU
 	}
-	simTime := func(layers int, balanced, recompute bool) float64 {
+	simTime := func(layers int, balanced bool, recompute model.RecomputeMode) float64 {
 		ts := engine.TrainSim{
 			Cost:  cost.Default(),
 			Model: func() model.Config { c := cfg; c.NLayers = layers; return c }(),
@@ -303,14 +304,14 @@ func fig10() {
 		}
 		return rep.StepTime
 	}
-	a := sim(28, false, true)
-	b := sim(28, false, false)
-	c := sim(26, true, false)
+	a := sim(28, false, model.RecomputeFull)
+	b := sim(28, false, model.RecomputeNone)
+	c := sim(26, true, model.RecomputeNone)
 	fmt.Printf("TFLOPs/GPU: no-balance+recompute %.0f | no-balance %.0f | balance %.0f\n", a, b, c)
 	// The paper's +6.5% is a throughput (step time) gain: the 126-layer
 	// balanced placement removes the heavy last stage from the critical path.
-	speedup := simTime(28, false, false)/simTime(26, true, false) - 1
-	recoup := simTime(28, false, true)/simTime(26, true, false) - 1
+	speedup := simTime(28, false, model.RecomputeNone)/simTime(26, true, model.RecomputeNone) - 1
+	recoup := simTime(28, false, model.RecomputeFull)/simTime(26, true, model.RecomputeNone) - 1
 	fmt.Printf("step-time speedup: balance vs no-balance %+.1f%%; vs no-balance+recompute %+.1f%% (paper: +6.5%%, +17.5%%)\n",
 		100*speedup, 100*recoup)
 }
@@ -877,4 +878,25 @@ func train() {
 		fmt.Printf("  step %d: loss %.4f\n", step, loss)
 	}
 	fmt.Println("(document-mask attention, FSDP ZeRO-1, flexible PP, all-gather CP, TP=2)")
+}
+
+// plannerStudy runs the full-space auto-parallelism search for the
+// production 405B request at both Table 2 sequence lengths, printing the
+// enumeration census and the top-ranked plans with predicted HFU, memory,
+// bubble, and inter-host traffic.
+func plannerStudy() {
+	fmt.Println("full-space parallelism search: 405B, 16K GPUs, 16M-token batches")
+	for _, seq := range []int{8192, 131072} {
+		req := planner.Production405B(seq)
+		plans, st := planner.SearchWithStats(req)
+		fmt.Printf("seq %d: %d enumerated, %d shape-pruned, %d memory-pruned, %d feasible\n",
+			seq, st.Enumerated, st.PrunedShape, st.PrunedMemory, st.Feasible)
+		for i, p := range plans {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  %d. %v\n", i+1, p)
+		}
+	}
+	fmt.Println("(Table 2's rows rank first: step time + the §5.1 near-tie decision chain)")
 }

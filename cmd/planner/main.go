@@ -1,9 +1,13 @@
-// Command planner searches 4D parallelism configurations for a training job
-// and prints the ranked feasible plans (§5 / Table 2 as a tool).
+// Command planner searches the full 4D-parallelism × execution-knob space
+// for a training job and prints the ranked feasible plans (§5 / Table 2 as
+// a tool): every (tp, cp, pp, dp, virtual stages, ZeRO mode, recomputation,
+// micro-batch, overlap) point that fits the memory budget, priced with the
+// xval closed-form cost model including hierarchical NVLink/RoCE tiers.
 //
 // Usage:
 //
 //	planner [-seq N] [-ngpu N] [-tokens N] [-model 405b|70b|8b] [-top K]
+//	        [-host N] [-band F] [-stats]
 package main
 
 import (
@@ -21,11 +25,16 @@ func main() {
 	tokens := flag.Int64("tokens", 16*1024*1024, "global batch size in tokens")
 	modelName := flag.String("model", "405b", "model size: 405b, 70b, 8b")
 	top := flag.Int("top", 10, "show the top K plans")
+	host := flag.Int("host", 8, "ranks per host for tiered collective pricing (0 = flat)")
+	band := flag.Float64("band", 0, "near-tie step-time band for the network-aware ranking (0 = default 0.12, negative = off)")
+	stats := flag.Bool("stats", false, "print enumeration/pruning statistics")
 	flag.Parse()
 
 	req := planner.Production405B(*seq)
 	req.NGPUs = *ngpu
 	req.GlobalTokens = *tokens
+	req.HostSize = *host
+	req.TieBand = *band
 	switch *modelName {
 	case "405b":
 		req.Model = model.Llama3_405B()
@@ -45,12 +54,16 @@ func main() {
 		fmt.Println("paper-style plan: infeasible:", err)
 	}
 
-	plans := planner.Search(req)
+	plans, st := planner.SearchWithStats(req)
+	if *stats {
+		fmt.Printf("search space: %d enumerated, %d shape-pruned, %d memory-pruned, %d feasible\n",
+			st.Enumerated, st.PrunedShape, st.PrunedMemory, st.Feasible)
+	}
 	if len(plans) == 0 {
 		fmt.Println("no feasible configuration")
 		os.Exit(1)
 	}
-	fmt.Printf("top %d of %d feasible plans by simulated throughput:\n", min(*top, len(plans)), len(plans))
+	fmt.Printf("top %d of %d feasible plans (step time + §5.1 near-tie chain):\n", min(*top, len(plans)), len(plans))
 	for i, p := range plans {
 		if i >= *top {
 			break

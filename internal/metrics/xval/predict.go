@@ -1,0 +1,452 @@
+package xval
+
+import (
+	"fmt"
+
+	"llama4d/internal/comm"
+	"llama4d/internal/core"
+	"llama4d/internal/fsdp"
+	"llama4d/internal/metrics"
+	"llama4d/internal/model"
+	"llama4d/internal/pp"
+)
+
+// This file is the cluster-free face of the predictor: everything Predict
+// needs about a rank is captured in a rankView, and a view can be built
+// either from a live core.Rank (Predict) or from the configuration alone
+// (PredictConfig / PredictRank) — group memberships from the topology
+// arithmetic, group labels by replaying the cluster cache's
+// first-creation-wins rule, and FSDP unit shard lengths from the TP-sharded
+// parameter shapes. The conformance sweep asserts both construction paths
+// produce identical predictions, which is what lets the planner price
+// configurations it never instantiates.
+
+// groupView is the slice of process-group state the predictor reads: the
+// member rank list (ascending global ids) and the label the cluster's group
+// cache gave the set.
+type groupView struct {
+	label string
+	ranks []int
+}
+
+// rankView is one rank's prediction inputs.
+type rankView struct {
+	id int
+	pp int // pipeline-stage coordinate
+
+	tp, cp, fsdp, world groupView
+	ppRanks             []int // pipeline group, stage order
+
+	shardLens []int // per-FSDP-unit flat shard lengths, unit order
+}
+
+// RankPrediction is the analytic per-step prediction for a single rank —
+// the per-rank slice of Expected plus the host-tier byte split the planner
+// ranks by.
+type RankPrediction struct {
+	// Comm and Overlapped match Expected.Comm[rank] / Expected.Overlapped[rank].
+	Comm       map[string]metrics.OpVolume
+	Overlapped map[string]metrics.OpVolume
+	// FLOPs is the nominal matmul FLOP count this rank itself executes;
+	// summed over ranks it equals Expected.FLOPs.
+	FLOPs int64
+	// IntraBytes/InterBytes split the rank's issued bytes into
+	// NVLink-island traffic and cross-host traffic under Config.HostSize:
+	// tiered collectives split by the ".intra"/".inter" meter formulas,
+	// flat collectives land wholly on one side by the group's host span
+	// (a flat ring over several hosts pays the cross-host link on every
+	// hop), and pipeline P2P classifies by the peer's host. With
+	// HostSize == 0 everything is intra.
+	IntraBytes int64
+	InterBytes int64
+	// P2PIntraBytes/P2PInterBytes are the pipeline point-to-point subset of
+	// the split above. The planner's near-tie ranking discriminates on
+	// InterBytes − P2PInterBytes: P2P traffic is pre-posted/overlapped and
+	// pairwise, while bulk collectives contend for the RoCE fabric.
+	P2PIntraBytes int64
+	P2PInterBytes int64
+}
+
+// predictRank computes one rank's exact step prediction from its view.
+func predictRank(cfg core.Config, sched *pp.Schedule, counts []int, rv rankView, steadyState bool) *RankPrediction {
+	topo := cfg.Topo
+	lastG := sched.Stages() - 1
+
+	mbs := int64(cfg.MBS())
+	R := int64(cfg.Seq / topo.CP) // local rows per sample under CP
+	S := int64(cfg.Seq)           // K/V rows after the CP all-gather
+	dim := int64(cfg.Model.Dim)
+	tp := int64(topo.TP)
+	cpN := int64(topo.CP)
+	nHl := int64(cfg.Model.NHeads / topo.TP)
+	nKVl := int64(cfg.Model.NKVHeads / topo.TP)
+	hd := int64(cfg.Model.HeadDim())
+	Hl := int64(cfg.Model.Hidden / topo.TP)
+	vl := int64(cfg.Model.Vocab / topo.TP)
+	fs := int64(topo.DP * topo.CP) // FSDP group spans DP×CP (§4)
+
+	// Per-sample matmul FLOPs of one transformer block on one rank, local
+	// shard dimensions. The attention-path share (Wq/Wk/Wv, the per-head
+	// attention kernel, Wo) is what selective recomputation replays.
+	attnPath := 2*R*dim*(nHl*hd) + 2*2*R*dim*(nKVl*hd) + 4*nHl*R*S*hd + 2*R*(nHl*hd)*dim
+	blkFwd := attnPath + 6*R*dim*Hl
+	headFwd := 2 * R * dim * vl
+	var replay int64
+	switch cfg.Recompute {
+	case model.RecomputeFull:
+		replay = blkFwd
+	case model.RecomputeSelective:
+		replay = attnPath
+	}
+
+	// With a host topology, blocking bulk collectives run hierarchically and
+	// meter under tier-split keys; nonblocking (overlap-engine) issues and
+	// the non-hierarchical ops keep flat keys.
+	hier := cfg.HostSize > 0 && comm.HierarchicalEnabled()
+
+	rp := &RankPrediction{
+		Comm:       make(map[string]metrics.OpVolume),
+		Overlapped: make(map[string]metrics.OpVolume),
+	}
+	addTo := func(dst map[string]metrics.OpVolume, group, op string, bytesPerMsg, msgs int64) {
+		v := dst[group+"/"+op]
+		v.Bytes += bytesPerMsg * msgs
+		v.Msgs += msgs
+		dst[group+"/"+op] = v
+	}
+	add := func(group, op string, bytesPerMsg, msgs int64) {
+		addTo(rp.Comm, group, op, bytesPerMsg, msgs)
+	}
+	// spans reports whether a rank set crosses a host boundary.
+	spans := func(ranks []int) bool {
+		if cfg.HostSize <= 0 {
+			return false
+		}
+		h0 := ranks[0] / cfg.HostSize
+		for _, r := range ranks[1:] {
+			if r/cfg.HostSize != h0 {
+				return true
+			}
+		}
+		return false
+	}
+	// tier books flat-ring bytes wholly onto the group's side of the host
+	// boundary.
+	tier := func(ranks []int, bytes int64) {
+		if spans(ranks) {
+			rp.InterBytes += bytes
+		} else {
+			rp.IntraBytes += bytes
+		}
+	}
+	// addF predicts one flat-keyed (non-hierarchical or nonblocking)
+	// collective already reduced to its per-issue byte volume, classifying
+	// the tier by the group's host span.
+	addF := func(dst map[string]metrics.OpVolume, gv *groupView, op string, bytesPerMsg, msgs int64) {
+		addTo(rp.Comm, gv.label, op, bytesPerMsg, msgs)
+		if dst != nil {
+			addTo(dst, gv.label, op, bytesPerMsg, msgs)
+		}
+		tier(gv.ranks, bytesPerMsg*msgs)
+	}
+	// addC predicts one blocking bulk collective (allgather / reducescatter
+	// / allreduce) of elems per-rank elements: flat key and ring volume
+	// normally, ".intra"/".inter" tier keys with the two-level volumes when
+	// the group's host layout is tiered.
+	roles := make(map[string]commRole, 4)
+	addC := func(gv *groupView, op string, elems, msgs int64) {
+		ro, ok := roles[gv.label]
+		if !ok {
+			hs := 0
+			if hier {
+				hs = cfg.HostSize
+			}
+			ro = roleOf(gv.ranks, rv.id, hs)
+			roles[gv.label] = ro
+		}
+		if !(hier && ro.tiered) {
+			addF(nil, gv, op, flatCollBytes(op, elems, ro.n), msgs)
+			return
+		}
+		intra, inter := tierBytes(op, elems, ro)
+		add(gv.label, op+".intra", intra, msgs)
+		rp.IntraBytes += intra * msgs
+		if ro.leader {
+			add(gv.label, op+".inter", inter, msgs)
+			rp.InterBytes += inter * msgs
+		}
+	}
+	// FSDP state is partitioned into per-unit shards (embed, blocks, head);
+	// each unit runs its own collectives, so volumes — including the
+	// per-unit truncating division — are summed per unit.
+	unitLens := rv.shardLens
+	p2p := 4 * mbs * R * dim // one packed micro-batch activation message
+	// Pipeline P2P: pre-posted recvs / async sends when Overlap.P2P > 0;
+	// classified by the peer's host either way.
+	addP2P := func(op string, peer int) {
+		addTo(rp.Comm, "p2p", op, p2p, 1)
+		if cfg.Overlap.P2P > 0 {
+			addTo(rp.Overlapped, "p2p", op, p2p, 1)
+		}
+		tier([]int{rv.id, peer}, p2p)
+		if spans([]int{rv.id, peer}) {
+			rp.P2PInterBytes += p2p
+		} else {
+			rp.P2PIntraBytes += p2p
+		}
+	}
+	ppPeer := func(g int) int { return rv.ppRanks[g%len(rv.ppRanks)] }
+
+	lr := rv.pp
+	for _, op := range sched.Ranks[lr] {
+		g := sched.GlobalStage(lr, op.Stage)
+		L := int64(counts[g])
+		switch op.Kind {
+		case pp.Fwd:
+			if tp > 1 {
+				// Wo and W2 row-parallel forward all-reduces (§5.2's
+				// "four communications per layer", forward half).
+				addC(&rv.tp, "allreduce", R*dim, 2*L*mbs)
+				if g == 0 {
+					addC(&rv.tp, "allreduce", R*dim, mbs) // vocab-parallel embed
+				}
+				if g == lastG {
+					// Distributed softmax: max, exp-sum, target-prob.
+					addF(nil, &rv.tp, "allreducemax", allReduceBytes(R, tp), mbs)
+					addC(&rv.tp, "allreduce", R, 2*mbs)
+				}
+			}
+			if cpN > 1 {
+				addC(&rv.cp, "allgather", R*nKVl*hd, 2*L*mbs) // gather K and V
+			}
+			if g > 0 {
+				addP2P("recv", ppPeer(g-1))
+			}
+			if g < lastG {
+				addP2P("send", ppPeer(g+1))
+			}
+			rp.FLOPs += mbs * L * blkFwd
+			if g == lastG {
+				rp.FLOPs += mbs * headFwd
+			}
+
+		case pp.Bwd:
+			if tp > 1 {
+				// Wq/Wk/Wv and W1/W3 column-parallel dx all-reduces.
+				addC(&rv.tp, "allreduce", R*dim, 5*L*mbs)
+				if g == lastG {
+					addC(&rv.tp, "allreduce", R*dim, mbs) // head dn
+				}
+			}
+			if cpN > 1 {
+				addC(&rv.cp, "allreduce", S*nKVl*hd, 2*L*mbs) // reduce dK, dV
+			}
+			// Recompute replay re-issues the forward's collectives.
+			switch cfg.Recompute {
+			case model.RecomputeFull:
+				if tp > 1 {
+					addC(&rv.tp, "allreduce", R*dim, 2*L*mbs)
+				}
+				if cpN > 1 {
+					addC(&rv.cp, "allgather", R*nKVl*hd, 2*L*mbs)
+				}
+			case model.RecomputeSelective:
+				if tp > 1 {
+					addC(&rv.tp, "allreduce", R*dim, L*mbs)
+				}
+				if cpN > 1 {
+					addC(&rv.cp, "allgather", R*nKVl*hd, 2*L*mbs)
+				}
+			}
+			if g < lastG {
+				addP2P("recv", ppPeer(g+1))
+			}
+			if g > 0 {
+				addP2P("send", ppPeer(g-1))
+			}
+			if cfg.ZeRO == fsdp.ZeRO2 {
+				// Per-backward gradient reduce-scatter, one per unit
+				// (Fig 4c); overlapped behind subsequent compute when
+				// Overlap.Grads (nonblocking issues stay flat-keyed).
+				for _, sl := range unitLens {
+					if cfg.Overlap.Grads {
+						addF(rp.Overlapped, &rv.fsdp, "reducescatter", reduceScatterBytes(int64(sl)*fs, fs), 1)
+					} else {
+						addC(&rv.fsdp, "reducescatter", int64(sl)*fs, 1)
+					}
+				}
+			}
+			rp.FLOPs += mbs * L * (2*blkFwd + replay)
+			if g == lastG {
+				rp.FLOPs += mbs * 2 * headFwd
+			}
+		}
+	}
+
+	// Step end, per unit: unconditional gradient reduce-scatter + parameter
+	// all-gather (fsdp.Shard.Step) — always blocking — plus ZeRO-3's
+	// re-gather of released parameters at the start of every steady-state
+	// step, which the prefetch engine issues nonblocking when
+	// Overlap.Params > 0.
+	for _, sl := range unitLens {
+		addC(&rv.fsdp, "reducescatter", int64(sl)*fs, 1)
+		addC(&rv.fsdp, "allgather", int64(sl), 1)
+		if cfg.ZeRO == fsdp.ZeRO3 && steadyState {
+			if cfg.Overlap.Params > 0 {
+				addF(rp.Overlapped, &rv.fsdp, "allgather", allGatherBytes(int64(sl), fs), 1)
+			} else {
+				addC(&rv.fsdp, "allgather", int64(sl), 1)
+			}
+		}
+	}
+	// Loss aggregation: one world all-reduce of a single float per rank.
+	addC(&rv.world, "allreduce", 1, 1)
+	return rp
+}
+
+// cacheLabel reproduces the cluster group cache's label for a rank set
+// without the cache: groups are deduplicated by rank set with
+// first-creation-wins labels, ranks are built in ascending id order with
+// slots in TP, CP, PP, FSDP, World order, and a set's first creator is its
+// minimum member (every creator is a member). So the label is the first of
+// the minimum member's five slot sets that equals the set.
+func cacheLabel(topo core.Topology, s []int) string {
+	m := s[0]
+	switch {
+	case equalRanks(topo.TPGroupRanks(m), s):
+		return "tp"
+	case equalRanks(topo.CPGroupRanks(m), s):
+		return "cp"
+	case equalRanks(topo.PPGroupRanks(m), s):
+		return "pp"
+	case equalRanks(topo.FSDPGroupRanks(m), s):
+		return "dp"
+	}
+	return "world"
+}
+
+func equalRanks(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ConfigShardLens computes the per-unit FSDP shard lengths of pipeline rank
+// ppr from the configuration alone: unit element counts follow the
+// TP-sharded parameter shapes (vocab-parallel embedding and head,
+// column/row-parallel projections, replicated norms), each padded up to a
+// multiple of the DP×CP group size exactly like fsdp.New.
+func ConfigShardLens(cfg core.Config, sched *pp.Schedule, counts []int, ppr int) []int {
+	m := cfg.Model
+	tp := cfg.Topo.TP
+	fs := cfg.Topo.DP * cfg.Topo.CP
+	hd := m.HeadDim()
+	embed := (m.Vocab / tp) * m.Dim
+	block := 2*m.Dim + // the two replicated RMSNorm gains
+		m.Dim*(m.NHeads/tp)*hd + 2*m.Dim*(m.NKVHeads/tp)*hd + // Wq, Wk, Wv
+		(m.NHeads/tp)*hd*m.Dim + // Wo
+		3*m.Dim*(m.Hidden/tp) // W1, W3, W2
+	head := m.Dim + m.Dim*(m.Vocab/tp) // final norm + projection
+	shard := func(elems int) int { return (elems + fs - 1) / fs }
+	lastG := sched.Stages() - 1
+	var out []int
+	for vs := 0; vs < sched.V; vs++ {
+		g := sched.GlobalStage(ppr, vs)
+		if g == 0 {
+			out = append(out, shard(embed))
+		}
+		for i := 0; i < counts[g]; i++ {
+			out = append(out, shard(block))
+		}
+		if g == lastG {
+			out = append(out, shard(head))
+		}
+	}
+	return out
+}
+
+// configRankView derives one rank's prediction view from the configuration.
+func configRankView(cfg core.Config, sched *pp.Schedule, counts []int, all []int, id int) rankView {
+	topo := cfg.Topo
+	gv := func(ranks []int) groupView {
+		return groupView{label: cacheLabel(topo, ranks), ranks: ranks}
+	}
+	return rankView{
+		id:        id,
+		pp:        topo.Coords(id).PP,
+		tp:        gv(topo.TPGroupRanks(id)),
+		cp:        gv(topo.CPGroupRanks(id)),
+		fsdp:      gv(topo.FSDPGroupRanks(id)),
+		world:     groupView{label: cacheLabel(topo, all), ranks: all},
+		ppRanks:   topo.PPGroupRanks(id),
+		shardLens: ConfigShardLens(cfg, sched, counts, topo.Coords(id).PP),
+	}
+}
+
+// PredictRank computes the exact per-step prediction of one rank from the
+// configuration alone — no cluster is built. The planner prices candidate
+// configurations with it: Comm/FLOPs follow the identical arithmetic the
+// conformance sweep pins against measured clusters, and the
+// IntraBytes/InterBytes split is the network-tier volume the §5.1 reasoning
+// minimises. cfg must be a valid core.Config (Validate passes).
+func PredictRank(cfg core.Config, rank int, steadyState bool) *RankPrediction {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("xval: PredictRank on invalid config: %v", err))
+	}
+	sched := pp.NewFlexible(cfg.Topo.PP, cfg.V, cfg.NMB, cfg.NC)
+	counts := pp.StageLayerCounts(cfg.Model.NLayers, sched.Stages(), cfg.Balanced)
+	all := allWorldRanks(cfg.Topo.World())
+	return predictRank(cfg, sched, counts, configRankView(cfg, sched, counts, all, rank), steadyState)
+}
+
+// PredictConfig is Predict from the configuration alone: the per-rank
+// predictions of every rank of the world, byte-identical to what Predict
+// returns for a live cluster of the same configuration (the conformance
+// sweep asserts this). Note Expected.FLOPs is a world total in int64 — use
+// PredictRank for worlds whose total would overflow (405B-scale step FLOPs
+// exceed int64 around 10k ranks).
+func PredictConfig(cfg core.Config, steadyState bool) *Expected {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("xval: PredictConfig on invalid config: %v", err))
+	}
+	sched := pp.NewFlexible(cfg.Topo.PP, cfg.V, cfg.NMB, cfg.NC)
+	counts := pp.StageLayerCounts(cfg.Model.NLayers, sched.Stages(), cfg.Balanced)
+	world := cfg.Topo.World()
+	all := allWorldRanks(world)
+	ex := newExpected(world)
+	for id := 0; id < world; id++ {
+		ex.fill(id, predictRank(cfg, sched, counts, configRankView(cfg, sched, counts, all, id), steadyState))
+	}
+	return ex
+}
+
+func allWorldRanks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func newExpected(world int) *Expected {
+	return &Expected{
+		Comm:       make([]map[string]metrics.OpVolume, world),
+		Overlapped: make([]map[string]metrics.OpVolume, world),
+		IntraBytes: make([]int64, world),
+		InterBytes: make([]int64, world),
+	}
+}
+
+func (ex *Expected) fill(id int, rp *RankPrediction) {
+	ex.Comm[id] = rp.Comm
+	ex.Overlapped[id] = rp.Overlapped
+	ex.IntraBytes[id] = rp.IntraBytes
+	ex.InterBytes[id] = rp.InterBytes
+	ex.FLOPs += rp.FLOPs
+}

@@ -1,0 +1,74 @@
+package xval
+
+import (
+	"reflect"
+	"testing"
+
+	"llama4d/internal/pp"
+)
+
+// TestPredictConfigMatchesLiveCluster pins the cluster-free prediction path
+// against the live-cluster one: for every sweep configuration and both step
+// regimes, PredictConfig must reproduce Predict byte-for-byte — same comm
+// maps, same overlap subsets, same tier splits, same FLOP total. The two
+// paths share predictRank, so this test guards the view derivation
+// (configRankView, cacheLabel, ConfigShardLens) that the planner relies on
+// without ever constructing ranks.
+func TestPredictConfigMatchesLiveCluster(t *testing.T) {
+	for _, sc := range sweepCases() {
+		t.Run(sc.name, func(t *testing.T) {
+			cfg := sc.config()
+			cl, _ := runMeasuredSteps(t, sc)
+			for _, steady := range []bool{false, true} {
+				live := Predict(cl, steady)
+				free := PredictConfig(cfg, steady)
+				if !reflect.DeepEqual(live, free) {
+					t.Errorf("steady=%v: PredictConfig diverges from Predict", steady)
+					for r := range live.Comm {
+						if !reflect.DeepEqual(live.Comm[r], free.Comm[r]) {
+							t.Errorf("rank %d comm: live %+v, config %+v", r, live.Comm[r], free.Comm[r])
+						}
+						if !reflect.DeepEqual(live.Overlapped[r], free.Overlapped[r]) {
+							t.Errorf("rank %d overlapped: live %+v, config %+v", r, live.Overlapped[r], free.Overlapped[r])
+						}
+						if live.IntraBytes[r] != free.IntraBytes[r] || live.InterBytes[r] != free.InterBytes[r] {
+							t.Errorf("rank %d tiers: live (%d,%d), config (%d,%d)", r,
+								live.IntraBytes[r], live.InterBytes[r], free.IntraBytes[r], free.InterBytes[r])
+						}
+					}
+					if live.FLOPs != free.FLOPs {
+						t.Errorf("FLOPs: live %d, config %d", live.FLOPs, free.FLOPs)
+					}
+				}
+				for _, r := range cl.Ranks {
+					rp := PredictRank(cfg, r.ID, steady)
+					if !reflect.DeepEqual(rp.Comm, live.Comm[r.ID]) {
+						t.Errorf("steady=%v PredictRank(%d) comm diverges: %+v vs %+v",
+							steady, r.ID, rp.Comm, live.Comm[r.ID])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConfigShardLensMatchesLiveShards asserts the closed-form FSDP unit
+// shard lengths equal what the constructed cluster actually allocated, for
+// every rank of every sweep case.
+func TestConfigShardLensMatchesLiveShards(t *testing.T) {
+	for _, sc := range sweepCases() {
+		t.Run(sc.name, func(t *testing.T) {
+			cl, _ := runMeasuredSteps(t, sc)
+			cfg := cl.Cfg
+			counts := pp.StageLayerCounts(cfg.Model.NLayers, cl.Sched.Stages(), cfg.Balanced)
+			for _, r := range cl.Ranks {
+				want := r.Shard.ShardLens()
+				got := ConfigShardLens(cfg, cl.Sched, counts, r.Coord.PP)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("rank %d (pp=%d): config shard lens %v, live %v",
+						r.ID, r.Coord.PP, got, want)
+				}
+			}
+		})
+	}
+}

@@ -17,7 +17,6 @@ import (
 	"llama4d/internal/core"
 	"llama4d/internal/cp"
 	"llama4d/internal/data"
-	"llama4d/internal/fsdp"
 	"llama4d/internal/metrics"
 	"llama4d/internal/model"
 	"llama4d/internal/pp"
@@ -37,6 +36,11 @@ type Expected struct {
 	// Step-end collectives (fsdp.Shard.Step) are always blocking. Empty
 	// maps when the overlap engine is disabled.
 	Overlapped []map[string]metrics.OpVolume
+	// IntraBytes[rank] / InterBytes[rank] split each rank's predicted
+	// issued bytes by host tier (see RankPrediction); all-intra when the
+	// configuration has no host topology.
+	IntraBytes []int64
+	InterBytes []int64
 	// FLOPs is the predicted world-total nominal matmul FLOP count.
 	FLOPs int64
 }
@@ -50,223 +54,38 @@ func reduceScatterBytes(n, size int64) int64 { return n * 4 * (size - 1) / size 
 
 // Predict computes the exact expected communication volumes and FLOPs of one
 // training step of the cluster. steadyState distinguishes steps after the
-// first: ZeRO-3 releases parameters at the end of every step, so steps ≥ 1
+// first: ZeRO-3 releases parameters at the end of every step, so steps >= 1
 // pay a parameter all-gather that step 0 (freshly constructed, replicas
 // already materialised) does not.
+//
+// The per-rank arithmetic lives in predictRank (predict.go); Predict reads
+// each rank's view — group memberships, cache-assigned labels, FSDP unit
+// shard lengths — out of the live cluster, while PredictConfig derives the
+// identical views from the configuration alone.
 func Predict(cl *core.Cluster, steadyState bool) *Expected {
 	cfg := cl.Cfg
-	topo := cfg.Topo
 	sched := cl.Sched
 	counts := pp.StageLayerCounts(cfg.Model.NLayers, sched.Stages(), cfg.Balanced)
-	lastG := sched.Stages() - 1
-
-	mbs := int64(cfg.MBS())
-	R := int64(cfg.Seq / topo.CP) // local rows per sample under CP
-	S := int64(cfg.Seq)           // K/V rows after the CP all-gather
-	dim := int64(cfg.Model.Dim)
-	tp := int64(topo.TP)
-	cpN := int64(topo.CP)
-	nHl := int64(cfg.Model.NHeads / topo.TP)
-	nKVl := int64(cfg.Model.NKVHeads / topo.TP)
-	hd := int64(cfg.Model.HeadDim())
-	Hl := int64(cfg.Model.Hidden / topo.TP)
-	vl := int64(cfg.Model.Vocab / topo.TP)
-	fs := int64(topo.DP * topo.CP) // FSDP group spans DP×CP (§4)
-
-	// Per-sample matmul FLOPs of one transformer block on one rank, local
-	// shard dimensions. The attention-path share (Wq/Wk/Wv, the per-head
-	// attention kernel, Wo) is what selective recomputation replays.
-	attnPath := 2*R*dim*(nHl*hd) + 2*2*R*dim*(nKVl*hd) + 4*nHl*R*S*hd + 2*R*(nHl*hd)*dim
-	blkFwd := attnPath + 6*R*dim*Hl
-	headFwd := 2 * R * dim * vl
-	var replay int64
-	switch cfg.Recompute {
-	case model.RecomputeFull:
-		replay = blkFwd
-	case model.RecomputeSelective:
-		replay = attnPath
-	}
-
-	// With a host topology, blocking bulk collectives run hierarchically and
-	// meter under tier-split keys; nonblocking (overlap-engine) issues and
-	// the non-hierarchical ops keep flat keys.
-	hier := cfg.HostSize > 0 && comm.HierarchicalEnabled()
-
-	ex := &Expected{
-		Comm:       make([]map[string]metrics.OpVolume, len(cl.Ranks)),
-		Overlapped: make([]map[string]metrics.OpVolume, len(cl.Ranks)),
-	}
+	ex := newExpected(len(cl.Ranks))
 	for _, r := range cl.Ranks {
-		m := make(map[string]metrics.OpVolume)
-		om := make(map[string]metrics.OpVolume)
-		addTo := func(dst map[string]metrics.OpVolume, group, op string, bytesPerMsg, msgs int64) {
-			v := dst[group+"/"+op]
-			v.Bytes += bytesPerMsg * msgs
-			v.Msgs += msgs
-			dst[group+"/"+op] = v
-		}
-		add := func(group, op string, bytesPerMsg, msgs int64) {
-			addTo(m, group, op, bytesPerMsg, msgs)
-		}
-		// addO predicts traffic that the overlap engine issues nonblocking:
-		// it lands in Comm (handles meter identically to blocking ops) AND
-		// in the Overlapped breakdown.
-		addO := func(group, op string, bytesPerMsg, msgs int64) {
-			addTo(m, group, op, bytesPerMsg, msgs)
-			addTo(om, group, op, bytesPerMsg, msgs)
-		}
-		// addC predicts one blocking bulk collective (allgather /
-		// reducescatter / allreduce) of elems per-rank elements: flat key
-		// and ring volume normally, ".intra"/".inter" tier keys with the
-		// two-level volumes when the group's host layout is tiered.
-		roles := make(map[*comm.Group]commRole, 4)
-		addC := func(g *comm.Group, op string, elems, msgs int64) {
-			ro, ok := roles[g]
-			if !ok {
-				hs := 0
-				if hier {
-					hs = cfg.HostSize
-				}
-				ro = roleOf(g.Ranks(), r.ID, hs)
-				roles[g] = ro
-			}
-			if !(hier && ro.tiered) {
-				add(g.Label, op, flatCollBytes(op, elems, ro.n), msgs)
-				return
-			}
-			intra, inter := tierBytes(op, elems, ro)
-			add(g.Label, op+".intra", intra, msgs)
-			if ro.leader {
-				add(g.Label, op+".inter", inter, msgs)
-			}
-		}
-		// FSDP state is partitioned into per-unit shards (embed, blocks,
-		// head); each unit runs its own collectives, so volumes — including
-		// the per-unit truncating division — are summed per unit.
-		unitLens := r.Shard.ShardLens()
-		p2p := 4 * mbs * R * dim // one packed micro-batch activation message
-		// Pipeline P2P: pre-posted recvs / async sends when Overlap.P2P > 0.
-		addP2P := add
-		if cfg.Overlap.P2P > 0 {
-			addP2P = addO
-		}
-
 		// The cluster's group cache deduplicates groups by rank set, so a
 		// singleton dimension's group may alias an earlier-created one and
 		// carry its label (e.g. with DP=CP=1 the FSDP group IS the TP
-		// group). Predict against the labels the ranks actually hold —
-		// addC reads g.Label itself; only the flat-keyed entries (the
-		// non-hierarchical allreducemax, overlap-engine issues) use these.
-		tpG := r.Groups.TP.Label
-		dpG := r.Groups.FSDP.Label
-
-		lr := r.Coord.PP
-		for _, op := range sched.Ranks[lr] {
-			g := sched.GlobalStage(lr, op.Stage)
-			L := int64(counts[g])
-			switch op.Kind {
-			case pp.Fwd:
-				if tp > 1 {
-					// Wo and W2 row-parallel forward all-reduces (§5.2's
-					// "four communications per layer", forward half).
-					addC(r.Groups.TP, "allreduce", R*dim, 2*L*mbs)
-					if g == 0 {
-						addC(r.Groups.TP, "allreduce", R*dim, mbs) // vocab-parallel embed
-					}
-					if g == lastG {
-						// Distributed softmax: max, exp-sum, target-prob.
-						add(tpG, "allreducemax", allReduceBytes(R, tp), mbs)
-						addC(r.Groups.TP, "allreduce", R, 2*mbs)
-					}
-				}
-				if cpN > 1 {
-					addC(r.Groups.CP, "allgather", R*nKVl*hd, 2*L*mbs) // gather K and V
-				}
-				if g > 0 {
-					addP2P("p2p", "recv", p2p, 1)
-				}
-				if g < lastG {
-					addP2P("p2p", "send", p2p, 1)
-				}
-				ex.FLOPs += mbs * L * blkFwd
-				if g == lastG {
-					ex.FLOPs += mbs * headFwd
-				}
-
-			case pp.Bwd:
-				if tp > 1 {
-					// Wq/Wk/Wv and W1/W3 column-parallel dx all-reduces.
-					addC(r.Groups.TP, "allreduce", R*dim, 5*L*mbs)
-					if g == lastG {
-						addC(r.Groups.TP, "allreduce", R*dim, mbs) // head dn
-					}
-				}
-				if cpN > 1 {
-					addC(r.Groups.CP, "allreduce", S*nKVl*hd, 2*L*mbs) // reduce dK, dV
-				}
-				// Recompute replay re-issues the forward's collectives.
-				switch cfg.Recompute {
-				case model.RecomputeFull:
-					if tp > 1 {
-						addC(r.Groups.TP, "allreduce", R*dim, 2*L*mbs)
-					}
-					if cpN > 1 {
-						addC(r.Groups.CP, "allgather", R*nKVl*hd, 2*L*mbs)
-					}
-				case model.RecomputeSelective:
-					if tp > 1 {
-						addC(r.Groups.TP, "allreduce", R*dim, L*mbs)
-					}
-					if cpN > 1 {
-						addC(r.Groups.CP, "allgather", R*nKVl*hd, 2*L*mbs)
-					}
-				}
-				if g < lastG {
-					addP2P("p2p", "recv", p2p, 1)
-				}
-				if g > 0 {
-					addP2P("p2p", "send", p2p, 1)
-				}
-				if cfg.ZeRO == fsdp.ZeRO2 {
-					// Per-backward gradient reduce-scatter, one per unit
-					// (Fig 4c); overlapped behind subsequent compute when
-					// Overlap.Grads (nonblocking issues stay flat-keyed).
-					for _, sl := range unitLens {
-						if cfg.Overlap.Grads {
-							addO(dpG, "reducescatter", reduceScatterBytes(int64(sl)*fs, fs), 1)
-						} else {
-							addC(r.Groups.FSDP, "reducescatter", int64(sl)*fs, 1)
-						}
-					}
-				}
-				ex.FLOPs += mbs * L * (2*blkFwd + replay)
-				if g == lastG {
-					ex.FLOPs += mbs * 2 * headFwd
-				}
-			}
+		// group). Predict against the labels the ranks actually hold.
+		gv := func(g *comm.Group) groupView {
+			return groupView{label: g.Label, ranks: g.Ranks()}
 		}
-
-		// Step end, per unit: unconditional gradient reduce-scatter +
-		// parameter all-gather (fsdp.Shard.Step) — always blocking — plus
-		// ZeRO-3's re-gather of released parameters at the start of every
-		// steady-state step, which the prefetch engine issues nonblocking
-		// when Overlap.Params > 0.
-		for _, sl := range unitLens {
-			addC(r.Groups.FSDP, "reducescatter", int64(sl)*fs, 1)
-			addC(r.Groups.FSDP, "allgather", int64(sl), 1)
-			if cfg.ZeRO == fsdp.ZeRO3 && steadyState {
-				if cfg.Overlap.Params > 0 {
-					addO(dpG, "allgather", allGatherBytes(int64(sl), fs), 1)
-				} else {
-					addC(r.Groups.FSDP, "allgather", int64(sl), 1)
-				}
-			}
+		rv := rankView{
+			id:        r.ID,
+			pp:        r.Coord.PP,
+			tp:        gv(r.Groups.TP),
+			cp:        gv(r.Groups.CP),
+			fsdp:      gv(r.Groups.FSDP),
+			world:     gv(r.Groups.World),
+			ppRanks:   r.Groups.PP.Ranks(),
+			shardLens: r.Shard.ShardLens(),
 		}
-		// Loss aggregation: one world all-reduce of a single float per rank.
-		addC(r.Groups.World, "allreduce", 1, 1)
-
-		ex.Comm[r.ID] = m
-		ex.Overlapped[r.ID] = om
+		ex.fill(r.ID, predictRank(cfg, sched, counts, rv, steadyState))
 	}
 	return ex
 }
@@ -371,7 +190,7 @@ func MemConfig(cl *core.Cluster) memsim.Config {
 		TP:    cfg.Topo.TP, CP: cfg.Topo.CP, DP: cfg.Topo.DP,
 		Seq: cfg.Seq, MBS: cfg.MBS(),
 		ZeRO:      cfg.ZeRO,
-		Recompute: cfg.Recompute == model.RecomputeFull,
+		Recompute: cfg.Recompute,
 		Sched:     cl.Sched,
 		LayerCounts: pp.StageLayerCounts(
 			cfg.Model.NLayers, cl.Sched.Stages(), cfg.Balanced),

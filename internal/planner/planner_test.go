@@ -3,6 +3,7 @@ package planner
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestPaperPlanReproducesTable2Short(t *testing.T) {
@@ -55,7 +56,7 @@ func TestSearchFindsTable2NearOptimal(t *testing.T) {
 	// validating that §5.1's hand reasoning approximates the optimum.
 	for _, seq := range []int{8192, 131072} {
 		req := Production405B(seq)
-		plans := Search(req)
+		plans, _ := searchProd(t, seq)
 		if len(plans) == 0 {
 			t.Fatal("no feasible plans")
 		}
@@ -73,7 +74,7 @@ func TestSearchFindsTable2NearOptimal(t *testing.T) {
 func TestSearchLongContextDemandsCP(t *testing.T) {
 	// §5.1: at 131K the batch constraint makes large CP mandatory — every
 	// competitive plan uses cp ≥ 8.
-	plans := Search(Production405B(131072))
+	plans, _ := searchProd(t, 131072)
 	for i, p := range plans {
 		if i >= 3 {
 			break
@@ -86,7 +87,8 @@ func TestSearchLongContextDemandsCP(t *testing.T) {
 
 func TestSearchRespectsMemoryBudget(t *testing.T) {
 	req := Production405B(8192)
-	for _, p := range Search(req) {
+	plans, _ := searchProd(t, 8192)
+	for _, p := range plans {
 		if p.PeakMemGiB > req.HBMBudgetGiB {
 			t.Fatalf("plan %v exceeds memory budget", p)
 		}
@@ -122,12 +124,18 @@ func TestFeasibleRejections(t *testing.T) {
 func TestMinimalTPMatchesPaperAlgebra(t *testing.T) {
 	// §5.1: 16M tokens at 8K seq ⇒ gbs=2048 on 16K GPUs needs tp ≥ 8 for
 	// bs ≥ 1 under 2D parallelism (pp=cp=1).
-	if got := MinimalTP(16384, 2048, 1, 1, 1); got != 8 {
-		t.Fatalf("MinimalTP 2D = %d, want 8", got)
+	if got, ok := MinimalTP(16384, 2048, 1, 1, 1); !ok || got != 8 {
+		t.Fatalf("MinimalTP 2D = %d,%v, want 8,true", got, ok)
 	}
 	// With pp=16, bs ≥ pp wants tp ≥ 8 as well (tp·pp/8 ≥ 16 ⇒ tp ≥ 8).
-	if got := MinimalTP(16384, 2048, 16, 1, 16); got != 8 {
-		t.Fatalf("MinimalTP 3D = %d, want 8", got)
+	if got, ok := MinimalTP(16384, 2048, 16, 1, 16); !ok || got != 8 {
+		t.Fatalf("MinimalTP 3D = %d,%v, want 8,true", got, ok)
+	}
+	// Doubling the cluster with the same batch makes bs ≥ 1 impossible
+	// under 2D parallelism even at tp=8: infeasibility must be surfaced,
+	// not defaulted to tp=8.
+	if got, ok := MinimalTP(32768, 2048, 1, 1, 1); ok {
+		t.Fatalf("MinimalTP on 32K GPUs = %d,%v, want infeasible", got, ok)
 	}
 }
 
@@ -142,11 +150,26 @@ func TestPlanString(t *testing.T) {
 	}
 }
 
-func BenchmarkFullSearch(b *testing.B) {
+// BenchmarkPlannerSearch times the full-space production search and reports
+// the enumeration census alongside the wall time — the `make bench`
+// BENCH_planner.json columns.
+func BenchmarkPlannerSearch(b *testing.B) {
 	req := Production405B(8192)
+	var st Stats
+	start := time.Now()
 	for i := 0; i < b.N; i++ {
-		Search(req)
+		var plans []Plan
+		plans, st = SearchWithStats(req)
+		if len(plans) == 0 {
+			b.Fatal("no feasible plans")
+		}
 	}
+	wall := time.Since(start)
+	b.ReportMetric(float64(st.Enumerated), "enumerated")
+	b.ReportMetric(float64(st.PrunedShape), "pruned-shape")
+	b.ReportMetric(float64(st.PrunedMemory), "pruned-mem")
+	b.ReportMetric(float64(st.Feasible), "feasible")
+	b.ReportMetric(wall.Seconds()*1000/float64(b.N), "search-ms")
 }
 
 func TestTPCapacityStudySection81(t *testing.T) {

@@ -232,11 +232,18 @@ func TestBubbleBsTwicePP(t *testing.T) {
 func TestRecomputeCostsThroughput(t *testing.T) {
 	base := Production8K()
 	rec := base
-	rec.Recompute = true
+	rec.Recompute = model.RecomputeFull
+	sel := base
+	sel.Recompute = model.RecomputeSelective
 	rb, _ := base.Simulate()
 	rr, _ := rec.Simulate()
+	rs, _ := sel.Simulate()
 	if rr.TFLOPsPerGPU >= rb.TFLOPsPerGPU {
 		t.Fatalf("recompute must reduce model TFLOPs: %v vs %v", rr.TFLOPsPerGPU, rb.TFLOPsPerGPU)
+	}
+	if rs.TFLOPsPerGPU <= rr.TFLOPsPerGPU || rs.TFLOPsPerGPU >= rb.TFLOPsPerGPU {
+		t.Fatalf("selective recompute %v must sit between full %v and none %v",
+			rs.TFLOPsPerGPU, rr.TFLOPsPerGPU, rb.TFLOPsPerGPU)
 	}
 }
 

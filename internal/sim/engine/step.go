@@ -11,8 +11,9 @@ import (
 )
 
 // TrainSim configures a full training-step simulation under 4D parallelism.
-// One micro-batch carries one sample of Seq tokens (mbs = 1, as in
-// production 405B training); NMB micro-batches per virtual stage.
+// Each micro-batch carries MBS samples of Seq tokens (MBS = 1, as in
+// production 405B training, when left zero); NMB micro-batches per virtual
+// stage.
 type TrainSim struct {
 	Cost  cost.Model
 	Model model.Config
@@ -20,12 +21,22 @@ type TrainSim struct {
 	TP, CP, PP, DP int
 	V, NC, NMB     int
 
+	// MBS is the samples per micro-batch; 0 means 1.
+	MBS int
+
 	Seq       int
 	DocMask   bool
 	AvgDocLen int
 
-	Balanced  bool // §3.1.2 layer rebalancing
-	Recompute bool // activation recomputation in the backward pass
+	Balanced  bool                // §3.1.2 layer rebalancing
+	Recompute model.RecomputeMode // backward-pass activation recomputation
+
+	// HostSize, when > 0, prices bulk collectives with the two-level
+	// NVLink/RoCE decomposition (cost.HierAllGather &co.) over hosts of
+	// that many consecutive ranks, matching the hierarchical transport;
+	// 0 prices every collective as one flat ring whose link tier is the
+	// group's span (cost.Model.GroupLink).
+	HostSize int
 
 	// Schedule overrides the default flexible schedule (e.g. to simulate
 	// the wave-ordered all-forward-all-backward schedule of Fig 9).
@@ -35,9 +46,35 @@ type TrainSim struct {
 // World returns the simulated GPU count.
 func (ts TrainSim) World() int { return ts.TP * ts.CP * ts.PP * ts.DP }
 
+func (ts TrainSim) mbs() int {
+	if ts.MBS < 1 {
+		return 1
+	}
+	return ts.MBS
+}
+
 // GlobalBatchTokens returns the tokens per training step.
 func (ts TrainSim) GlobalBatchTokens() int64 {
-	return int64(ts.DP) * int64(ts.NMB) * int64(ts.Seq)
+	return int64(ts.DP) * int64(ts.NMB) * int64(ts.mbs()) * int64(ts.Seq)
+}
+
+// allGather prices one all-gather of `bytes` output per rank, hierarchically
+// when a host topology is set.
+func (ts TrainSim) allGather(ranks []int, bytes float64) float64 {
+	if ts.HostSize > 0 {
+		intra, inter := ts.Cost.HierAllGather(ranks, ts.HostSize, bytes)
+		return intra + inter
+	}
+	return ts.Cost.AllGather(ranks, bytes)
+}
+
+// reduceScatter prices one reduce-scatter of `bytes` input per rank.
+func (ts TrainSim) reduceScatter(ranks []int, bytes float64) float64 {
+	if ts.HostSize > 0 {
+		intra, inter := ts.Cost.HierReduceScatter(ranks, ts.HostSize, bytes)
+		return intra + inter
+	}
+	return ts.Cost.ReduceScatter(ranks, bytes)
 }
 
 // StepReport is the outcome of one simulated training step.
@@ -117,44 +154,52 @@ func (ts TrainSim) ppPeerDistance() int { return ts.TP * ts.CP }
 
 // layerFwdTime returns one transformer layer's forward time for one
 // micro-batch on one GPU, including exposed TP and CP communication.
-func (ts TrainSim) layerFwdTime() (compute, tpComm, cpComm float64) {
+// attnCompute is the attention-path share of compute (QKV and output
+// projections plus the attention kernel) — the portion a selective
+// recomputation replay re-executes.
+func (ts TrainSim) layerFwdTime() (compute, attnCompute, tpComm, cpComm float64) {
 	m := ts.Cost
 	cfg := ts.Model
-	tokens := int64(ts.Seq / ts.CP)
+	mbs := int64(ts.mbs())
+	tokens := mbs * int64(ts.Seq/ts.CP)
 	d, h := int64(cfg.Dim), int64(cfg.Hidden)
 	hd := int64(cfg.HeadDim())
 	nhL := int64(cfg.NHeads / ts.TP)
 	nkvL := int64(cfg.NKVHeads / ts.TP)
 
-	compute = m.GEMM(tokens, d, (nhL+2*nkvL)*hd) + // fused q,k,v projections
-		m.GEMM(tokens, nhL*hd, d) + // output projection
+	attnCompute = m.GEMM(tokens, d, (nhL+2*nkvL)*hd) + // fused q,k,v projections
+		m.GEMM(tokens, nhL*hd, d) // output projection
+	compute = attnCompute +
 		2*m.GEMM(tokens, d, h/int64(ts.TP)) + // gate and up
 		m.GEMM(tokens, h/int64(ts.TP), d) // down
 
-	// Attention: balanced causal sharding ⇒ totalPairs/cp per rank.
+	// Attention: balanced causal sharding ⇒ totalPairs/cp per rank, per
+	// sample of the micro-batch.
 	totalPairs := attention.FastCausalPairs(attention.Iota(ts.Seq))
 	if ts.DocMask {
 		ds := docStartsFor(ts.Seq, true, ts.AvgDocLen, 7)
 		totalPairs = attention.FastAllowedPairs(attention.Iota(ts.Seq), ds)
 	}
-	kvTokens := int64(ts.Seq)
+	kvTokens := mbs * int64(ts.Seq)
 	if ts.CP == 1 {
 		kvTokens = tokens
 	}
-	compute += m.Attention(tokens, kvTokens, totalPairs/int64(ts.CP), nhL, hd)
+	attn := m.Attention(tokens, kvTokens, mbs*totalPairs/int64(ts.CP), nhL, hd)
+	compute += attn
+	attnCompute += attn
 
 	if ts.TP > 1 {
 		// Sequence-parallel TP: all-gather + reduce-scatter around each of
 		// the two TP-paired modules — four exposed collectives per layer
 		// (§5.2 "TP communication").
 		actBytes := 2 * float64(tokens) * float64(d)
-		tpComm = 2*m.AllGather(ts.tpRanks(), actBytes) + 2*m.ReduceScatter(ts.tpRanks(), actBytes)
+		tpComm = 2*ts.allGather(ts.tpRanks(), actBytes) + 2*ts.reduceScatter(ts.tpRanks(), actBytes)
 	}
 	if ts.CP > 1 {
-		kvB := 2 * 2 * float64(ts.Seq) * float64(nkvL) * float64(hd)
-		cpComm = m.AllGather(ts.cpRanks(), kvB)
+		kvB := 2 * 2 * float64(mbs) * float64(ts.Seq) * float64(nkvL) * float64(hd)
+		cpComm = ts.allGather(ts.cpRanks(), kvB)
 	}
-	return compute, tpComm, cpComm
+	return compute, attnCompute, tpComm, cpComm
 }
 
 // stageTimes returns the fwd and bwd time of one micro-batch on one global
@@ -162,14 +207,17 @@ func (ts TrainSim) layerFwdTime() (compute, tpComm, cpComm float64) {
 func (ts TrainSim) stageTimes(sh stageShape) (fwd, bwd float64) {
 	m := ts.Cost
 	cfg := ts.Model
-	tokens := int64(ts.Seq / ts.CP)
-	compute, tpComm, cpComm := ts.layerFwdTime()
+	tokens := int64(ts.mbs()) * int64(ts.Seq/ts.CP)
+	compute, attnCompute, tpComm, cpComm := ts.layerFwdTime()
 
 	fwd = float64(sh.layers) * (compute + tpComm + cpComm)
 	// Backward: 2× compute, mirrored TP collectives, CP reduce-scatter.
 	bwd = float64(sh.layers) * (2*compute + tpComm + cpComm)
-	if ts.Recompute {
-		bwd += float64(sh.layers) * compute // recompute the forward
+	switch ts.Recompute {
+	case model.RecomputeFull:
+		bwd += float64(sh.layers) * compute // replay the whole forward
+	case model.RecomputeSelective:
+		bwd += float64(sh.layers) * attnCompute // replay the attention path
 	}
 	if sh.hasEmbed {
 		lookup := m.GEMM(tokens, 1, int64(cfg.Dim)) // memory-bound gather
@@ -192,7 +240,7 @@ func (ts TrainSim) Costs() pp.Costs {
 	for g, sh := range shapes {
 		fwd[g], bwd[g] = ts.stageTimes(sh)
 	}
-	tokens := int64(ts.Seq / ts.CP)
+	tokens := int64(ts.mbs()) * int64(ts.Seq/ts.CP)
 	// Sequence parallelism shards inter-stage activations across TP.
 	p2pBytes := 2 * float64(tokens) * float64(ts.Model.Dim) / float64(ts.TP)
 	p2p := 0.0
@@ -232,7 +280,7 @@ func (ts TrainSim) Simulate() (*StepReport, error) {
 	dpExposed, dpTotal := 0.0, 0.0
 	if ts.DP*ts.CP > 1 {
 		g := ts.fsdpRanks()
-		dpExposed = ts.Cost.AllGather(g, dpBytes) + ts.Cost.ReduceScatter(g, 2*dpBytes)
+		dpExposed = ts.allGather(g, dpBytes) + ts.reduceScatter(g, 2*dpBytes)
 		dpTotal = float64(ts.V) * dpExposed
 	}
 

@@ -21,7 +21,7 @@ type Config struct {
 	MBS   int // samples per micro-batch
 
 	ZeRO      fsdp.Mode
-	Recompute bool
+	Recompute model.RecomputeMode
 
 	Sched *pp.Schedule
 	// LayerCounts assigns layers to global stages (pp.StageLayerCounts).
@@ -49,6 +49,15 @@ func ActivationBytesPerToken(cfg model.Config, tp int) float64 {
 // full activation recomputation is on: just the layer input.
 func RecomputeActivationBytesPerToken(cfg model.Config, tp int) float64 {
 	return bf16Bytes * float64(cfg.Dim) / float64(tp)
+}
+
+// SelectiveActivationBytesPerToken is the footprint under selective
+// recomputation (Korthikanti-style): the attention path — including the
+// O(seq²) probability matrices — replays, while the FFN path's saved
+// intermediates survive, leaving the residual stream plus the three SwiGLU
+// buffers per layer: 2·(Dim + 3·Hidden)/tp bytes per token in BF16.
+func SelectiveActivationBytesPerToken(cfg model.Config, tp int) float64 {
+	return bf16Bytes * float64(cfg.Dim+3*cfg.Hidden) / float64(tp)
 }
 
 // RankMemory is the steady-state peak memory of one PP rank in GiB.
@@ -91,7 +100,10 @@ func (c Config) rankParams(rank int) float64 {
 func (c Config) stageActBytes(g int) float64 {
 	tokens := float64(c.Seq) / float64(c.CP) * float64(c.MBS)
 	per := ActivationBytesPerToken(c.Model, c.TP)
-	if c.Recompute {
+	switch c.Recompute {
+	case model.RecomputeSelective:
+		per = SelectiveActivationBytesPerToken(c.Model, c.TP)
+	case model.RecomputeFull:
 		per = RecomputeActivationBytesPerToken(c.Model, c.TP)
 	}
 	act := float64(c.LayerCounts[g]) * tokens * per

@@ -79,9 +79,18 @@ func TestRecomputeShrinksActivations(t *testing.T) {
 	sched := pp.NewFlexible(4, 1, 12, 4)
 	base := fig9Config(sched, fsdp.ZeRO1)
 	rec := base
-	rec.Recompute = true
+	rec.Recompute = model.RecomputeFull
 	if rec.PerRank()[0].ActivationGiB >= base.PerRank()[0].ActivationGiB/4 {
 		t.Fatal("recompute must slash activation memory")
+	}
+	// Selective recomputation sits strictly between none and full: it drops
+	// the attention path but keeps the FFN intermediates.
+	sel := base
+	sel.Recompute = model.RecomputeSelective
+	selAct := sel.PerRank()[0].ActivationGiB
+	if selAct >= base.PerRank()[0].ActivationGiB || selAct <= rec.PerRank()[0].ActivationGiB {
+		t.Fatalf("selective activation %.2f GiB not between full %.2f and none %.2f",
+			selAct, rec.PerRank()[0].ActivationGiB, base.PerRank()[0].ActivationGiB)
 	}
 }
 
