@@ -34,8 +34,12 @@ race:
 # cell behind a pre-timing bitwise flat-equivalence guard) into
 # BENCH_comm.json, and the full-space auto-parallelism search (enumerated /
 # pruned / feasible census plus wall time as extra metric columns) into
-# BENCH_planner.json. The temp files keep a go test failure from being
-# masked by the pipe.
+# BENCH_planner.json, and the context-parallel K/V-exchange strategies
+# (dist=short|mixed|long × strat=allgather|ring|adaptive, each cell behind
+# bitwise strategy-invisibility, ring-overlap, and Fig 13 price-ordering
+# guards, with modeled exchange time, measured exposed/overlapped comm, and
+# ring routing fraction as metric columns) into BENCH_cp.json. The temp
+# files keep a go test failure from being masked by the pipe.
 bench:
 	$(GO) test -bench='^BenchmarkKernel' -benchmem -run='^$$' \
 		./internal/tensor ./internal/attention . > BENCH_kernels.txt \
@@ -65,6 +69,10 @@ bench:
 		./internal/planner > BENCH_planner.txt \
 		&& $(GO) run ./cmd/benchjson -o BENCH_planner.json < BENCH_planner.txt \
 		&& rm BENCH_planner.txt
+	$(GO) test -bench='^BenchmarkCP' -benchtime=3x -run='^$$' \
+		. > BENCH_cp.txt \
+		&& $(GO) run ./cmd/benchjson -o BENCH_cp.json < BENCH_cp.txt \
+		&& rm BENCH_cp.txt
 
 # The paper-reproduction benchmarks (one per table/figure) plus the kernel
 # suite.
@@ -79,13 +87,16 @@ bench-all:
 # the big ones take most of a minute each — and the balance sweep to the
 # heavy-tail mix, where the skew-reduction guard is strict. The collective
 # sweep replays its 256-rank cells: big enough to cover multi-host carrier
-# escalation, small enough to finish in well under a second.
+# escalation, small enough to finish in well under a second. The CP strategy
+# sweep replays its mixed-distribution cells, where the adaptive-beats-both-
+# pures guard is strict and mixed per-document routing is mandatory.
 smoke-bench:
 	$(GO) test -bench='^(BenchmarkKernel|BenchmarkOverlap|BenchmarkAttentionMasked)' -benchtime=1x -run='^$$' \
 		./internal/tensor ./internal/attention ./internal/core .
 	$(GO) test -bench='^BenchmarkServe/bs=16' -benchtime=1x -run='^$$' ./internal/serve
 	$(GO) test -bench='^BenchmarkBalance/dist=heavytail' -benchtime=1x -run='^$$' .
 	$(GO) test -bench='^BenchmarkComm/world=256' -benchtime=1x -run='^$$' ./internal/comm
+	$(GO) test -bench='^BenchmarkCP/dist=mixed' -benchtime=1x -run='^$$' .
 
 # The measured-vs-modeled gate: the xval conformance sweep (measured comm
 # bytes, FLOPs, activation peaks, and schedules against the analytic models

@@ -1,0 +1,299 @@
+package llama4d_test
+
+// BenchmarkCP is the context-parallel K/V-exchange sweep (BENCH_cp.json): the
+// same live 4-rank document-masked training step over three document-length
+// distributions, under each of the three exchange strategies — the blocking
+// grouped all-gather, the overlap-hidden blocked ring P2P, and the adaptive
+// per-document chooser. The cost model is scaled so the Fig 13 crossover
+// falls inside the toy document lengths (ring wins documents longer than ~10
+// tokens); each sub-benchmark asserts the subsystem's contracts before any
+// timing:
+//
+//   - Strategy is invisible to training: every per-(sample, CP rank) loss is
+//     Float64bits-identical across all three strategies, and so is the global
+//     step loss.
+//   - Every ring transfer is issued nonblocking: the measured "cp.ring"
+//     traffic appears in the overlapped breakdown byte-for-byte.
+//   - The shared cost model orders the strategies as the paper's Fig 13
+//     demands: ring prices below all-gather on the long-document corpus,
+//     all-gather below ring on the short one, and the adaptive mix prices at
+//     or below the better pure strategy everywhere — strictly below both on
+//     the mixed corpus, where the routing must genuinely split.
+//
+// Reported metrics: the modeled per-step exchange time, the measured mean
+// per-rank exposed and overlapped handle-communication time, the measured
+// ring bytes per rank, and the fraction of documents routed via ring.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"llama4d/internal/core"
+	"llama4d/internal/cp"
+	"llama4d/internal/data"
+	"llama4d/internal/fsdp"
+	"llama4d/internal/metrics"
+	"llama4d/internal/model"
+	"llama4d/internal/sim/cost"
+)
+
+const cpBenchSeq = 64
+
+// cpBenchCost scales cost.Default so the ring/all-gather crossover lands near
+// 10-token documents (see the xval conformance test's derivation): compute is
+// slow enough to hide every transfer, the link slow enough that the
+// all-gather's byte term dominates, and the launch tax prices ring's n-1
+// extra kernel waves.
+func cpBenchCost() *cost.Model {
+	m := cost.Default()
+	m.AttnMFU = 1e-12
+	m.KernelLaunchUs = 800
+	m.Cluster.Net.NVLinkGBs = 1e-4
+	m.Cluster.Net.RoCEGBs = 1e-4
+	m.Cluster.Net.NVLinkLatencyUs = 0
+	m.Cluster.Net.RoCELatencyUs = 0
+	return &m
+}
+
+func cpBenchConfig(strat cp.Strategy) core.Config {
+	return core.Config{
+		Model: model.Config{Vocab: 64, Dim: 32, Hidden: 64, NHeads: 4, NKVHeads: 2,
+			NLayers: 2, MaxSeq: cpBenchSeq, RopeBase: 10000},
+		Topo: core.Topology{TP: 1, CP: 4, PP: 1, DP: 1},
+		V:    1, NMB: 2, NC: 2,
+		ZeRO: fsdp.ZeRO1, Seq: cpBenchSeq, GBS: 4, LR: 2e-3,
+		UseDocMask: true, Seed: 11,
+		CPStrategy: strat, CPCost: cpBenchCost(),
+	}
+}
+
+func cpBenchGen(dist string) *data.Generator {
+	g := &data.Generator{Vocab: 64, Seq: cpBenchSeq, Seed: 5}
+	switch dist {
+	case "short":
+		g.AvgDocLen = 4
+	case "mixed":
+		g.AvgDocLen = 8
+		g.LongDocFrac = 0.25
+	case "long":
+		g.AvgDocLen = 4 * cpBenchSeq // clipped: one full-sequence document
+	default:
+		panic("unknown dist " + dist)
+	}
+	return g
+}
+
+// cpModeledExchangeSec prices one step's K/V exchanges with the shared cost
+// model: per layer, per sample, per document, the strategy's Fig 13 price
+// (adaptive takes the per-document minimum — exactly cost.CPRingWins' rule).
+func cpModeledExchangeSec(cfg core.Config, src *data.Generator, step int64, strat cp.Strategy) float64 {
+	m := cfg.CPCostModel()
+	ranks := make([]int, cfg.Topo.CP)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	qh, kvh, hd := cfg.Model.NHeads, cfg.Model.NKVHeads, cfg.Model.HeadDim()
+	var sec float64
+	for _, s := range src.GlobalBatch(step, cfg.GBS) {
+		starts := cp.DocBounds(s.DocIDs, cfg.Seq)
+		for d, st := range starts {
+			end := cfg.Seq
+			if d+1 < len(starts) {
+				end = starts[d+1]
+			}
+			ag := m.CPAllGatherTime(ranks, end-st, kvh, hd)
+			ring := m.CPRingTime(ranks, end-st, qh, kvh, hd)
+			switch strat {
+			case cp.StrategyAllGather:
+				sec += ag
+			case cp.StrategyRing:
+				sec += ring
+			default:
+				sec += math.Min(ag, ring)
+			}
+		}
+	}
+	return sec * float64(cfg.Model.NLayers)
+}
+
+// cpRingDocFrac returns the fraction of the step's documents the strategy
+// routes via ring circulation.
+func cpRingDocFrac(cfg core.Config, src *data.Generator, step int64) (frac float64, mixedSample bool) {
+	m := cfg.CPCostModel()
+	ranks := make([]int, cfg.Topo.CP)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	var ringDocs, docs int
+	for _, s := range src.GlobalBatch(step, cfg.GBS) {
+		p := cp.PlanFor(cfg.CPStrategy, m, ranks, cfg.Seq, s.DocIDs, true,
+			cfg.Model.NHeads, cfg.Model.NKVHeads, cfg.Model.HeadDim())
+		for _, r := range p.Ring {
+			docs++
+			if r {
+				ringDocs++
+			}
+		}
+		if p.HasRing() && p.HasAllGather() {
+			mixedSample = true
+		}
+	}
+	return float64(ringDocs) / float64(docs), mixedSample
+}
+
+// taggedGen gives Generator samples their corpus index as a stable tag
+// (matching DPBatch order), so the per-sample loss hook fires.
+type taggedGen struct{ *data.Generator }
+
+func (t taggedGen) DPTags(step int64, gbs, ndp, dpRank int) []int64 {
+	bs := gbs / ndp
+	out := make([]int64, bs)
+	for i := range out {
+		out[i] = step*int64(gbs) + int64(dpRank*bs+i)
+	}
+	return out
+}
+
+// runCPStep runs one measured step and returns the report, the per-(sample
+// tag, CP-local rank) loss bits, and the global loss.
+func runCPStep(b *testing.B, cfg core.Config, src data.Batcher) (*metrics.StepReport, map[lossKey]uint64, float64) {
+	b.Helper()
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := metrics.NewRegistry(cfg.Topo.World())
+	cl.Attach(reg)
+	var mu sync.Mutex
+	losses := make(map[lossKey]uint64)
+	for _, r := range cl.Ranks {
+		cpLocal := r.Groups.CP.LocalRank(r.ID)
+		r.Exec.OnLoss = func(tag int64, loss float64) {
+			mu.Lock()
+			losses[lossKey{tag, cpLocal}] = math.Float64bits(loss)
+			mu.Unlock()
+		}
+	}
+	reg.BeginStep(0)
+	loss := cl.Step(src, 0)
+	return reg.EndStep(), losses, loss
+}
+
+func benchCP(b *testing.B, dist string, strat cp.Strategy) {
+	gen := cpBenchGen(dist)
+	src := taggedGen{gen}
+	cfgs := map[cp.Strategy]core.Config{
+		cp.StrategyAllGather: cpBenchConfig(cp.StrategyAllGather),
+		cp.StrategyRing:      cpBenchConfig(cp.StrategyRing),
+		cp.StrategyAdaptive:  cpBenchConfig(cp.StrategyAdaptive),
+	}
+
+	// Strategy invisibility: identical per-(sample, CP rank) losses and
+	// global loss, bitwise, across all three exchange strategies.
+	agRep, agLoss, agGlobal := runCPStep(b, cfgs[cp.StrategyAllGather], src)
+	_ = agRep
+	for _, other := range []cp.Strategy{cp.StrategyRing, cp.StrategyAdaptive} {
+		rep, losses, global := runCPStep(b, cfgs[other], src)
+		if len(losses) == 0 || len(losses) != len(agLoss) {
+			b.Fatalf("%v: loss census size %d vs %d", other, len(losses), len(agLoss))
+		}
+		for k, bits := range agLoss {
+			if got, ok := losses[k]; !ok || got != bits {
+				b.Fatalf("%v: sample %d cp-rank %d: loss %x under all-gather, %x (ok=%v)",
+					other, k.tag, k.cpLocal, bits, got, ok)
+			}
+		}
+		if math.Float64bits(global) != math.Float64bits(agGlobal) {
+			b.Fatalf("%v: global loss %v != all-gather %v", other, global, agGlobal)
+		}
+		// Every ring transfer must be issued nonblocking: the overlapped
+		// breakdown carries the full cp.ring volume.
+		for _, rr := range rep.Ranks {
+			for _, key := range []string{"cp.ring/send", "cp.ring/recv"} {
+				if rr.Overlapped[key] != rr.Comm[key] {
+					b.Fatalf("%v rank %d %s: overlapped %+v != issued %+v",
+						other, rr.Rank, key, rr.Overlapped[key], rr.Comm[key])
+				}
+			}
+		}
+	}
+
+	// Fig 13 ordering under the shared cost model.
+	agSec := cpModeledExchangeSec(cfgs[cp.StrategyAllGather], gen, 0, cp.StrategyAllGather)
+	ringSec := cpModeledExchangeSec(cfgs[cp.StrategyRing], gen, 0, cp.StrategyRing)
+	adSec := cpModeledExchangeSec(cfgs[cp.StrategyAdaptive], gen, 0, cp.StrategyAdaptive)
+	if dist == "long" && ringSec >= agSec {
+		b.Fatalf("long docs: modeled ring %gs not below all-gather %gs", ringSec, agSec)
+	}
+	if dist == "short" && agSec >= ringSec {
+		b.Fatalf("short docs: modeled all-gather %gs not below ring %gs", agSec, ringSec)
+	}
+	if best := math.Min(agSec, ringSec); adSec > best {
+		b.Fatalf("modeled adaptive %gs above best pure strategy %gs", adSec, best)
+	}
+	if dist == "mixed" {
+		if best := math.Min(agSec, ringSec); adSec >= best {
+			b.Fatalf("mixed docs: modeled adaptive %gs not strictly below best pure %gs", adSec, best)
+		}
+		if _, mixed := cpRingDocFrac(cfgs[cp.StrategyAdaptive], gen, 0); !mixed {
+			b.Fatal("mixed docs: no sample routed documents both ways")
+		}
+	}
+
+	// Timed arm.
+	cfg := cfgs[strat]
+	modeled := cpModeledExchangeSec(cfg, gen, 0, strat)
+	ringFrac, _ := cpRingDocFrac(cfg, gen, 0)
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := metrics.NewRegistry(cfg.Topo.World())
+	cl.Attach(reg)
+	var exposedSum, overlapSum, wallSum, ringBytesSum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.BeginStep(int64(i))
+		cl.Step(src, int64(i))
+		rep := reg.EndStep()
+		var exposed, overlap, ringBytes float64
+		for _, rr := range rep.Ranks {
+			exposed += rr.ExposedCommSeconds
+			overlap += rr.OverlapCommSeconds
+			ringBytes += float64(rr.Comm["cp.ring/send"].Bytes)
+		}
+		n := float64(len(rep.Ranks))
+		exposedSum += exposed / n
+		overlapSum += overlap / n
+		ringBytesSum += ringBytes / n
+		wallSum += rep.WallSeconds
+	}
+	b.StopTimer()
+	iters := float64(b.N)
+	b.ReportMetric(1e3*modeled, "ms-modeled-exchange")
+	b.ReportMetric(ringFrac, "ring-doc-frac")
+	b.ReportMetric(ringBytesSum/iters, "ring-B/rank")
+	b.ReportMetric(1e3*exposedSum/iters, "ms-exposed/rank")
+	b.ReportMetric(1e3*overlapSum/iters, "ms-overlap/rank")
+	b.ReportMetric(1e3*wallSum/iters, "ms-step")
+}
+
+func BenchmarkCP(b *testing.B) {
+	strategies := []struct {
+		name  string
+		strat cp.Strategy
+	}{
+		{"allgather", cp.StrategyAllGather},
+		{"ring", cp.StrategyRing},
+		{"adaptive", cp.StrategyAdaptive},
+	}
+	for _, dist := range []string{"short", "mixed", "long"} {
+		for _, s := range strategies {
+			b.Run(fmt.Sprintf("dist=%s/strat=%s", dist, s.name), func(b *testing.B) {
+				benchCP(b, dist, s.strat)
+			})
+		}
+	}
+}

@@ -14,9 +14,15 @@ import (
 	"llama4d/internal/model"
 	"llama4d/internal/optim"
 	"llama4d/internal/pp"
+	"llama4d/internal/sim/cost"
 	"llama4d/internal/tensor"
 	"llama4d/internal/tp"
 )
+
+// cpCost is the calibrated cost model the adaptive CP strategy prices
+// documents with — the same model the planner's full-space search and the
+// Fig 13 experiment use, so the chooser and the search never disagree.
+var cpCost = cost.Default()
 
 // Config describes a 4D-parallel training run.
 type Config struct {
@@ -62,7 +68,34 @@ type Config struct {
 	// outputs are bitwise independent of the layout — only cross-rank
 	// reduction grouping moves — so the planner trades nothing but skew.
 	ShardPlanner func(s *model.Sample, cpSize int) [][]int
+
+	// CPStrategy selects the CP attention K/V exchange: the blocking
+	// all-gather baseline (zero value, §4), overlap-hidden ring P2P
+	// circulation, or per-document adaptive selection priced by the shared
+	// sim/cost model (§7.2, Fig 13). Every strategy is bitwise identical to
+	// the baseline per row; only exchange traffic and overlap move.
+	CPStrategy cp.Strategy
+
+	// CPCost overrides the cost model the adaptive strategy prices documents
+	// with (nil uses the calibrated cost.Default()). Tests and experiments
+	// move the Fig 13 crossover to their own scale with it; xval's
+	// predictions read the same field, so chooser and predictor never
+	// disagree.
+	CPCost *cost.Model
 }
+
+// cpCostModel resolves the CP pricing model (CPCost or the calibrated
+// default).
+func (c Config) cpCostModel() cost.Model {
+	if c.CPCost != nil {
+		return *c.CPCost
+	}
+	return cpCost
+}
+
+// CPCostModel is the exported face of cpCostModel, shared with xval's
+// closed-form predictions and the planner.
+func (c Config) CPCostModel() cost.Model { return c.cpCostModel() }
 
 // OverlapConfig enables comm–compute overlap in the functional layer. Each
 // knob moves one class of collectives from blocking to handle-based issue;
@@ -330,13 +363,26 @@ func (r *Rank) buildMicrobatches(src data.Batcher, step int64) []*pp.Microbatch 
 			if cfg.Topo.CP > 1 {
 				var local *model.Sample
 				var env *model.Env
+				var layout cp.Layout
 				if cfg.ShardPlanner != nil {
 					rs := cp.NewRaggedSharding(cfg.Seq, cfg.ShardPlanner(full, cfg.Topo.CP))
 					local = cp.RaggedLocalSample(rs, full, r.Groups.CP.LocalRank(r.ID))
 					env = cp.RaggedEnv(rs, mask, r.Groups.CP, r.ID)
+					layout = rs
 				} else {
 					local = cp.LocalSample(r.cpShard, full, r.Groups.CP.LocalRank(r.ID))
 					env = cp.Env(r.cpShard, mask, r.Groups.CP, r.ID)
+					layout = r.cpShard
+				}
+				if cfg.CPStrategy != cp.StrategyAllGather {
+					// Ring/adaptive exchange: every CP rank derives the same
+					// per-document plan and tag namespace from the sample's
+					// schedule slot, so the ring needs no coordination.
+					plan := cp.PlanFor(cfg.CPStrategy, cfg.cpCostModel(), r.Groups.CP.Ranks(), cfg.Seq,
+						full.DocIDs, cfg.UseDocMask,
+						cfg.Model.NHeads/cfg.Topo.TP, cfg.Model.NKVHeads/cfg.Topo.TP, cfg.Model.HeadDim())
+					env.KV = cp.NewStrategyKV(layout, plan, r.Groups.CP, r.cluster.World, r.ID,
+						cp.RingTagBase(i*mbsSamples+j))
 				}
 				localValid := validTargets(local.Targets)
 				env.Rec = rec

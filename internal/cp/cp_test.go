@@ -246,7 +246,7 @@ func TestRingMatchesAllGatherAndSequential(t *testing.T) {
 				ql := s.LocalRows(q, rank)
 				kl := s.LocalRows(k, rank)
 				vl := s.LocalRows(v, rank)
-				ring := &RingAttention{Sharding: s, Group: g, World: w, Rank: rank}
+				ring := &RingAttention{Layout: s, Group: g, World: w, Rank: rank}
 				ringOuts[rank] = ring.Forward(ql, kl, vl, mask)
 				kv := &KV{Sharding: s, Group: g, Rank: rank}
 				agOuts[rank] = AllGatherAttention(kv, ql, kl, vl, mask)
@@ -386,7 +386,7 @@ func BenchmarkRingCPAttention(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		comm.RunSPMD(cpSize, func(rank int) {
-			ring := &RingAttention{Sharding: s, Group: g, World: w, Rank: rank}
+			ring := &RingAttention{Layout: s, Group: g, World: w, Rank: rank}
 			ring.Forward(s.LocalRows(q, rank), s.LocalRows(k, rank), s.LocalRows(v, rank), attention.Causal{})
 		})
 	}
@@ -422,7 +422,7 @@ func TestRingBackwardMatchesOracle(t *testing.T) {
 				kl := s.LocalRows(k, rank)
 				vl := s.LocalRows(v, rank)
 				dol := s.LocalRows(dO, rank)
-				ring := &RingAttention{Sharding: s, Group: g, World: w, Rank: rank}
+				ring := &RingAttention{Layout: s, Group: g, World: w, Rank: rank}
 				o, lse := ring.ForwardWithStats(ql, kl, vl, mask)
 				dqs[rank], dks[rank], dvs[rank] = ring.Backward(ql, kl, vl, o, lse, dol, mask)
 			})
@@ -479,7 +479,7 @@ func TestRingForwardWithStatsLSE(t *testing.T) {
 
 	lses := make([][]float64, cpSize)
 	comm.RunSPMD(cpSize, func(rank int) {
-		ring := &RingAttention{Sharding: s, Group: g, World: w, Rank: rank}
+		ring := &RingAttention{Layout: s, Group: g, World: w, Rank: rank}
 		_, lse := ring.ForwardWithStats(s.LocalRows(q, rank), s.LocalRows(k, rank), s.LocalRows(v, rank), mask)
 		lses[rank] = lse
 	})

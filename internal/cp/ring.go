@@ -14,22 +14,66 @@ import (
 // currently-held KV block while passing blocks around the ring, finally
 // merging the partials with log-sum-exp rescaling.
 //
-// Unlike the all-gather approach this touches O(cp) separate compute kernels
-// per rank and needs the merge arithmetic — the overheads the paper measures
-// at small sequence lengths (Fig 13).
+// The circulation is handle-based: every step's receive is pre-posted before
+// the first partial runs and each held block is relayed onward *before* its
+// compute, so step t+1's transfer proceeds while step t's kernel is busy —
+// the overlap schedule that makes ring CP competitive at long sequence
+// lengths. What remains exposed is the merge arithmetic and the O(cp)
+// separate kernels per rank — the overheads the paper measures at small
+// sequence lengths (Fig 13).
+//
+// Layout may be any ragged row partition (arbitrary per-rank position sets);
+// each held block is decomposed into maximal contiguous runs and every run
+// goes through the blocked tile kernels.
 type RingAttention struct {
-	Sharding Sharding
-	Group    *comm.Group
-	World    *comm.World
-	Rank     int // global rank
+	Layout Layout
+	Group  *comm.Group
+	World  *comm.World
+	Rank   int // global rank
+
+	// TagBase opens this instance's disjoint tag namespace; zero selects the
+	// legacy shared region, which is only safe when at most one instance per
+	// world is in flight. Concurrent instances (one per attention head, say)
+	// must use distinct bases — see RingTagBase.
+	TagBase int
+
+	fwdCalls, bwdCalls int
 }
 
-const ringTagBase = 1 << 20 // tag space reserved for ring KV transfers
+const (
+	ringTagBase   = 1 << 20 // legacy shared tag region (TagBase == 0)
+	ringBwdOffset = 1 << 18 // backward sub-region offset within a namespace
+	ringCallSlot  = 1 << 12 // per-exchange-call tag slot within a sub-region
+	ringCallWrap  = 1 << 6  // calls per sub-region before tags recycle
+)
+
+func (r *RingAttention) base() int {
+	if r.TagBase != 0 {
+		return r.TagBase
+	}
+	return ringTagBase
+}
+
+// fwdTag derives the forward-circulation tag of (call, ring step, tensor).
+// Calls advance identically on every rank (SPMD), so tags agree everywhere.
+// Recycled tags (call ≥ ringCallWrap) stay safe within one instance because
+// each (from, to, tag) mailbox is FIFO and both endpoints issue the same
+// per-pair operation sequence; the per-call slot only adds margin when
+// successive exchanges interleave in flight.
+func (r *RingAttention) fwdTag(call, step, which int) int {
+	return r.base() + call%ringCallWrap*ringCallSlot + 2*step + which
+}
+
+// bwdTag is fwdTag for the backward circulation (4 tensors per step). The
+// sub-regions never overlap: ringCallWrap·ringCallSlot == ringBwdOffset, and
+// both fit inside one RingTagBase namespace (2·ringBwdOffset < ringTagStride).
+func (r *RingAttention) bwdTag(call, step, which int) int {
+	return r.base() + ringBwdOffset + call%ringCallWrap*ringCallSlot + 4*step + which
+}
 
 // Forward computes this rank's attention output rows for one head.
-// q, k, v are the rank's local rows ([2·chunkLen, d]); the result matches
-// the all-gather CP attention and the sequential oracle bit-for-bit up to
-// merge rounding.
+// q, k, v are the rank's local rows; the result matches the all-gather CP
+// attention and the sequential oracle bit-for-bit up to merge rounding.
 func (r *RingAttention) Forward(q, k, v *tensor.Tensor, mask attention.Mask) *tensor.Tensor {
 	out, _ := r.ForwardWithStats(q, k, v, mask)
 	return out
@@ -42,37 +86,52 @@ func (r *RingAttention) Forward(q, k, v *tensor.Tensor, mask attention.Mask) *te
 func (r *RingAttention) ForwardWithStats(q, k, v *tensor.Tensor, mask attention.Mask) (*tensor.Tensor, []float64) {
 	lr := r.Group.LocalRank(r.Rank)
 	cp := r.Group.Size()
-	qPos := r.Sharding.LocalPositions(lr)
+	qPos := r.Layout.LocalPositions(lr)
+	call := r.fwdCalls
+	r.fwdCalls++
+	next := r.Group.GlobalRank((lr + 1) % cp)
+	prev := r.Group.GlobalRank((lr - 1 + cp) % cp)
 
-	// The KV block currently held, and the positions its rows occupy.
+	// Pre-post every step's receives before any compute.
+	recvK := make([]*comm.Handle, cp-1)
+	recvV := make([]*comm.Handle, cp-1)
+	for t := 0; t < cp-1; t++ {
+		recvK[t] = r.World.IRecvLabeled(r.Rank, prev, r.fwdTag(call, t, 0), RingLabel)
+		recvV[t] = r.World.IRecvLabeled(r.Rank, prev, r.fwdTag(call, t, 1), RingLabel)
+	}
+
+	// The KV block currently held, and the local rank whose rows it carries.
 	curK, curV := k.Clone(), v.Clone()
 	curOwner := lr
 
-	var acc *attention.Partial
+	var acc, scratch *attention.Partial
+	var sendH []*comm.Handle
 	for step := 0; step < cp; step++ {
-		kPos := r.Sharding.LocalPositions(curOwner)
-		p := r.partial(q, curK, curV, mask, qPos, kPos)
+		if step < cp-1 {
+			// Relay before compute: the block is read-only below, so its
+			// next hop's transfer hides behind this step's partial kernel.
+			sendH = append(sendH,
+				r.World.ISendLabeled(r.Rank, next, r.fwdTag(call, step, 0), curK, RingLabel),
+				r.World.ISendLabeled(r.Rank, next, r.fwdTag(call, step, 1), curV, RingLabel))
+		}
+		kPos := r.Layout.LocalPositions(curOwner)
 		if acc == nil {
-			acc = p
+			acc = r.partial(nil, q, curK, curV, mask, qPos, kPos)
 		} else {
-			attention.MergeInPlace(acc, p)
-			attention.ReleasePartial(p)
+			scratch = r.partial(scratch, q, curK, curV, mask, qPos, kPos)
+			attention.MergeInPlace(acc, scratch)
 		}
-		if step == cp-1 {
-			break
-		}
-		// Pass the block to the next rank in the ring; receive from previous.
-		// Send clones, so the outgoing buffers retire to the pool here.
-		next := r.Group.GlobalRank((lr + 1) % cp)
-		r.World.Send(r.Rank, next, ringTagBase+2*step, curK)
-		r.World.Send(r.Rank, next, ringTagBase+2*step+1, curV)
 		tensor.Put(curK, curV)
-		prev := r.Group.GlobalRank((lr - 1 + cp) % cp)
-		curK = r.World.Recv(r.Rank, prev, ringTagBase+2*step)
-		curV = r.World.Recv(r.Rank, prev, ringTagBase+2*step+1)
-		curOwner = (curOwner - 1 + cp) % cp
+		if step < cp-1 {
+			curK = recvK[step].Wait()
+			curV = recvV[step].Wait()
+			curOwner = (curOwner - 1 + cp) % cp
+		}
 	}
-	tensor.Put(curK, curV)
+	attention.ReleasePartial(scratch)
+	for _, h := range sendH {
+		h.Wait()
+	}
 	lse := make([]float64, len(acc.M))
 	for i := range lse {
 		if acc.L[i] == 0 {
@@ -84,21 +143,25 @@ func (r *RingAttention) ForwardWithStats(q, k, v *tensor.Tensor, mask attention.
 	return attention.FinalizeInPlace(acc), lse
 }
 
-const ringBwdTagBase = ringTagBase + (1 << 18)
-
 // Backward back-propagates through ring attention. It replays the ring:
 // each step reconstructs the softmax slice against the currently-held KV
 // block from the saved log-sum-exp (P = exp(S − lse)), computes that block's
 // dK/dV, and circulates the KV blocks together with their gradient
 // accumulators so every block's gradient arrives back at its owner after a
 // full loop. dQ accumulates locally using the flash-attention identity
-// dS = P ∘ (dP − D) with D = rowsum(dO ∘ O).
+// dS = P ∘ (dP − D) with D = rowsum(dO ∘ O). Like the forward pass, all
+// receives are pre-posted and the read-only K/V blocks are relayed before
+// the step's compute (the mutated dK/dV accumulators follow after it).
 func (r *RingAttention) Backward(q, k, v, o *tensor.Tensor, lse []float64, dO *tensor.Tensor, mask attention.Mask) (dQ, dK, dV *tensor.Tensor) {
 	lr := r.Group.LocalRank(r.Rank)
 	cp := r.Group.Size()
-	qPos := r.Sharding.LocalPositions(lr)
+	qPos := r.Layout.LocalPositions(lr)
 	sq, d := q.Rows(), q.Cols()
 	scale := float32(1 / math.Sqrt(float64(d)))
+	call := r.bwdCalls
+	r.bwdCalls++
+	next := r.Group.GlobalRank((lr + 1) % cp)
+	prev := r.Group.GlobalRank((lr - 1 + cp) % cp)
 
 	// D_i = Σ_j P_ij · dP_ij = dO_i · O_i (rowwise).
 	bigD := make([]float32, sq)
@@ -111,28 +174,32 @@ func (r *RingAttention) Backward(q, k, v, o *tensor.Tensor, lse []float64, dO *t
 		bigD[i] = s
 	}
 
+	// A full loop of cp hops: the last receive is what brings this rank's
+	// own block — with its gradients accumulated by every peer — back home.
+	recv := make([][4]*comm.Handle, cp)
+	for t := 0; t < cp; t++ {
+		for which := 0; which < 4; which++ {
+			recv[t][which] = r.World.IRecvLabeled(r.Rank, prev, r.bwdTag(call, t, which), RingLabel)
+		}
+	}
+
 	curK, curV := k.Clone(), v.Clone()
 	curDK, curDV := tensor.Get(k.Rows(), d), tensor.Get(v.Rows(), d)
 	curOwner := lr
 	dQ = tensor.Get(sq, d)
 
+	var sendH []*comm.Handle
 	for step := 0; step < cp; step++ {
-		kPos := r.Sharding.LocalPositions(curOwner)
-		// Reconstruct this block's softmax slice: P_ij = exp(S_ij − lse_i).
-		sk := curK.Rows()
-		p := tensor.MatMulT(q, curK)
-		for i := 0; i < sq; i++ {
-			row := p.Row(i)
-			for j := 0; j < sk; j++ {
-				if !mask.Allowed(qPos[i], kPos[j]) || math.IsInf(lse[i], -1) {
-					row[j] = 0
-					continue
-				}
-				row[j] = float32(math.Exp(float64(row[j])*float64(scale) - lse[i]))
-			}
-		}
+		// K/V are read-only this step: relay them now so the transfer
+		// overlaps the reconstruction and matmuls below.
+		sendH = append(sendH,
+			r.World.ISendLabeled(r.Rank, next, r.bwdTag(call, step, 0), curK, RingLabel),
+			r.World.ISendLabeled(r.Rank, next, r.bwdTag(call, step, 1), curV, RingLabel))
+		kPos := r.Layout.LocalPositions(curOwner)
+		p := r.reconstructP(q, curK, mask, qPos, kPos, lse, scale)
 		// dV_block += Pᵀ dO; dS = P ∘ (dP − D); dK_block += dSᵀ Q·scale;
 		// dQ += dS K_block·scale.
+		sk := curK.Rows()
 		tensor.TMatMulAcc(curDV, p, dO)
 		dP := tensor.MatMulT(dO, curV)
 		dS := tensor.GetUninit(sq, sk)
@@ -149,37 +216,101 @@ func (r *RingAttention) Backward(q, k, v, o *tensor.Tensor, lse []float64, dO *t
 		curDK.Add(dkContrib)
 		tensor.Put(dS, dqContrib, dkContrib)
 
-		// Circulate the block and its gradient accumulators; after cp−1
-		// passes each block (with its accumulated gradients) is back home.
-		// Send clones, so the outgoing buffers retire to the pool.
-		next := r.Group.GlobalRank((lr + 1) % cp)
-		prev := r.Group.GlobalRank((lr - 1 + cp) % cp)
-		r.World.Send(r.Rank, next, ringBwdTagBase+4*step, curK)
-		r.World.Send(r.Rank, next, ringBwdTagBase+4*step+1, curV)
-		r.World.Send(r.Rank, next, ringBwdTagBase+4*step+2, curDK)
-		r.World.Send(r.Rank, next, ringBwdTagBase+4*step+3, curDV)
+		// The accumulators mutated above follow their block onward; after
+		// the cp-th hop each block's gradients are back with its owner.
+		sendH = append(sendH,
+			r.World.ISendLabeled(r.Rank, next, r.bwdTag(call, step, 2), curDK, RingLabel),
+			r.World.ISendLabeled(r.Rank, next, r.bwdTag(call, step, 3), curDV, RingLabel))
 		tensor.Put(curK, curV, curDK, curDV)
-		curK = r.World.Recv(r.Rank, prev, ringBwdTagBase+4*step)
-		curV = r.World.Recv(r.Rank, prev, ringBwdTagBase+4*step+1)
-		curDK = r.World.Recv(r.Rank, prev, ringBwdTagBase+4*step+2)
-		curDV = r.World.Recv(r.Rank, prev, ringBwdTagBase+4*step+3)
+		curK = recv[step][0].Wait()
+		curV = recv[step][1].Wait()
+		curDK = recv[step][2].Wait()
+		curDV = recv[step][3].Wait()
 		curOwner = (curOwner - 1 + cp) % cp
 	}
-	// After cp sends/receives the local block has completed the full loop.
+	tensor.Put(curK, curV)
+	for _, h := range sendH {
+		h.Wait()
+	}
 	return dQ, curDK, curDV
 }
 
-// partial computes attention of q rows (global positions qPos) against a KV
-// block whose rows sit at arbitrary global positions kPos. The block is
-// split into its two contiguous chunks so the kernel's contiguous-offset
-// interface applies.
-func (r *RingAttention) partial(q, k, v *tensor.Tensor, mask attention.Mask, qPos, kPos []int) *attention.Partial {
-	c := r.Sharding.ChunkLen()
-	first := attention.PartialForward(q, k.RowSlice(0, c), v.RowSlice(0, c), mask, qPos, kPos[0])
-	second := attention.PartialForward(q, k.RowSlice(c, 2*c), v.RowSlice(c, 2*c), mask, qPos, kPos[c])
-	attention.MergeInPlace(first, second)
-	attention.ReleasePartial(second)
-	return first
+// partial computes flash-style attention of q rows (global positions qPos)
+// against a KV block whose rows sit at arbitrary global positions kPos. The
+// block is decomposed into maximal contiguous runs; each run goes through
+// the blocked partial kernel (empty 64×64 tiles skipped, full tiles swept
+// with no mask checks) and merges into one partial. A non-nil `into` is
+// reused as the accumulator (its previous contents are overwritten).
+func (r *RingAttention) partial(into *attention.Partial, q, k, v *tensor.Tensor, mask attention.Mask, qPos, kPos []int) *attention.Partial {
+	runs := posRuns(kPos)
+	acc := attention.PartialForwardInto(into,
+		q, k.RowSlice(0, runs[0].Rows), v.RowSlice(0, runs[0].Rows), mask, qPos, runs[0].Start)
+	if len(runs) == 1 {
+		return acc
+	}
+	var scratch *attention.Partial
+	for _, run := range runs[1:] {
+		scratch = attention.PartialForwardInto(scratch,
+			q, k.RowSlice(run.Off, run.Off+run.Rows), v.RowSlice(run.Off, run.Off+run.Rows), mask, qPos, run.Start)
+		attention.MergeInPlace(acc, scratch)
+	}
+	attention.ReleasePartial(scratch)
+	return acc
+}
+
+// reconstructP rebuilds the softmax slice of q's rows against a held KV
+// block: P_ij = exp(S_ij·scale − lse_i) where allowed, 0 elsewhere. The
+// masking walks the blocked tile grid of each contiguous run — empty tiles
+// zero without mask checks, full tiles exponentiate without mask checks, and
+// only the boundary tiles fall back to per-element mask.Allowed.
+func (r *RingAttention) reconstructP(q, kBlk *tensor.Tensor, mask attention.Mask, qPos, kPos []int, lse []float64, scale float32) *tensor.Tensor {
+	sq := q.Rows()
+	p := tensor.MatMulT(q, kBlk)
+	for _, run := range posRuns(kPos) {
+		g := attention.BuildGrid(mask, qPos, run.Start, run.Rows)
+		for rt := 0; rt < g.NRows; rt++ {
+			r0 := rt * g.TileRows
+			r1 := min(r0+g.TileRows, sq)
+			for ct := 0; ct < g.NCols; ct++ {
+				c0 := run.Off + ct*g.TileCols
+				c1 := run.Off + min((ct+1)*g.TileCols, run.Rows)
+				switch g.Kind(rt, ct) {
+				case attention.TileEmpty:
+					for i := r0; i < r1; i++ {
+						row := p.Row(i)
+						for j := c0; j < c1; j++ {
+							row[j] = 0
+						}
+					}
+				case attention.TileFull:
+					for i := r0; i < r1; i++ {
+						row := p.Row(i)
+						if math.IsInf(lse[i], -1) {
+							for j := c0; j < c1; j++ {
+								row[j] = 0
+							}
+							continue
+						}
+						for j := c0; j < c1; j++ {
+							row[j] = float32(math.Exp(float64(row[j])*float64(scale) - lse[i]))
+						}
+					}
+				default: // TilePartial: boundary tile, per-element mask
+					for i := r0; i < r1; i++ {
+						row := p.Row(i)
+						for j := c0; j < c1; j++ {
+							if !mask.Allowed(qPos[i], run.Start+j-run.Off) || math.IsInf(lse[i], -1) {
+								row[j] = 0
+								continue
+							}
+							row[j] = float32(math.Exp(float64(row[j])*float64(scale) - lse[i]))
+						}
+					}
+				}
+			}
+		}
+	}
+	return p
 }
 
 // AllGatherAttention computes the same output with the paper's approach:

@@ -1,0 +1,121 @@
+package cp
+
+import (
+	"math/rand"
+	"testing"
+
+	"llama4d/internal/sim/cost"
+)
+
+// FuzzChoosePlan drives the per-document strategy chooser over arbitrary
+// document mixes and group shapes, asserting the structural contract (the
+// plan partitions the sequence, one ring flag per document, Split covers
+// every position exactly once) and the cost contract: the adaptive plan's
+// modeled time — each document priced by the model it was routed to — is
+// never worse than either pure strategy, because the chooser takes a
+// per-document argmin of the same two pricing functions.
+func FuzzChoosePlan(f *testing.F) {
+	f.Add(int64(1), 4096, 4, 32, 8, 128)
+	f.Add(int64(2), 16384, 8, 64, 8, 128)
+	f.Add(int64(3), 128, 2, 4, 2, 8)
+	f.Add(int64(4), 1<<20, 16, 128, 8, 128)
+	f.Add(int64(5), 96, 3, 4, 4, 16)
+	f.Fuzz(func(t *testing.T, seed int64, seq, cpSize, qHeads, kvHeads, hd int) {
+		if seq < 1 || seq > 1<<21 || cpSize < 1 || cpSize > 64 {
+			t.Skip()
+		}
+		if qHeads < 1 || qHeads > 256 || kvHeads < 1 || kvHeads > qHeads || hd < 1 || hd > 512 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// Random document lengths covering seq, geometric-ish mix of short
+		// and long documents.
+		var docIDs []int
+		doc := 0
+		for len(docIDs) < seq {
+			dlen := 1 + rng.Intn(seq)
+			if rng.Intn(2) == 0 {
+				dlen = 1 + rng.Intn(64)
+			}
+			for i := 0; i < dlen && len(docIDs) < seq; i++ {
+				docIDs = append(docIDs, doc)
+			}
+			doc++
+		}
+		m := cost.Default()
+		ranks := make([]int, cpSize)
+		for i := range ranks {
+			ranks[i] = i
+		}
+
+		plan := PlanFor(StrategyAdaptive, m, ranks, seq, docIDs, true, qHeads, kvHeads, hd)
+		if len(plan.Ring) != len(plan.DocStarts) {
+			t.Fatalf("ring flags %d != docs %d", len(plan.Ring), len(plan.DocStarts))
+		}
+		if len(plan.DocStarts) == 0 || plan.DocStarts[0] != 0 {
+			t.Fatalf("doc starts must begin at 0: %v", plan.DocStarts)
+		}
+		for d := 1; d < len(plan.DocStarts); d++ {
+			if plan.DocStarts[d] <= plan.DocStarts[d-1] || plan.DocStarts[d] >= seq {
+				t.Fatalf("doc starts not ascending inside [0,%d): %v", seq, plan.DocStarts)
+			}
+		}
+
+		// Split must partition any position set, preserving order.
+		pos := make([]int, 0, seq)
+		for p := 0; p < seq; p += 1 + rng.Intn(3) {
+			pos = append(pos, p)
+		}
+		ringIdx, agIdx := plan.Split(pos)
+		seen := make([]int, len(pos))
+		for _, i := range ringIdx {
+			seen[i]++
+		}
+		for _, i := range agIdx {
+			seen[i]++
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("position index %d routed %d times", i, c)
+			}
+		}
+
+		// Cost contract: adaptive = Σ_d min(ag_d, ring_d) ≤ min(pure AG, pure ring).
+		var agTotal, ringTotal, adaptive float64
+		for d := range plan.DocStarts {
+			dlen := plan.DocEnd(d) - plan.DocStarts[d]
+			ag := m.CPAllGatherTime(ranks, dlen, kvHeads, hd)
+			ring := m.CPRingTime(ranks, dlen, qHeads, kvHeads, hd)
+			agTotal += ag
+			ringTotal += ring
+			if plan.Ring[d] {
+				adaptive += ring
+				if ring > ag {
+					t.Fatalf("doc %d routed to ring but ring %.3g > allgather %.3g", d, ring, ag)
+				}
+			} else {
+				adaptive += ag
+				if ag > ring {
+					t.Fatalf("doc %d routed to allgather but allgather %.3g > ring %.3g", d, ag, ring)
+				}
+			}
+		}
+		eps := 1e-12 * (1 + agTotal + ringTotal)
+		if adaptive > agTotal+eps || adaptive > ringTotal+eps {
+			t.Fatalf("adaptive %.6g worse than a pure strategy (ag %.6g, ring %.6g)", adaptive, agTotal, ringTotal)
+		}
+
+		// Pure plans must carry uniform flags over the same document set.
+		for _, strat := range []Strategy{StrategyAllGather, StrategyRing} {
+			p := PlanFor(strat, m, ranks, seq, docIDs, true, qHeads, kvHeads, hd)
+			if len(p.Ring) != len(plan.Ring) {
+				t.Fatalf("%v plan doc count drifted", strat)
+			}
+			for d, r := range p.Ring {
+				if r != (strat == StrategyRing) {
+					t.Fatalf("%v plan has mixed flag at doc %d", strat, d)
+				}
+			}
+		}
+	})
+}

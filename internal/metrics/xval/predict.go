@@ -5,6 +5,7 @@ import (
 
 	"llama4d/internal/comm"
 	"llama4d/internal/core"
+	"llama4d/internal/cp"
 	"llama4d/internal/fsdp"
 	"llama4d/internal/metrics"
 	"llama4d/internal/model"
@@ -197,6 +198,45 @@ func predictRank(cfg core.Config, sched *pp.Schedule, counts []int, rv rankView,
 	}
 	ppPeer := func(g int) int { return rv.ppRanks[g%len(rv.ppRanks)] }
 
+	// CP exchange strategy. The ring and adaptive strategies replace the
+	// forward K/V all-gather with the StrategyKV block circulation, metered
+	// under "cp.ring". Without a document mask every sample is one causal
+	// document, so the per-sample plan is config-derivable and this branch is
+	// exact; per-document plans under UseDocMask are data-dependent —
+	// PredictCPPerRank covers those from the sample stream.
+	cpRing := false
+	if cpN > 1 && cfg.CPStrategy != cp.StrategyAllGather {
+		cpRing = cp.PlanFor(cfg.CPStrategy, cfg.CPCostModel(), rv.cp.ranks, cfg.Seq,
+			nil, false, int(nHl), int(nKVl), int(hd)).HasRing()
+	}
+	ringNext, ringPrev := rv.id, rv.id
+	if cpRing {
+		lr := 0
+		for i, r := range rv.cp.ranks {
+			if r == rv.id {
+				lr = i
+			}
+		}
+		ringNext = rv.cp.ranks[(lr+1)%len(rv.cp.ranks)]
+		ringPrev = rv.cp.ranks[(lr-1+len(rv.cp.ranks))%len(rv.cp.ranks)]
+	}
+	// addRing predicts `ex` ring K/V exchanges: each circulates 2(cp−1)
+	// messages each way (a K and a V block per hop) of one zigzag-even block.
+	// Every transfer is handle-based — issued nonblocking, waited by the
+	// exchange — so the identical volume lands in the overlapped breakdown,
+	// and the tier split books sends on the next-neighbour link, receives on
+	// the previous.
+	addRing := func(ex int64) {
+		msgs := 2 * (cpN - 1) * ex
+		blk := 4 * R * nKVl * hd
+		addTo(rp.Comm, cp.RingLabel, "send", blk, msgs)
+		addTo(rp.Overlapped, cp.RingLabel, "send", blk, msgs)
+		addTo(rp.Comm, cp.RingLabel, "recv", blk, msgs)
+		addTo(rp.Overlapped, cp.RingLabel, "recv", blk, msgs)
+		tier([]int{rv.id, ringNext}, blk*msgs)
+		tier([]int{rv.id, ringPrev}, blk*msgs)
+	}
+
 	lr := rv.pp
 	for _, op := range sched.Ranks[lr] {
 		g := sched.GlobalStage(lr, op.Stage)
@@ -217,7 +257,11 @@ func predictRank(cfg core.Config, sched *pp.Schedule, counts []int, rv rankView,
 				}
 			}
 			if cpN > 1 {
-				addC(&rv.cp, "allgather", R*nKVl*hd, 2*L*mbs) // gather K and V
+				if cpRing {
+					addRing(L * mbs) // circulate K and V, one exchange per layer
+				} else {
+					addC(&rv.cp, "allgather", R*nKVl*hd, 2*L*mbs) // gather K and V
+				}
 			}
 			if g > 0 {
 				addP2P("recv", ppPeer(g-1))
@@ -248,14 +292,22 @@ func predictRank(cfg core.Config, sched *pp.Schedule, counts []int, rv rankView,
 					addC(&rv.tp, "allreduce", R*dim, 2*L*mbs)
 				}
 				if cpN > 1 {
-					addC(&rv.cp, "allgather", R*nKVl*hd, 2*L*mbs)
+					if cpRing {
+						addRing(L * mbs)
+					} else {
+						addC(&rv.cp, "allgather", R*nKVl*hd, 2*L*mbs)
+					}
 				}
 			case model.RecomputeSelective:
 				if tp > 1 {
 					addC(&rv.tp, "allreduce", R*dim, L*mbs)
 				}
 				if cpN > 1 {
-					addC(&rv.cp, "allgather", R*nKVl*hd, 2*L*mbs)
+					if cpRing {
+						addRing(L * mbs)
+					} else {
+						addC(&rv.cp, "allgather", R*nKVl*hd, 2*L*mbs)
+					}
 				}
 			}
 			if g < lastG {

@@ -95,6 +95,13 @@ func (a *Attention) Forward(x *tensor.Tensor, env *Env) (*tensor.Tensor, any) {
 	ctx.qRot = q
 
 	if env.KV != nil {
+		if ks, ok := env.KV.(KVStreamer); ok && attention.BlockedEnabled() {
+			// Ring/adaptive context parallelism: stream score columns as
+			// K/V blocks arrive, hiding each block's transfer behind the
+			// previous block's compute. Bitwise identical to gather-then-
+			// attend (attention.StreamScores/StreamFinish).
+			return a.forwardStreamed(x, q, k, v, ks, env, ctx)
+		}
 		// Context parallelism: all-gather the full-sequence K/V (§4).
 		ctx.kFull, ctx.vFull = env.KV.GatherKV(k, v)
 		tensor.Put(k, v) // local chunks are dead once gathered
@@ -121,6 +128,48 @@ func (a *Attention) Forward(x *tensor.Tensor, env *Env) (*tensor.Tensor, any) {
 		tensor.Put(out.O)
 	}
 	tensor.Put(qh, kh, vh)
+
+	y, oCtx := a.Wo.Forward(concat, env)
+	ctx.oCtx = oCtx
+	return y, ctx
+}
+
+// forwardStreamed is the KVStreamer fast path of Forward: one tile grid is
+// built for the full sequence, each head's score plane fills incrementally
+// from the exchange callback (only non-empty tiles are swept), and the
+// blocked softmax + P·V finish once assembly completes. Per-head probability
+// planes, outputs, FLOP counts and the tile census are all identical to the
+// gather-then-attend path, so Backward is oblivious to how K/V arrived.
+func (a *Attention) forwardStreamed(x, q, k, v *tensor.Tensor, ks KVStreamer, env *Env, ctx *attnCtx) (*tensor.Tensor, any) {
+	seq := ks.SeqLen()
+	sq := x.Rows()
+	g := attention.BuildGrid(env.Mask, env.QPos, 0, seq)
+	group := a.NHeads / a.NKVHeads
+	ctx.probs = make([]*tensor.Tensor, a.NHeads)
+	qhs := make([]*tensor.Tensor, a.NHeads)
+	for h := range qhs {
+		qhs[h] = headCols(q, h, a.HeadDim)
+		ctx.probs[h] = tensor.Get(sq, seq) // zeroed: empty tiles stay exact +0
+	}
+	ctx.kFull, ctx.vFull = ks.StreamKV(k, v, func(kBlk, _ *tensor.Tensor, runs []PosRun) {
+		for h := 0; h < a.NHeads; h++ {
+			kvOff := (h / group) * a.HeadDim
+			for _, run := range runs {
+				attention.StreamScores(ctx.probs[h], qhs[h], kBlk, kvOff, run.Off, run.Start, run.Rows, g)
+			}
+		}
+	})
+	tensor.Put(k, v) // local chunks are dead once circulated
+
+	concat := tensor.Get(sq, a.NHeads*a.HeadDim)
+	vh := tensor.GetUninit(seq, a.HeadDim)
+	for h := 0; h < a.NHeads; h++ {
+		headColsInto(vh, ctx.vFull, h/group, a.HeadDim)
+		out := attention.StreamFinish(ctx.probs[h], vh, env.Mask, env.QPos, g, env.Rec)
+		addHeadCols(concat, out.O, h, a.HeadDim) // out.P aliases ctx.probs[h]
+		tensor.Put(out.O, qhs[h])
+	}
+	tensor.Put(vh)
 
 	y, oCtx := a.Wo.Forward(concat, env)
 	ctx.oCtx = oCtx

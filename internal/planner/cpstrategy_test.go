@@ -1,0 +1,57 @@
+package planner
+
+import (
+	"testing"
+
+	"llama4d/internal/cp"
+)
+
+// TestPlanCPRingAnnotation pins the planner's CP-exchange annotation to the
+// runtime chooser: for every CP>1 plan, Plan.CPRing must equal the route
+// cp.PlanFor picks for the same group, sequence, and cost model with no
+// document mask — both sides call the same cost.CPRingWins, and this test
+// keeps it that way. The two per-document prices must be positive and ordered
+// consistently with the decision.
+func TestPlanCPRingAnnotation(t *testing.T) {
+	req := Production405B(131072) // cp = 16 territory
+	req.HBMBudgetGiB = 1 << 20    // the annotation, not feasibility, is under test
+	for _, tc := range []struct{ tp, cpSize, pp int }{
+		{8, 16, 16},
+		{8, 4, 16},
+		{8, 2, 16},
+	} {
+		p, err := req.Feasible(tc.tp, tc.cpSize, tc.pp)
+		if err != nil {
+			t.Fatalf("Feasible(%d,%d,%d): %v", tc.tp, tc.cpSize, tc.pp, err)
+		}
+		if p.CPRingSec <= 0 || p.CPAllGatherSec <= 0 {
+			t.Fatalf("cp=%d: non-positive strategy prices ring=%g ag=%g",
+				tc.cpSize, p.CPRingSec, p.CPAllGatherSec)
+		}
+		if p.CPRing != (p.CPRingSec < p.CPAllGatherSec) {
+			t.Fatalf("cp=%d: CPRing=%v inconsistent with prices ring=%g ag=%g",
+				tc.cpSize, p.CPRing, p.CPRingSec, p.CPAllGatherSec)
+		}
+		g := make([]int, tc.cpSize)
+		for i := range g {
+			g[i] = i * tc.tp
+		}
+		qh := req.Model.NHeads / tc.tp
+		kvh := req.Model.NKVHeads / tc.tp
+		chooser := cp.PlanFor(cp.StrategyAdaptive, req.Cost, g, req.Seq,
+			nil, false, qh, kvh, req.Model.HeadDim())
+		if p.CPRing != chooser.HasRing() {
+			t.Fatalf("cp=%d: planner annotation %v disagrees with runtime chooser %v",
+				tc.cpSize, p.CPRing, chooser.HasRing())
+		}
+	}
+
+	// CP=1 plans must stay unannotated.
+	p, err := Production405B(8192).Feasible(8, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CPRing || p.CPRingSec != 0 || p.CPAllGatherSec != 0 {
+		t.Fatalf("cp=1 plan carries CP annotation: %+v", p)
+	}
+}

@@ -108,6 +108,16 @@ type Plan struct {
 	// P2P messages are pairwise and pre-posted, while collectives contend
 	// for the cross-host RoCE fabric.
 	CollInterBytesPerRank int64
+
+	// CPRing annotates the K/V exchange route the adaptive per-document
+	// chooser would take for this plan's full-sequence causal document:
+	// true when the overlap-hidden ring prices strictly below the grouped
+	// all-gather (cost.CPRingWins — the same Fig 13 model internal/cp's
+	// chooser runs, so planner and runtime can never disagree). Always
+	// false when CP == 1. CPRingSec and CPAllGatherSec are the two modeled
+	// per-document prices behind the decision.
+	CPRing                    bool
+	CPRingSec, CPAllGatherSec float64
 }
 
 func recName(m model.RecomputeMode) string {
@@ -124,6 +134,9 @@ func (p Plan) String() string {
 	ov := ""
 	if !p.Overlap {
 		ov = ", no-overlap"
+	}
+	if p.CPRing {
+		ov += ", cp-ring"
 	}
 	return fmt.Sprintf("tp=%d cp=%d pp=%d dp=%d (v=%d, bs=%d, mbs=%d, %v, rec=%s%s): %.0f TFLOPs/GPU, HFU %.1f%%, %.1f GiB, bubble %.1f%%, inter %.2f GiB/rank",
 		p.TP, p.CP, p.PP, p.DP, p.V, p.BS, p.MBS, p.ZeRO, recName(p.Recompute), ov,
@@ -346,6 +359,19 @@ func (r Request) price(c Candidate, rep *engine.StepReport, peak float64, intra,
 	}
 	step := makespan + exposed
 	tflops := rep.TFLOPsPerGPU * rep.StepTime / step
+	var cpRing bool
+	var ringSec, agSec float64
+	if c.CP > 1 {
+		// Rank 0's CP group under the [TP, CP, PP, DP] layout: stride tp.
+		g := make([]int, c.CP)
+		for i := range g {
+			g[i] = i * c.TP
+		}
+		qh, kvh, hd := r.Model.NHeads/c.TP, r.Model.NKVHeads/c.TP, r.Model.HeadDim()
+		agSec = r.Cost.CPAllGatherTime(g, r.Seq, kvh, hd)
+		ringSec = r.Cost.CPRingTime(g, r.Seq, qh, kvh, hd)
+		cpRing = r.Cost.CPRingWins(g, r.Seq, qh, kvh, hd)
+	}
 	return Plan{
 		TP: c.TP, CP: c.CP, PP: c.PP, DP: c.DP,
 		V: c.V, NMB: c.NMB, BS: c.NMB * c.MBS, MBS: c.MBS,
@@ -357,6 +383,8 @@ func (r Request) price(c Candidate, rep *engine.StepReport, peak float64, intra,
 		ExposedCommSec:    exposed,
 		IntraBytesPerRank: intra, InterBytesPerRank: inter,
 		CollInterBytesPerRank: collInter,
+		CPRing:                cpRing,
+		CPRingSec:             ringSec, CPAllGatherSec: agSec,
 	}
 }
 
